@@ -1,0 +1,48 @@
+// Ablation A4: scheduling epoch length.  The paper fixes 15-minute epochs;
+// shorter epochs track the solar ramp more closely but re-profile and
+// re-solve more often, longer epochs lag the supply.
+#include <cstdio>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+
+int main() {
+  using namespace greenhetero;
+
+  std::printf("=== Ablation: scheduling epoch length (24 h SPECjbb, High "
+              "solar trace, GreenHetero) ===\n\n");
+  std::printf("%12s %14s %10s %12s %14s\n", "epoch(min)", "mean jops", "EPU",
+              "grid(Wh)", "batt cycles");
+
+  for (double epoch : {5.0, 15.0, 30.0, 60.0}) {
+    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kGreenHetero;
+    cfg.controller.profiling_noise = 0.02;
+    cfg.controller.seed = 21;
+    cfg.controller.epoch = Minutes{epoch};
+    // Keep the training run inside one epoch at every length.
+    cfg.controller.training_duration = Minutes{epoch * 2.0 / 3.0};
+    cfg.controller.training_sample_interval = Minutes{epoch * 2.0 / 15.0};
+    cfg.substep = Minutes{epoch >= 15.0 ? 1.0 : epoch / 5.0};
+    cfg.demand_trace =
+        generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 7, 5);
+    GridSpec grid;
+    grid.budget = Watts{1000.0};
+    RackSimulator sim{std::move(rack),
+                      make_standard_plant(high_solar_week(Watts{2500.0}, 3),
+                                          grid),
+                      std::move(cfg)};
+    sim.pretrain();
+    const RunReport report = sim.run(Minutes{24.0 * 60.0});
+    std::printf("%12.0f %14.0f %10.2f %12.0f %14.2f\n", epoch,
+                report.mean_throughput(), report.overall_epu,
+                report.grid_energy.value(), report.battery_cycles);
+  }
+  std::printf("\nExpected: performance is stable around the paper's 15-min "
+              "choice and degrades as the epoch stretches past the solar "
+              "ramp timescale.\n");
+  return 0;
+}

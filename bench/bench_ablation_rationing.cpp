@@ -1,0 +1,63 @@
+// Ablation A9: battery rationing horizon.  The paper's selector discharges
+// greedily until the 40% DoD floor and then falls back to the capped grid;
+// rationing spreads the usable energy over a horizon instead.  The trade:
+// greedy serves the evening peak at full power but starves later; rationing
+// runs the night at reduced-but-steady power.  Which wins depends on how
+// tight the grid budget is.
+#include <cstdio>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+
+namespace {
+
+using namespace greenhetero;
+
+RunReport run(double horizon_min, Watts grid_budget) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 19;
+  cfg.controller.selector.rationing_horizon = Minutes{horizon_min};
+  cfg.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 4, 5);
+  GridSpec grid;
+  grid.budget = grid_budget;
+  // Time-of-use tariff: the 17:00-21:00 evening peak costs 3x — exactly
+  // when the battery would otherwise spare the grid.
+  grid.peak_multiplier = 3.0;
+  RackSimulator sim{std::move(rack),
+                    make_standard_plant(high_solar_week(Watts{2500.0}, 3),
+                                        grid),
+                    std::move(cfg)};
+  sim.pretrain();
+  return sim.run(Minutes{3.0 * 24.0 * 60.0});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: battery rationing horizon (3 days, High trace, "
+              "GreenHetero) ===\n\n");
+  for (double grid : {400.0, 1000.0}) {
+    std::printf("grid budget %.0f W (evening TOU tariff 3x):\n", grid);
+    std::printf("%14s %14s %12s %12s %14s\n", "horizon", "total work",
+                "grid(kWh)", "grid cost", "batt cycles");
+    for (double horizon : {0.0, 240.0, 480.0, 720.0}) {
+      const RunReport r = run(horizon, Watts{grid});
+      std::printf("%11.0f min %14.0f %12.1f %11.2f$ %14.2f\n", horizon,
+                  r.total_work, r.grid_energy.value() / 1000.0, r.grid_cost,
+                  r.battery_cycles);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: greedy discharge (the paper's choice) maximises "
+              "work — the concave perf curves reward spending green energy "
+              "at full power early.  Rationing is a work <-> grid-cost/"
+              "battery-wear trade: each added hour of horizon shaves grid "
+              "energy and cycles at a small throughput cost, which matters "
+              "when demand charges or battery lifetime dominate the bill.\n");
+  return 0;
+}

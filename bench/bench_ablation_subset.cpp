@@ -1,0 +1,55 @@
+// Ablation A11: subset activation (GreenHetero-s) vs the paper's
+// equal-split-within-type rule.  The paper distributes the same power to
+// all servers of a type "by default"; under deep scarcity that puts a whole
+// group below its floor, while waking k of n servers converts the same
+// watts into work.  The gain should vanish as supply approaches demand.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "server/combinations.h"
+
+namespace {
+
+using namespace greenhetero;
+using namespace greenhetero::bench;
+
+double run(PolicyKind policy, double fraction, Workload w) {
+  const auto groups = default_runtime_rack();
+  FixedBudgetOptions options;
+  options.budget = scarce_budget(groups, w, fraction);
+  options.profiling_noise = 0.02;
+  return run_fixed_budget(groups, w, policy, options).mean_throughput;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: subset activation (GreenHetero-s) vs "
+              "equal-split GreenHetero ===\n");
+  std::printf("(5x E5-2620 + 5x i5-4460; supply as a fraction of full-tilt "
+              "demand)\n\n");
+  for (Workload w : {Workload::kSpecJbb, Workload::kStreamcluster}) {
+    std::printf("%s:\n", std::string(workload_spec(w).name).c_str());
+    std::printf("%10s %14s %14s %8s\n", "supply", "GreenHetero",
+                "GreenHetero-s", "gain");
+    for (double fraction : {0.15, 0.25, 0.35, 0.50, 0.70}) {
+      const double gh = run(PolicyKind::kGreenHetero, fraction, w);
+      const double ghs = run(PolicyKind::kGreenHeteroS, fraction, w);
+      if (gh > 0.0) {
+        std::printf("%9.0f%% %14.0f %14.0f %7.2fx\n", fraction * 100.0, gh,
+                    ghs, ghs / gh);
+      } else {
+        // Equal split starves every server: the extension's gain is
+        // unbounded here.
+        std::printf("%9.0f%% %14.0f %14.0f %8s\n", fraction * 100.0, gh, ghs,
+                    "inf");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: partial activation pays exactly where the paper's "
+              "rule collapses (supply so low that an even split starves "
+              "whole groups) and converges to it as supply grows — a free "
+              "upgrade for the scarcity regime.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "sim/rack_simulator.h"
+
+namespace greenhetero::bench {
+
+FixedBudgetResult run_fixed_budget(const std::vector<ServerGroup>& groups,
+                                   Workload workload, PolicyKind policy,
+                                   const FixedBudgetOptions& options) {
+  Rack rack{groups, workload};
+  SimConfig cfg;
+  cfg.controller.policy = policy;
+  cfg.controller.profiling_noise = options.profiling_noise;
+  cfg.controller.seed = options.seed;
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(options.budget,
+                                            options.duration + Minutes{60.0}),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(options.duration);
+  return FixedBudgetResult{policy, report.mean_throughput(),
+                           report.overall_epu};
+}
+
+std::vector<FixedBudgetResult> compare_policies(
+    const std::vector<ServerGroup>& groups, Workload workload,
+    const FixedBudgetOptions& options) {
+  std::vector<FixedBudgetResult> results;
+  for (PolicyKind policy : kAllPolicies) {
+    results.push_back(run_fixed_budget(groups, workload, policy, options));
+  }
+  return results;
+}
+
+std::vector<FixedBudgetResult> compare_policies_swept(
+    const std::vector<ServerGroup>& groups, Workload workload,
+    const FixedBudgetOptions& base_options) {
+  std::vector<FixedBudgetResult> totals;
+  for (PolicyKind policy : kAllPolicies) {
+    totals.push_back(FixedBudgetResult{policy, 0.0, 0.0});
+  }
+  int sweeps = 0;
+  for (double fraction : kScarcitySweep) {
+    FixedBudgetOptions options = base_options;
+    options.budget = scarce_budget(groups, workload, fraction);
+    for (std::size_t p = 0; p < totals.size(); ++p) {
+      const FixedBudgetResult r =
+          run_fixed_budget(groups, workload, totals[p].policy, options);
+      totals[p].mean_throughput += r.mean_throughput;
+      totals[p].epu += r.epu;
+    }
+    ++sweeps;
+  }
+  for (auto& t : totals) {
+    t.mean_throughput /= sweeps;
+    t.epu /= sweeps;
+  }
+  return totals;
+}
+
+std::vector<FixedBudgetResult> compare_policies_share_sweep(
+    const std::vector<ServerGroup>& groups, Workload workload,
+    const FixedBudgetOptions& base_options) {
+  int servers = 0;
+  for (const auto& g : groups) servers += g.count;
+  std::vector<FixedBudgetResult> totals;
+  for (PolicyKind policy : kAllPolicies) {
+    totals.push_back(FixedBudgetResult{policy, 0.0, 0.0});
+  }
+  int sweeps = 0;
+  for (double share : kShareSweepWatts) {
+    FixedBudgetOptions options = base_options;
+    options.budget = Watts{share * servers};
+    for (std::size_t p = 0; p < totals.size(); ++p) {
+      const FixedBudgetResult r =
+          run_fixed_budget(groups, workload, totals[p].policy, options);
+      totals[p].mean_throughput += r.mean_throughput;
+      totals[p].epu += r.epu;
+    }
+    ++sweeps;
+  }
+  for (auto& t : totals) {
+    t.mean_throughput /= sweeps;
+    t.epu /= sweeps;
+  }
+  return totals;
+}
+
+Watts scarce_budget(const std::vector<ServerGroup>& groups, Workload workload,
+                    double fraction) {
+  const Rack rack{groups, workload};
+  return rack.peak_demand() * fraction;
+}
+
+void print_row(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) {
+    std::printf(" %8.2f", v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace greenhetero::bench

@@ -1,0 +1,91 @@
+// Controller overhead (google-benchmark): the paper calls the profiling and
+// scheduling machinery "lightweight" — this pins numbers on it.  Everything
+// here is the per-epoch cost paid once per 15 minutes per rack.
+#include <benchmark/benchmark.h>
+
+#include "core/controller.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+namespace {
+
+using namespace greenhetero;
+
+struct Fixture {
+  Fixture()
+      : rack(default_runtime_rack(), Workload::kSpecJbb),
+        plant(make_fixed_budget_plant(Watts{800.0}, Minutes{10000.0})),
+        controller([] {
+          ControllerConfig cfg;
+          cfg.policy = PolicyKind::kGreenHetero;
+          cfg.profiling_noise = 0.02;
+          return cfg;
+        }()) {
+    // Seed the database like a completed training run.
+    for (std::size_t g = 0; g < rack.group_count(); ++g) {
+      const PerfCurve& curve = rack.group_curve(g);
+      std::vector<ServerSample> samples;
+      for (double f : controller.training_sweep()) {
+        const Watts p = curve.idle_power() +
+                        (curve.peak_power() - curve.idle_power()) * f;
+        samples.push_back({p, curve.throughput_at(p)});
+      }
+      controller.record_training(
+          {rack.group(g).model, rack.group_workload(g)}, samples);
+    }
+    rack.run_full_speed();
+  }
+
+  Rack rack;
+  RackPowerPlant plant;
+  GreenHeteroController controller;
+};
+
+void BM_PlanEpoch(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.controller.plan_epoch(f.rack, f.plant, Minutes{0.0}, Watts{900.0}));
+  }
+}
+BENCHMARK(BM_PlanEpoch);
+
+void BM_FinishEpoch(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    f.controller.finish_epoch(f.rack, Watts{800.0}, Watts{900.0});
+  }
+}
+BENCHMARK(BM_FinishEpoch);
+
+void BM_FullEpochSimulation(benchmark::State& state) {
+  // One complete 15-minute epoch (plan + 15 substeps + feedback).
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(Watts{800.0}, Minutes{1e7}),
+                    std::move(cfg)};
+  sim.pretrain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.step_epoch());
+  }
+}
+BENCHMARK(BM_FullEpochSimulation);
+
+void BM_SimulatedDayWallclock(benchmark::State& state) {
+  // Wall-clock cost of simulating 24 hours (96 epochs, 1440 substeps).
+  for (auto _ : state) {
+    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kGreenHetero;
+    RackSimulator sim{std::move(rack),
+                      make_fixed_budget_plant(Watts{800.0}, Minutes{2000.0}),
+                      std::move(cfg)};
+    sim.pretrain();
+    benchmark::DoNotOptimize(sim.run(Minutes{24.0 * 60.0}));
+  }
+}
+BENCHMARK(BM_SimulatedDayWallclock)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Figure 10: effective power utilisation (EPU) of the five power allocation
+// policies across the Table I CPU workloads, normalised to Uniform.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/combinations.h"
+
+int main() {
+  using namespace greenhetero;
+  using namespace greenhetero::bench;
+
+  std::printf("=== Figure 10: normalised EPU, 5x E5-2620 + 5x i5-4460, "
+              "insufficient renewable, per-server share 55-85 W ===\n\n");
+  std::printf("%-24s %8s %8s %8s %8s %8s  (absolute Uniform EPU)\n",
+              "workload", "Uniform", "Manual", "GH-p", "GH-a", "GH");
+
+  const auto groups = default_runtime_rack();
+  std::vector<double> gh_gains;
+  double best_gain = 0.0;
+  double worst_gain = 1e9;
+  std::string best_name;
+  std::string worst_name;
+  for (Workload w : figure9_workloads()) {
+    const auto results = compare_policies_share_sweep(groups, w);
+    const double base = results[0].epu;  // Uniform
+    std::printf("%-24s", std::string(workload_spec(w).name).c_str());
+    for (const auto& r : results) {
+      std::printf(" %8.2f", base > 0.0 ? r.epu / base : 0.0);
+    }
+    std::printf("  (%.2f)\n", base);
+    const double gain = base > 0.0 ? results.back().epu / base : 0.0;
+    gh_gains.push_back(gain);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_name = workload_spec(w).name;
+    }
+    if (gain < worst_gain) {
+      worst_gain = gain;
+      worst_name = workload_spec(w).name;
+    }
+  }
+  double sum = 0.0;
+  for (double g : gh_gains) sum += g;
+  std::printf("\nGreenHetero vs Uniform EPU: mean %.2fx (paper: ~2.2x); best "
+              "%s %.2fx (paper: Canneal 2.7x); worst %s %.2fx (paper: "
+              "Web-search 1.1x)\n",
+              sum / gh_gains.size(), best_name.c_str(), best_gain,
+              worst_name.c_str(), worst_gain);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Figure 11: 24-hour run of SPECjbb on the Low solar trace (more fluctuating
+// supply, more frequent battery discharge/charge, more grid usage than the
+// High-trace run of Figure 8).
+#define GH_FIG11_LOW_TRACE
+#include "bench_fig8_runtime_high.cpp"  // shares the runtime harness
+
+int main() { return greenhetero::bench_runtime::run(true); }

@@ -1,0 +1,39 @@
+// Figure 14: the GPU combination (Comb6: 5x Xeon E5-2620 + 5x Titan Xp) on
+// the four Rodinia workloads, normalised to Uniform.  The GPU dwarfs the
+// CPUs on Srad_v1 (paper: up to 4.6x gain) and roughly ties them on Cfd.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/combinations.h"
+
+int main() {
+  using namespace greenhetero;
+  using namespace greenhetero::bench;
+
+  const auto& comb6 = combination_by_name("Comb6");
+  std::printf("=== Figure 14: normalised performance of Comb6 (5x E5-2620 + "
+              "5x Titan Xp), insufficient renewable (40-70%% of demand) "
+              "===\n\n");
+  std::printf("%-24s %8s %8s %8s %8s %8s\n", "workload", "Uniform", "Manual",
+              "GH-p", "GH-a", "GH");
+
+  std::vector<double> gains;
+  for (Workload w : comb6.workloads) {
+    const auto results = compare_policies_swept(comb6.groups, w);
+    const double base = results[0].mean_throughput;
+    std::printf("%-24s", std::string(workload_spec(w).name).c_str());
+    for (const auto& r : results) {
+      std::printf(" %8.2f", base > 0.0 ? r.mean_throughput / base : 0.0);
+    }
+    std::printf("\n");
+    gains.push_back(base > 0.0 ? results.back().mean_throughput / base : 0.0);
+  }
+  double sum = 0.0;
+  for (double g : gains) sum += g;
+  std::printf("\nGreenHetero mean gain %.2fx (paper: ~2.5x; Srad_v1 up to "
+              "4.6x, Cfd smallest).\n",
+              sum / gains.size());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 1: numbers of server configurations in ten Google datacenters
+// (from Whare-Map, ISCA'13), plus the sampler the multi-rack examples use to
+// generate synthetic heterogeneous datacenters with the same distribution.
+#include <cstdio>
+
+#include "trace/heterogeneity.h"
+
+int main() {
+  using namespace greenhetero;
+  std::printf("=== Figure 1: server-configuration diversity in Google "
+              "datacenters ===\n\n");
+  std::printf("%-8s %s\n", "DC", "#configurations");
+  for (const auto& dc : google_datacenter_heterogeneity()) {
+    std::printf("%-8s %d  ", dc.name, dc.config_count);
+    for (int i = 0; i < dc.config_count; ++i) std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\nHistogram (#configs -> #datacenters):\n");
+  const auto hist = heterogeneity_histogram();
+  for (std::size_t c = 2; c < hist.size(); ++c) {
+    std::printf("  %zu configs: %d\n", c, hist[c]);
+  }
+  std::printf("\nFraction of datacenters with <= 3 configurations: %.0f%% "
+              "(paper: ~80%% have 2-3)\n",
+              100.0 * fraction_with_at_most(3));
+
+  std::printf("\nSampler check (seed 7, 20 synthetic datacenters):\n  ");
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    std::printf("%d ", sample_config_count(7, i));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 3: the motivating case study — two heterogeneous servers under a
+// fixed 220 W green budget, sweeping the power allocation ratio (PAR).
+//
+// The paper's testbed measured Server A (dual Xeon E5-2620, throttled) at a
+// maximum of 81 W and Server B (Core i5 box) at 147 W under SPECjbb.  We
+// model those two measured machines directly.  SPECjbb's metric is jops
+// under a 99%-ile 500 ms bound, so throughput collapses superlinearly when a
+// server is starved — Server B's curve uses gamma > 1 to capture the SLA
+// cliff.  PAR here is the share of the budget given to Server B (the
+// paper's Fig. 3 x-axis; its text labels the same sweep by Server A, one of
+// the two labellings is flipped in the paper).
+#include <cstdio>
+#include <vector>
+
+#include "core/epu.h"
+#include "server/perf_curve.h"
+#include "util/units.h"
+
+int main() {
+  using namespace greenhetero;
+  const Watts kBudget{220.0};
+
+  // Server A: dual Xeon E5-2620 as measured in the case study (81 W max).
+  const PerfCurve server_a{PerfCurveParams{
+      .idle_power = Watts{45.0},
+      .peak_power = Watts{81.0},
+      .peak_throughput = 5200.0,
+      .floor_fraction = 0.35,
+      .gamma = 0.75,
+  }};
+  // Server B: Core i5 box as measured (147 W max); gamma > 1 models the
+  // latency-SLA cliff of the jops metric.
+  const PerfCurve server_b{PerfCurveParams{
+      .idle_power = Watts{40.0},
+      .peak_power = Watts{147.0},
+      .peak_throughput = 13000.0,
+      .floor_fraction = 0.05,
+      .gamma = 1.30,
+  }};
+
+  struct Point {
+    int par;
+    double epu;
+    double perf;
+  };
+  std::vector<Point> points;
+  for (int par = 0; par <= 100; par += 5) {
+    const Watts to_b = kBudget * (par / 100.0);
+    const Watts to_a = kBudget - to_b;
+    const Watts useful_a =
+        to_a >= server_a.idle_power() ? min(to_a, server_a.peak_power())
+                                      : Watts{0.0};
+    const Watts useful_b =
+        to_b >= server_b.idle_power() ? min(to_b, server_b.peak_power())
+                                      : Watts{0.0};
+    const double epu =
+        EpuMeter::instantaneous(kBudget, useful_a + useful_b);
+    const double perf = server_a.throughput_at(useful_a) +
+                        server_b.throughput_at(useful_b);
+    points.push_back({par, epu, perf});
+  }
+
+  double perf_at_50 = 1.0;
+  for (const Point& p : points) {
+    if (p.par == 50) perf_at_50 = p.perf;
+  }
+
+  std::printf("=== Figure 3: EPU and performance vs power allocation ratio "
+              "===\n");
+  std::printf("(220 W budget; PAR = share to Server B; performance "
+              "normalised to the 50%% uniform split)\n\n");
+  std::printf("%6s %8s %12s\n", "PAR", "EPU", "perf/uniform");
+  const Point* best = &points.front();
+  for (const Point& p : points) {
+    std::printf("%5d%% %7.0f%% %12.2f\n", p.par, p.epu * 100.0,
+                p.perf / perf_at_50);
+    if (p.perf > best->perf) best = &p;
+  }
+  std::printf("\nBest PAR: %d%% -> EPU %.0f%%, %.2fx the uniform split\n",
+              best->par, best->epu * 100.0, best->perf / perf_at_50);
+  std::printf("Paper reports: best at 65%%, EPU ~100%% (86%% at uniform), "
+              "perf gain ~1.5x; EPU ~37%% at the degenerate extreme.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8: 24-hour run of SPECjbb on the High solar trace.
+//  (a) performance of GreenHetero vs Uniform per epoch, plus the PAR series;
+//  (b) battery discharge/charge and grid activity under GreenHetero.
+#include <cstdio>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+
+namespace {
+
+using namespace greenhetero;
+
+RunReport run_policy(PolicyKind policy, bool low_trace) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = policy;
+  cfg.controller.profiling_noise = 0.02;
+  cfg.controller.seed = 11;
+  cfg.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 7, 5);
+  GridSpec grid;
+  grid.budget = Watts{1000.0};
+  const PowerTrace solar = low_trace ? low_solar_week(Watts{2500.0}, 3)
+                                     : high_solar_week(Watts{2500.0}, 3);
+  RackSimulator sim{std::move(rack), make_standard_plant(solar, grid),
+                    std::move(cfg)};
+  sim.pretrain();
+  return sim.run(Minutes{24.0 * 60.0});
+}
+
+}  // namespace
+
+namespace greenhetero::bench_runtime {
+
+/// Shared by the Fig. 8 (High trace) and Fig. 11 (Low trace) benches.
+int run(bool low_trace) {
+  const char* trace_name = low_trace ? "Low" : "High";
+  std::printf("=== Figure %s: 24-hour SPECjbb run, %s solar trace ===\n",
+              low_trace ? "11" : "8", trace_name);
+  std::printf("(10 servers: 5x E5-2620 + 5x i5-4460; grid budget 1000 W)\n\n");
+
+  const RunReport gh = run_policy(PolicyKind::kGreenHetero, low_trace);
+  const RunReport uni = run_policy(PolicyKind::kUniform, low_trace);
+
+  std::printf("%6s %9s %22s %11s %11s %6s %8s %8s %8s %8s\n", "hour",
+              "solar(W)", "case", "GH jops", "Uni jops", "PAR", "soc",
+              "dischg", "charge", "grid");
+  for (std::size_t e = 0; e < gh.epochs.size(); ++e) {
+    if (e % 4 != 0) continue;  // hourly rows
+    const EpochRecord& g = gh.epochs[e];
+    const EpochRecord& u = uni.epochs[e];
+    std::printf("%6.1f %9.0f %22s %11.0f %11.0f %5.0f%% %7.0f%% %8.0f %8.0f "
+                "%8.0f\n",
+                g.start.value() / 60.0, g.actual_renewable.value(),
+                to_string(g.source_case), g.throughput, u.throughput,
+                (g.ratios.empty() ? 0.0 : g.ratios[0]) * 100.0,
+                g.battery_soc * 100.0, g.battery_discharge.value(),
+                g.battery_charge.value(), g.grid_power.value());
+  }
+
+  // Aggregates the paper quotes.
+  double gain_insufficient = 0.0;
+  int n_insufficient = 0;
+  for (std::size_t e = 0; e < gh.epochs.size(); ++e) {
+    const EpochRecord& g = gh.epochs[e];
+    const EpochRecord& u = uni.epochs[e];
+    if (g.training || u.training) continue;
+    if (g.source_case == PowerCase::kRenewableSufficient) continue;
+    if (u.throughput <= 0.0) continue;
+    gain_insufficient += g.throughput / u.throughput;
+    ++n_insufficient;
+  }
+  std::printf("\nSummary (%s trace):\n", trace_name);
+  std::printf("  mean perf gain over Uniform in insufficient epochs: %.2fx "
+              "(paper: ~%.1fx)\n",
+              n_insufficient ? gain_insufficient / n_insufficient : 0.0,
+              low_trace ? 1.2 : 1.5);
+  std::printf("  mean PAR (share to E5-2620 group): %.0f%% (paper: ~58%%)\n",
+              gh.mean_ratio(0) * 100.0);
+  std::printf("  epochs per case: A=%d B=%d C=%d grid=%d\n",
+              gh.epochs_in_case(PowerCase::kRenewableSufficient),
+              gh.epochs_in_case(PowerCase::kJointSupply),
+              gh.epochs_in_case(PowerCase::kBatteryOnly),
+              gh.epochs_in_case(PowerCase::kGridFallback));
+  std::printf("  battery cycles: %.2f; grid energy: %.0f Wh (GreenHetero)\n",
+              gh.battery_cycles, gh.grid_energy.value());
+  std::printf("  overall EPU: GreenHetero %.2f vs Uniform %.2f\n",
+              gh.overall_epu, uni.overall_epu);
+  return 0;
+}
+
+}  // namespace greenhetero::bench_runtime
+
+#ifndef GH_FIG11_LOW_TRACE
+int main() { return greenhetero::bench_runtime::run(false); }
+#endif

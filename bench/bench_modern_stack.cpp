@@ -1,0 +1,86 @@
+// Capstone: the paper's 2021 stack vs a modernised one, week-long run.
+//
+//   paper stack   GreenHetero policy, greedy battery discharge, lead-acid
+//                 pack at 40% DoD, flat tariff assumptions.
+//   modern stack  GreenHetero-s (subset activation), 6-hour battery
+//                 rationing, Li-ion pack — everything this reproduction
+//                 added on top, composed.
+//
+// Both face the same rack, the same Low solar trace (the harder one), the
+// same 3x evening TOU tariff and the same 800 W grid cap.
+#include <cstdio>
+
+#include "power/carbon.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+
+namespace {
+
+using namespace greenhetero;
+
+struct StackResult {
+  double work;
+  double grid_kwh;
+  double grid_cost;
+  double battery_life_years;
+  double co2_kg;
+};
+
+StackResult run_stack(bool modern) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy =
+      modern ? PolicyKind::kGreenHeteroS : PolicyKind::kGreenHetero;
+  cfg.controller.seed = 37;
+  if (modern) {
+    cfg.controller.selector.rationing_horizon = Minutes{6.0 * 60.0};
+  }
+  cfg.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 8, 5);
+
+  GridSpec grid;
+  grid.budget = Watts{800.0};
+  grid.peak_multiplier = 3.0;
+  const BatterySpec battery = modern ? li_ion_spec(WattHours{12000.0})
+                                     : lead_acid_spec(WattHours{12000.0});
+  RackPowerPlant plant{SolarArray{low_solar_week(Watts{2500.0}, 3)},
+                       Battery{battery}, GridSupply{grid}};
+
+  RackSimulator sim{std::move(rack), std::move(plant), std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{7.0 * 24.0 * 60.0});
+
+  const double cycles_per_week = report.battery_cycles;
+  const double life_years =
+      cycles_per_week > 0.0
+          ? battery.rated_cycles / cycles_per_week / 52.0
+          : 99.0;
+  return StackResult{report.total_work,
+                     report.grid_energy.value() / 1000.0, report.grid_cost,
+                     life_years, carbon_report(report.ledger).total_kg};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Capstone: paper stack vs modernised stack (1 week, Low "
+              "solar trace, 800 W grid @ 3x evening tariff) ===\n\n");
+  std::printf("%-14s %14s %12s %12s %14s %10s\n", "stack", "work",
+              "grid(kWh)", "grid cost", "battery life", "CO2(kg)");
+  const StackResult paper = run_stack(false);
+  const StackResult modern = run_stack(true);
+  std::printf("%-14s %14.0f %12.1f %11.2f$ %12.1f y %10.1f\n", "paper-2021",
+              paper.work, paper.grid_kwh, paper.grid_cost,
+              paper.battery_life_years, paper.co2_kg);
+  std::printf("%-14s %14.0f %12.1f %11.2f$ %12.1f y %10.1f\n", "modern",
+              modern.work, modern.grid_kwh, modern.grid_cost,
+              modern.battery_life_years, modern.co2_kg);
+  std::printf("\ndelta: %+.1f%% work, %+.1f%% grid cost, %.1fx battery "
+              "life\n",
+              100.0 * (modern.work / paper.work - 1.0),
+              100.0 * (modern.grid_cost / paper.grid_cost - 1.0),
+              modern.battery_life_years / paper.battery_life_years);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation A2 (google-benchmark): predictor cost and accuracy — Holt versus
+// the last-value and moving-average baselines on the synthetic solar traces.
+// Accuracy (mean absolute one-step error in watts) is reported as a counter.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/predictor.h"
+#include "trace/solar.h"
+
+namespace {
+
+using namespace greenhetero;
+
+std::vector<double> solar_series(bool low) {
+  const PowerTrace trace = low ? low_solar_week(Watts{2500.0}, 3)
+                               : high_solar_week(Watts{2500.0}, 3);
+  std::vector<double> series;
+  series.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    series.push_back(trace.sample(i).value());
+  }
+  return series;
+}
+
+double replay_mae(SeriesPredictor& predictor,
+                  const std::vector<double>& series) {
+  double err = 0.0;
+  int counted = 0;
+  for (double v : series) {
+    if (predictor.ready()) {
+      err += std::fabs(predictor.predict() - v);
+      ++counted;
+    }
+    predictor.observe(v);
+  }
+  return counted ? err / counted : 0.0;
+}
+
+void BM_HoltObserve(benchmark::State& state) {
+  const auto series = solar_series(false);
+  HoltPredictor predictor(HoltParams{0.6, 0.2});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    predictor.observe(series[i++ % series.size()]);
+    if (predictor.ready()) benchmark::DoNotOptimize(predictor.predict());
+  }
+}
+BENCHMARK(BM_HoltObserve);
+
+void BM_TrainHolt(benchmark::State& state) {
+  const auto series = solar_series(false);
+  const std::vector<double> window(series.begin(), series.begin() + 96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(train_holt(window));
+  }
+}
+BENCHMARK(BM_TrainHolt);
+
+void BM_PredictorAccuracy(benchmark::State& state) {
+  const bool low = state.range(0) == 1;
+  const auto series = solar_series(low);
+  double holt_mae = 0.0;
+  double hw_mae = 0.0;
+  double last_mae = 0.0;
+  double avg_mae = 0.0;
+  for (auto _ : state) {
+    HoltPredictor holt(train_holt(series));
+    HoltWintersPredictor hw(train_holt(series), /*period=*/96, 0.4);
+    LastValuePredictor last;
+    MovingAveragePredictor avg(4);
+    holt_mae = replay_mae(holt, series);
+    hw_mae = replay_mae(hw, series);
+    last_mae = replay_mae(last, series);
+    avg_mae = replay_mae(avg, series);
+  }
+  state.counters["holt_mae_w"] = holt_mae;
+  state.counters["holtwinters_mae_w"] = hw_mae;
+  state.counters["lastvalue_mae_w"] = last_mae;
+  state.counters["movavg4_mae_w"] = avg_mae;
+}
+BENCHMARK(BM_PredictorAccuracy)
+    ->Arg(0)  // High trace
+    ->Arg(1)  // Low trace
+    ->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Ablation A1 (google-benchmark): Solver backends — grid-refine (the
+// production path), exhaustive grids at several granularities, and the
+// analytic KKT fast path — timed on representative 2- and 3-group problems.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/solver.h"
+
+namespace {
+
+using namespace greenhetero;
+
+std::vector<GroupModel> two_groups() {
+  return {
+      GroupModel{Quadratic{-0.015, 7.0, -250.0}, Watts{88.0}, Watts{178.0}, 5},
+      GroupModel{Quadratic{-0.030, 9.0, -150.0}, Watts{47.0}, Watts{96.0}, 5},
+  };
+}
+
+std::vector<GroupModel> three_groups() {
+  auto groups = two_groups();
+  groups.push_back(
+      GroupModel{Quadratic{-0.05, 7.0, -100.0}, Watts{58.0}, Watts{79.0}, 5});
+  return groups;
+}
+
+void BM_SolveTwoGroups(benchmark::State& state) {
+  const auto groups = two_groups();
+  const Watts supply{static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve(groups, supply));
+  }
+}
+BENCHMARK(BM_SolveTwoGroups)->Arg(500)->Arg(900)->Arg(1400);
+
+void BM_SolveThreeGroups(benchmark::State& state) {
+  const auto groups = three_groups();
+  const Watts supply{static_cast<double>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve(groups, supply));
+  }
+}
+BENCHMARK(BM_SolveThreeGroups)->Arg(900)->Arg(1500);
+
+std::vector<GroupModel> five_groups() {
+  auto groups = three_groups();
+  groups.push_back(
+      GroupModel{Quadratic{-0.02, 6.0, -120.0}, Watts{66.0}, Watts{112.0}, 5});
+  groups.push_back(
+      GroupModel{Quadratic{-0.04, 11.0, -140.0}, Watts{39.0}, Watts{88.0}, 5});
+  return groups;
+}
+
+void BM_SolveFiveGroupsWaterfill(benchmark::State& state) {
+  const auto groups = five_groups();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve_n(groups, Watts{2000.0}));
+  }
+}
+BENCHMARK(BM_SolveFiveGroupsWaterfill);
+
+void BM_SolveGridTenPercent(benchmark::State& state) {
+  const auto groups = two_groups();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve_grid(groups, Watts{900.0}, 0.10));
+  }
+}
+BENCHMARK(BM_SolveGridTenPercent);
+
+void BM_SolveGridFine(benchmark::State& state) {
+  const auto groups = two_groups();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve_grid(groups, Watts{900.0}, 0.001));
+  }
+}
+BENCHMARK(BM_SolveGridFine);
+
+void BM_SolveAnalytic(benchmark::State& state) {
+  const auto groups = two_groups();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Solver::solve_analytic_2(groups, Watts{900.0}));
+  }
+}
+BENCHMARK(BM_SolveAnalytic);
+
+// Optimality gap of the production solver vs a very fine brute force,
+// reported as a counter (x1000) alongside the timing.
+void BM_SolveOptimalityGap(benchmark::State& state) {
+  const auto groups = two_groups();
+  double worst_gap = 0.0;
+  for (auto _ : state) {
+    for (double supply : {500.0, 700.0, 900.0, 1100.0, 1400.0}) {
+      const Allocation fast = Solver::solve(groups, Watts{supply});
+      const Allocation brute =
+          Solver::solve_grid(groups, Watts{supply}, 0.0005);
+      if (brute.predicted_perf > 0.0) {
+        worst_gap = std::max(
+            worst_gap, 1.0 - fast.predicted_perf / brute.predicted_perf);
+      }
+    }
+  }
+  state.counters["worst_gap_x1000"] = worst_gap * 1000.0;
+}
+BENCHMARK(BM_SolveOptimalityGap)->Iterations(1);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Table II: the six server configurations, plus the simulator-measured
+// operating envelope per representative workload (a sanity check that the
+// calibrated catalog respects the measured idle/peak wall powers).
+#include <cstdio>
+#include <string>
+
+#include "server/server_sim.h"
+#include "workload/catalog.h"
+
+int main() {
+  using namespace greenhetero;
+
+  std::printf("=== Table II: server configurations ===\n");
+  std::printf("%-16s %10s %7s %6s %11s %11s %6s\n", "server", "freq(GHz)",
+              "sockets", "cores", "peak(W)", "idle(W)", "DVFS");
+  for (const auto& spec : all_server_specs()) {
+    std::printf("%-16s %10.3f %7d %6d %11.0f %11.0f %6d\n",
+                std::string(spec.name).c_str(), spec.frequency_ghz,
+                spec.sockets, spec.cores, spec.peak_power.value(),
+                spec.idle_power.value(), spec.dvfs_states);
+  }
+
+  std::printf("\nSimulator-measured SPECjbb operating points (wall watts at "
+              "lowest/highest frequency state):\n");
+  std::printf("%-16s %12s %12s %16s %14s\n", "server", "min state(W)",
+              "max state(W)", "peak throughput", "perf/W @peak");
+  const WorkloadCatalog& cat = default_catalog();
+  for (const auto& spec : all_server_specs()) {
+    if (!cat.runnable(spec.model, Workload::kSpecJbb)) {
+      std::printf("%-16s %12s\n", std::string(spec.name).c_str(), "n/a");
+      continue;
+    }
+    ServerSim server{spec, cat.curve(spec.model, Workload::kSpecJbb)};
+    server.enforce_budget(server.curve().idle_power());
+    const double min_state = server.draw().value();
+    server.run_full_speed();
+    std::printf("%-16s %12.1f %12.1f %16.0f %14.1f\n",
+                std::string(spec.name).c_str(), min_state,
+                server.draw().value(), server.throughput(),
+                server.curve().peak_efficiency());
+  }
+  return 0;
+}

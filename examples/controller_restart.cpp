@@ -1,0 +1,63 @@
+// Controller restarts: the performance-power database persists, so a
+// rebooted controller skips every training run it has already paid for.
+// This example runs a morning shift, saves the database, "reboots" into a
+// fresh controller that loads it, and shows the afternoon shift starting
+// with zero training epochs.
+#include <cstdio>
+#include <filesystem>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+int main() {
+  using namespace greenhetero;
+
+  const auto db_path =
+      std::filesystem::temp_directory_path() / "greenhetero_database.csv";
+
+  int morning_training = 0;
+  {
+    // Morning shift: a fresh deployment trains SPECjbb, then switches to
+    // Streamcluster at 10:00 (another training run).
+    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kGreenHetero;
+    cfg.controller.seed = 3;
+    cfg.workload_schedule = {{Minutes{120.0}, Workload::kStreamcluster}};
+    RackSimulator sim{std::move(rack),
+                      make_fixed_budget_plant(Watts{800.0}, Minutes{600.0}),
+                      std::move(cfg)};
+    const RunReport report = sim.run(Minutes{5.0 * 60.0});
+    for (const auto& e : report.epochs) morning_training += e.training;
+    sim.controller().database().save(db_path);
+    std::printf("morning: %zu epochs, %d training runs; database saved "
+                "(%zu records) -> %s\n",
+                report.epochs.size(), morning_training,
+                sim.controller().database().size(), db_path.c_str());
+  }
+
+  {
+    // Afternoon shift after a reboot: load the database and run the same
+    // two workloads — no training epoch needed.
+    Rack rack{default_runtime_rack(), Workload::kStreamcluster};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kGreenHetero;
+    cfg.controller.seed = 4;
+    cfg.workload_schedule = {{Minutes{120.0}, Workload::kSpecJbb}};
+    RackSimulator sim{std::move(rack),
+                      make_fixed_budget_plant(Watts{800.0}, Minutes{600.0}),
+                      std::move(cfg)};
+    sim.controller().mutable_database() = PerfPowerDatabase::load(db_path);
+    const RunReport report = sim.run(Minutes{5.0 * 60.0});
+    int afternoon_training = 0;
+    for (const auto& e : report.epochs) afternoon_training += e.training;
+    std::printf("afternoon (restarted): %zu epochs, %d training runs — the "
+                "loaded database covers both workloads\n",
+                report.epochs.size(), afternoon_training);
+    std::printf("mean throughput after restart: %.0f\n",
+                report.mean_throughput());
+  }
+
+  std::filesystem::remove(db_path);
+  return 0;
+}

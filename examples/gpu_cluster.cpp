@@ -1,0 +1,39 @@
+// GPU-accelerated green rack: the Comb6 scenario (Xeons + Titan Xp nodes)
+// running Rodinia kernels.  Shows how the allocation flips with workload
+// character: GreenHetero feeds the GPUs first on massively parallel kernels
+// (Srad_v1) and balances on CPU-competitive ones (Cfd).
+#include <cstdio>
+#include <string>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+int main() {
+  using namespace greenhetero;
+
+  const auto& comb6 = combination_by_name("Comb6");
+  std::printf("=== GPU cluster example: 5x Xeon E5-2620 + 5x Titan Xp ===\n\n");
+  std::printf("%-24s %12s %12s %16s %16s\n", "workload", "budget(W)",
+              "throughput", "PAR(Xeon)", "PAR(TitanXp)");
+
+  for (Workload w : comb6.workloads) {
+    Rack rack{comb6.groups, w};
+    const Watts budget = rack.peak_demand() * 0.5;  // scarce supply
+    SimConfig config;
+    config.controller.policy = PolicyKind::kGreenHetero;
+    config.controller.seed = 5;
+    RackSimulator sim{std::move(rack),
+                      make_fixed_budget_plant(budget, Minutes{6.0 * 60.0}),
+                      std::move(config)};
+    sim.pretrain();
+    const RunReport report = sim.run(Minutes{4.0 * 60.0});
+    std::printf("%-24s %12.0f %12.0f %15.0f%% %15.0f%%\n",
+                std::string(workload_spec(w).name).c_str(), budget.value(),
+                report.mean_throughput(), report.mean_ratio(0) * 100.0,
+                report.mean_ratio(1) * 100.0);
+  }
+  std::printf("\nSrad_v1 routes nearly all power to the GPU group; Cfd "
+              "splits, because its CPU and GPU throughput are comparable "
+              "per watt.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Hybrid PV + wind plant: the paper's green datacenters draw from "PV and
+// wind"; wind blows at night, so a hybrid plant flattens the overnight
+// battery drain and the grid fallback the solar-only runs show.  Same rack,
+// same total green energy budget, three plant mixes.
+#include <cstdio>
+
+#include "power/carbon.h"
+#include "server/rack.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+#include "trace/statistics.h"
+#include "trace/wind.h"
+
+namespace {
+
+using namespace greenhetero;
+
+struct MixResult {
+  double work;
+  double grid_kwh;
+  double battery_cycles;
+  double co2_kg;
+  double zero_fraction;
+};
+
+MixResult run_mix(double solar_capacity, double wind_rated) {
+  const PowerTrace solar =
+      generate_solar_trace(high_solar_model(Watts{solar_capacity}), 4, 3);
+  WindModel wind_model;
+  wind_model.rated_power = Watts{wind_rated};
+  const PowerTrace wind = generate_wind_trace(wind_model, 4, 3);
+  const PowerTrace production =
+      wind_rated > 0.0
+          ? (solar_capacity > 0.0 ? combine_traces(solar, wind) : wind)
+          : solar;
+
+  Rack rack{{{ServerModel::kXeonE5_2620, 5}, {ServerModel::kCoreI5_4460, 5}},
+            Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 27;
+  cfg.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 4, 5);
+  GridSpec grid;
+  grid.budget = Watts{1000.0};
+  RackSimulator sim{std::move(rack), make_standard_plant(production, grid),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{3.0 * 24.0 * 60.0});
+  const TraceStatistics stats = analyze_trace(production);
+  return MixResult{report.total_work, report.grid_energy.value() / 1000.0,
+                   report.battery_cycles,
+                   carbon_report(report.ledger).total_kg,
+                   stats.zero_fraction};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hybrid PV + wind plant (3 days, SPECjbb, GreenHetero) "
+              "===\n\n");
+  std::printf("%-22s %12s %11s %12s %10s %12s\n", "plant mix", "work",
+              "grid(kWh)", "batt cycles", "CO2(kg)", "dark time");
+  struct Mix {
+    const char* name;
+    double solar;
+    double wind;
+  };
+  for (const Mix& mix : {Mix{"solar 2500 W", 2500.0, 0.0},
+                         Mix{"solar 1500 + wind 1000", 1500.0, 1000.0},
+                         Mix{"wind 2500 W", 0.0, 2500.0}}) {
+    const MixResult r = run_mix(mix.solar, mix.wind);
+    std::printf("%-22s %12.0f %11.1f %12.2f %10.1f %11.0f%%\n", mix.name,
+                r.work, r.grid_kwh, r.battery_cycles, r.co2_kg,
+                r.zero_fraction * 100.0);
+  }
+  std::printf("\nReading: mixing wind in cuts the zero-output hours, which "
+              "shrinks overnight battery cycling and grid fallback at the "
+              "same nameplate capacity.\n");
+  return 0;
+}

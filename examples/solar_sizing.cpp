@@ -1,0 +1,73 @@
+// Capacity-planning study: how much solar and battery does a rack need?
+//
+// Sweeps solar array capacity and battery size for a week-long run under the
+// GreenHetero controller and reports the operator-facing numbers: renewable
+// utilisation, grid energy and cost, battery wear.  The kind of what-if a
+// datacenter operator would run before provisioning a green rack.
+#include <cstdio>
+
+#include "server/rack.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+
+namespace {
+
+using namespace greenhetero;
+
+struct SizingResult {
+  double mean_throughput;
+  double renewable_utilization;
+  double grid_kwh;
+  double grid_cost;
+  double battery_cycles_per_week;
+};
+
+SizingResult run_sizing(Watts solar_capacity, double battery_kwh) {
+  Rack rack{{{ServerModel::kXeonE5_2620, 5}, {ServerModel::kCoreI5_4460, 5}},
+            Workload::kSpecJbb};
+  SimConfig config;
+  config.controller.policy = PolicyKind::kGreenHetero;
+  config.controller.seed = 9;
+  config.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(), 7, 5);
+
+  BatterySpec battery = paper_battery_spec();
+  battery.capacity = WattHours{battery_kwh * 1000.0};
+  GridSpec grid;
+  grid.budget = Watts{1000.0};
+  RackPowerPlant plant{SolarArray{high_solar_week(solar_capacity, 3)},
+                       Battery{battery}, GridSupply{grid}};
+
+  RackSimulator sim{std::move(rack), std::move(plant), std::move(config)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{7.0 * 24.0 * 60.0});
+  return SizingResult{report.mean_throughput(),
+                      report.ledger.renewable_utilization(),
+                      report.grid_energy.value() / 1000.0, report.grid_cost,
+                      report.battery_cycles};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Green rack sizing study (1 week, SPECjbb, GreenHetero) "
+              "===\n\n");
+  std::printf("%10s %10s %12s %10s %10s %10s %12s\n", "solar(W)",
+              "batt(kWh)", "throughput", "renew.use", "grid(kWh)", "cost($)",
+              "cycles/wk");
+  for (double solar : {1500.0, 2500.0, 3500.0}) {
+    for (double battery : {6.0, 12.0, 24.0}) {
+      const SizingResult r = run_sizing(Watts{solar}, battery);
+      std::printf("%10.0f %10.0f %12.0f %9.0f%% %10.1f %10.2f %12.2f\n",
+                  solar, battery, r.mean_throughput,
+                  r.renewable_utilization * 100.0, r.grid_kwh, r.grid_cost,
+                  r.battery_cycles_per_week);
+    }
+  }
+  std::printf("\nReading the table: bigger arrays raise renewable use until "
+              "the battery can no longer absorb midday surplus; battery "
+              "wear shows the lifetime cost of each configuration "
+              "(1300 rated cycles).\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace greenhetero {
+
+GreenHeteroController::GreenHeteroController(ControllerConfig config)
+    : config_(config),
+      policy_(make_policy(config.policy)),
+      db_(),
+      monitor_(config.profiling_noise, Rng(config.seed).fork(0xA11CE)),
+      selector_(config.selector),
+      supply_predictor_(make_predictor(config.predictor, season_period())),
+      demand_predictor_(make_predictor(config.predictor, season_period())) {
+  if (config_.epoch.value() <= 0.0) {
+    throw std::invalid_argument("controller: epoch must be positive");
+  }
+  if (config_.training_duration.value() > config_.epoch.value()) {
+    throw std::invalid_argument(
+        "controller: training run must fit within one epoch");
+  }
+  if (config_.training_sample_interval.value() <= 0.0) {
+    throw std::invalid_argument(
+        "controller: training sample interval must be positive");
+  }
+  monitor_.set_dropout_rate(config_.monitor_dropout);
+}
+
+bool GreenHeteroController::needs_training(const Rack& rack) const {
+  if (!policy_->needs_database()) return false;
+  for (std::size_t i = 0; i < rack.group_count(); ++i) {
+    if (!db_.contains({rack.group(i).model, rack.group_workload(i)})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
+                                            const RackPowerPlant& plant,
+                                            Minutes now, Watts demand_hint) {
+  EpochPlan plan;
+  if (needs_training(rack)) {
+    // Algorithm 1 lines 3-5: unseen pair -> training run under ample power.
+    plan.training_run = true;
+    plan.source.source_case = PowerCase::kGridFallback;  // grid stands by
+    plan.source.server_budget = rack.peak_demand();
+    GH_INFO << "epoch @" << now.value() << "min: training run for workload '"
+            << workload_spec(rack.workload()).name << "'";
+    return plan;
+  }
+
+  plan.predicted_renewable =
+      supply_predictor_->ready()
+          ? Watts{std::max(0.0, supply_predictor_->predict())}
+          : plant.renewable_available(now);
+  plan.predicted_demand = demand_predictor_->ready()
+                              ? Watts{std::max(0.0, demand_predictor_->predict())}
+                              : demand_hint;
+  // Never plan beyond what the servers can use.
+  plan.predicted_demand = min(plan.predicted_demand, rack.peak_demand());
+
+  plan.source = selector_.decide(plan.predicted_renewable,
+                                 plan.predicted_demand, plant, config_.epoch);
+  if (plan.source.server_budget.value() > 1e-6) {
+    plan.allocation = policy_->allocate(rack, db_, plan.source.server_budget);
+  }
+  GH_DEBUG << "epoch @" << now.value() << "min: case "
+           << to_string(plan.source.source_case) << ", budget "
+           << plan.source.server_budget.value() << "W";
+  return plan;
+}
+
+std::vector<double> GreenHeteroController::training_sweep() const {
+  const int n = training_sample_count();
+  std::vector<double> fractions;
+  fractions.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // The training run executes under the ondemand governor with ample
+    // power (Fig. 7), so the frequency wanders across the *upper* part of
+    // the range — a loaded machine rarely visits the lowest states.  The
+    // initial fit therefore extrapolates below ~40% of the range, and the
+    // runtime feedback of Algorithm 1 is what teaches the lower region
+    // (each enforcement quantises onto a real ladder state at or below the
+    // allocation, so the database's observed range ratchets downward as
+    // scarce epochs occur).
+    fractions.push_back(kTrainingSweepFloor +
+                        (1.0 - kTrainingSweepFloor) * static_cast<double>(i) /
+                            static_cast<double>(n - 1));
+  }
+  return fractions;
+}
+
+int GreenHeteroController::training_sample_count() const {
+  return std::max(3, static_cast<int>(config_.training_duration.value() /
+                                      config_.training_sample_interval.value()));
+}
+
+void GreenHeteroController::record_training(
+    ProfileKey key, std::span<const ServerSample> samples) {
+  db_.add_training_samples(key, samples);
+}
+
+void GreenHeteroController::finish_epoch(const Rack& rack,
+                                         Watts observed_renewable,
+                                         Watts observed_demand) {
+  supply_history_.push_back(observed_renewable.value());
+  demand_history_.push_back(observed_demand.value());
+  // Holt-Winters needs more than one full season replayed to be ready, so
+  // its window is stretched to two days.
+  auto window = static_cast<std::size_t>(config_.holt_training_window);
+  if (config_.predictor == PredictorKind::kHoltWinters) {
+    window = std::max(window, static_cast<std::size_t>(2 * season_period()));
+  }
+  if (supply_history_.size() > window) {
+    supply_history_.erase(supply_history_.begin());
+    demand_history_.erase(demand_history_.begin());
+  }
+  supply_predictor_->observe(observed_renewable.value());
+  demand_predictor_->observe(observed_demand.value());
+  ++epochs_seen_;
+  maybe_retrain_holt();
+
+  if (policy_->updates_database()) {
+    // Algorithm 1 lines 8-10: fold runtime feedback into the fits.
+    for (std::size_t i = 0; i < rack.group_count(); ++i) {
+      const ProfileKey key{rack.group(i).model, rack.group_workload(i)};
+      // An untrained pair can reach here when a faulty training run left a
+      // group unrecorded; feedback without a baseline fit is meaningless.
+      if (!db_.contains(key)) continue;
+      const ServerSample sample = monitor_.sample_group(rack, i);
+      if (sample.power.value() <= 0.0) continue;  // group asleep: no signal
+      db_.add_runtime_sample(key, sample);
+    }
+  }
+}
+
+int GreenHeteroController::season_period() const {
+  return std::max(2, static_cast<int>(std::lround(24.0 * 60.0 /
+                                                  config_.epoch.value())));
+}
+
+void GreenHeteroController::maybe_retrain_holt() {
+  // Only the Holt variants have trainable smoothing parameters (Eq. 5).
+  if (config_.predictor != PredictorKind::kHolt &&
+      config_.predictor != PredictorKind::kHoltWinters) {
+    return;
+  }
+  if (supply_history_.size() < 3) return;
+  const bool due = epochs_seen_ % std::max(1, config_.holt_retrain_every) == 0;
+  const bool first = epochs_seen_ == 3;
+  if (!due && !first) return;
+  const HoltParams supply_params = train_holt(supply_history_);
+  const HoltParams demand_params = train_holt(demand_history_);
+  // Re-seed predictors with the trained parameters and replay the window so
+  // their internal state is consistent with the new smoothing.
+  supply_predictor_ =
+      make_predictor(config_.predictor, season_period(), supply_params);
+  for (double v : supply_history_) supply_predictor_->observe(v);
+  demand_predictor_ =
+      make_predictor(config_.predictor, season_period(), demand_params);
+  for (double v : demand_history_) demand_predictor_->observe(v);
+  GH_DEBUG << "predictor retrained: supply(a=" << supply_params.alpha
+           << ",b=" << supply_params.beta << ")";
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,49 @@
+#include "core/decision_output.h"
+
+#include <cstdio>
+
+namespace greenhetero {
+
+std::string FrequencyInstruction::to_string() const {
+  char buffer[160];
+  if (state == DvfsLadder::kOffState) {
+    std::snprintf(buffer, sizeof(buffer), "%dx %s -> sleep (%.1f W allocated)",
+                  server_count, std::string(server_spec(model).name).c_str(),
+                  allocated_per_server.value());
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%dx %s -> P%d @ %.0f%% freq (%.1f W of %.1f W)",
+                  server_count, std::string(server_spec(model).name).c_str(),
+                  state, frequency_fraction * 100.0, state_power.value(),
+                  allocated_per_server.value());
+  }
+  return buffer;
+}
+
+std::vector<FrequencyInstruction> decision_output(const Rack& rack,
+                                                  const Allocation& allocation,
+                                                  Watts budget) {
+  if (allocation.ratios.size() != rack.group_count()) {
+    throw RackError("decision output: allocation size must match groups");
+  }
+  std::vector<FrequencyInstruction> instructions;
+  instructions.reserve(rack.group_count());
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const ServerGroup& group = rack.group(g);
+    const DvfsLadder& ladder = rack.group_representative(g).ladder();
+    const Watts per_server{allocation.ratios[g] * budget.value() /
+                           static_cast<double>(group.count)};
+    FrequencyInstruction inst;
+    inst.model = group.model;
+    inst.workload = rack.group_workload(g);
+    inst.server_count = group.count;
+    inst.state = ladder.state_for_budget(per_server);
+    inst.frequency_fraction = ladder.frequency_fraction(inst.state);
+    inst.state_power = ladder.state_power(inst.state);
+    inst.allocated_per_server = per_server;
+    instructions.push_back(inst);
+  }
+  return instructions;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,39 @@
+// Output Decision (Section IV-B.4): the transformation from power values to
+// frequency instructions.
+//
+// The Solver's output is a ratio vector; what each server node actually
+// receives is a power-state instruction ("set frequency level k").  This
+// module renders an Allocation into that instruction stream — the audit
+// trail an operator sees and the representation a real deployment would put
+// on the wire to each node's cpufreq/nvidia-smi agent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "server/rack.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+/// One group's instruction (all servers of a type share the same state).
+struct FrequencyInstruction {
+  ServerModel model;
+  Workload workload;
+  int server_count = 0;
+  int state = 0;                ///< DVFS ladder position (0 = sleep)
+  double frequency_fraction = 0.0;  ///< 0 = lowest operating, 1 = top
+  Watts state_power{0.0};       ///< per-server draw at this state
+  Watts allocated_per_server{0.0};
+
+  /// Human-readable form ("5x Xeon E5-2620 -> P4 (112.3 W of 130.0 W)").
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Render `allocation` of `budget` over `rack` into per-group instructions
+/// (without enforcing them — use Enforcer::apply_allocation to act).
+[[nodiscard]] std::vector<FrequencyInstruction> decision_output(
+    const Rack& rack, const Allocation& allocation, Watts budget);
+
+}  // namespace greenhetero

@@ -1,0 +1,77 @@
+#include "core/enforcer.h"
+
+#include <algorithm>
+
+namespace greenhetero {
+
+std::vector<Watts> Enforcer::apply_allocation(Rack& rack,
+                                              const Allocation& allocation,
+                                              Watts budget) {
+  if (allocation.ratios.size() != rack.group_count()) {
+    throw RackError("enforcer: allocation size must match rack groups");
+  }
+  std::vector<Watts> group_power;
+  group_power.reserve(allocation.ratios.size());
+  for (double ratio : allocation.ratios) {
+    group_power.push_back(budget * std::max(0.0, ratio));
+  }
+  if (!allocation.active_counts.empty()) {
+    rack.enforce_allocation_subset(group_power, allocation.active_counts);
+  } else {
+    rack.enforce_allocation(group_power);
+  }
+  return group_power;
+}
+
+StepPlan Enforcer::plan_step(const SourceDecision& decision,
+                             Watts actual_renewable, Watts load_draw,
+                             const RackPowerPlant& plant, Minutes dt) {
+  StepPlan plan;
+  PowerFlows& flows = plan.flows;
+  flows.source_case = decision.source_case;
+
+  const Watts renewable = max(Watts{0.0}, actual_renewable);
+  Watts remaining = load_draw;
+
+  // 1. Renewable first.
+  flows.renewable_to_load = min(remaining, renewable);
+  remaining -= flows.renewable_to_load;
+
+  // 2. Battery next — but only if the decision planned battery supply (in
+  //    Case A / grid-fallback the battery is reserved for charging).
+  if (remaining.value() > 1e-9 && decision.from_battery.value() > 0.0) {
+    flows.battery_to_load = min(remaining, plant.battery_discharge_available(dt));
+    remaining -= flows.battery_to_load;
+  }
+
+  // 3. Grid last, within its budget.
+  if (remaining.value() > 1e-9 &&
+      (decision.from_grid.value() > 0.0 ||
+       decision.source_case == PowerCase::kGridFallback)) {
+    flows.grid_to_load = min(remaining, plant.grid_budget());
+    remaining -= flows.grid_to_load;
+  }
+  plan.shortfall = max(Watts{0.0}, remaining);
+
+  // 4. Battery charging: never while discharging, single source only.
+  const bool discharging = flows.battery_to_load.value() > 1e-9;
+  if (!discharging) {
+    const Watts acceptance = plant.battery_charge_acceptable(dt);
+    if (decision.charge_from_renewable) {
+      const Watts surplus =
+          max(Watts{0.0}, renewable - flows.renewable_to_load);
+      flows.renewable_to_battery = min(surplus, acceptance);
+    } else if (decision.charge_from_grid) {
+      const Watts headroom =
+          max(Watts{0.0}, plant.grid_budget() - flows.grid_to_load);
+      flows.grid_to_battery = min(headroom, acceptance);
+    }
+  }
+
+  flows.renewable_curtailed =
+      max(Watts{0.0},
+          renewable - flows.renewable_to_load - flows.renewable_to_battery);
+  return plan;
+}
+
+}  // namespace greenhetero

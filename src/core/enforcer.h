@@ -1,0 +1,51 @@
+// Enforcer (Figure 4): turns the Scheduler's decisions into actions.
+//
+// Two sub-controllers, as in the paper:
+//  - the Server Power Controller (SPC) converts the Solver's ratio vector
+//    into per-group watt budgets and pushes them onto the rack, where each
+//    server's budget maps linearly onto its DVFS state ladder;
+//  - the Power Source Controller (PSC) builds the per-substep power flows
+//    that realise the epoch's source decision against *actual* conditions
+//    (the prediction can be wrong): load is covered renewable-first, then
+//    battery, then grid; surplus renewable charges the battery in Case A;
+//    the grid recharges the battery only when directed and never while the
+//    battery is discharging or renewable charging is active.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/source_selector.h"
+#include "power/power_bus.h"
+#include "server/rack.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+/// PSC output for one substep: the flows to execute plus any shortfall the
+/// sources could not cover (the SPC must then degrade the allocation).
+struct StepPlan {
+  PowerFlows flows;
+  Watts shortfall{0.0};
+};
+
+class Enforcer {
+ public:
+  /// SPC: apply `allocation` of `budget` to the rack.  Returns the watt
+  /// budget handed to each group.
+  static std::vector<Watts> apply_allocation(Rack& rack,
+                                             const Allocation& allocation,
+                                             Watts budget);
+
+  /// PSC: plan flows that deliver `load_draw` (the rack's enforced draw)
+  /// under `decision`, given the renewable power actually available now and
+  /// the plant's battery/grid limits.
+  [[nodiscard]] static StepPlan plan_step(const SourceDecision& decision,
+                                          Watts actual_renewable,
+                                          Watts load_draw,
+                                          const RackPowerPlant& plant,
+                                          Minutes dt);
+};
+
+}  // namespace greenhetero

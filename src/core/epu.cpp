@@ -1,0 +1,23 @@
+#include "core/epu.h"
+
+#include <algorithm>
+
+namespace greenhetero {
+
+void EpuMeter::record(Watts green_supply, Watts useful_draw, Minutes dt) {
+  const Watts capped = min(useful_draw, green_supply);
+  supplied_ += green_supply * dt;
+  useful_ += capped * dt;
+}
+
+double EpuMeter::epu() const {
+  if (supplied_.value() <= 0.0) return 0.0;
+  return std::clamp(useful_ / supplied_, 0.0, 1.0);
+}
+
+double EpuMeter::instantaneous(Watts green_supply, Watts useful_draw) {
+  if (green_supply.value() <= 0.0) return 0.0;
+  return std::clamp(min(useful_draw, green_supply) / green_supply, 0.0, 1.0);
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,65 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/catalog.h"
+
+namespace greenhetero {
+
+PlacementResult optimize_placement(const Rack& rack,
+                                   std::span<const Workload> workloads,
+                                   const PerfPowerDatabase& db,
+                                   Watts budget) {
+  if (workloads.size() != rack.group_count()) {
+    throw RackError("placement: need exactly one workload per group");
+  }
+  const WorkloadCatalog& catalog = rack.catalog();
+
+  std::vector<std::size_t> order(workloads.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  PlacementResult best;
+  best.predicted_perf = -1.0;
+  do {
+    // Feasibility: every workload must run on its assigned group.
+    bool runnable = true;
+    for (std::size_t g = 0; g < order.size() && runnable; ++g) {
+      runnable = catalog.runnable(rack.group(g).model, workloads[order[g]]);
+    }
+    if (!runnable) continue;
+
+    // Build the solver's view for this assignment: fitted shape from the
+    // database, operating window from the (assignment-specific) ladder —
+    // which for an unapplied workload is the curve's bounds as the SPC
+    // would construct them.
+    std::vector<GroupModel> models;
+    models.reserve(order.size());
+    for (std::size_t g = 0; g < order.size(); ++g) {
+      const Workload w = workloads[order[g]];
+      const ProfileKey key{rack.group(g).model, w};
+      GroupModel model =
+          GroupModel::from_record(db.record(key), rack.group(g).count);
+      const PerfCurve curve = catalog.curve(rack.group(g).model, w);
+      model.min_power = curve.idle_power();
+      model.max_power = curve.peak_power();
+      models.push_back(model);
+    }
+    const Allocation allocation = Solver::solve(models, budget);
+    if (allocation.predicted_perf > best.predicted_perf) {
+      best.predicted_perf = allocation.predicted_perf;
+      best.allocation = allocation;
+      best.assignment.clear();
+      for (std::size_t g = 0; g < order.size(); ++g) {
+        best.assignment.push_back(workloads[order[g]]);
+      }
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  if (best.assignment.empty()) {
+    throw RackError("placement: no feasible assignment");
+  }
+  return best;
+}
+
+}  // namespace greenhetero

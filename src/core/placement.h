@@ -1,0 +1,41 @@
+// Heterogeneity-aware workload placement.
+//
+// The paper fixes which workload runs where and only moves power; the
+// related work it cites (Whare-Map, Paragon) moves *jobs* to the machines
+// that suit them.  With colocation support (per-group workloads) the two
+// compose: given a set of workloads — one per server group — this optimizer
+// picks the assignment whose power-allocation optimum is best, using only
+// database knowledge (fits) and ladder bounds, then hands back the matching
+// PAR vector.  Group counts are small (<= 3 per the paper's PDU limit), so
+// exhaustive permutation search is exact and cheap.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/database.h"
+#include "core/solver.h"
+#include "server/rack.h"
+
+namespace greenhetero {
+
+struct PlacementResult {
+  /// workloads[g] = the workload group g should run.
+  std::vector<Workload> assignment;
+  /// The PAR vector for that assignment under the given budget.
+  Allocation allocation;
+  /// Model-predicted rack performance of the winning assignment.
+  double predicted_perf = 0.0;
+};
+
+/// Choose the best assignment of `workloads` (one per group of `rack`) and
+/// the accompanying power allocation for `budget`.  Every (group model,
+/// workload) pair must be runnable and have a database record — run
+/// training first (the controller does this automatically when you apply
+/// the assignment and let an epoch plan).  Throws DatabaseError for missing
+/// records and RackError for shape mismatches.
+[[nodiscard]] PlacementResult optimize_placement(
+    const Rack& rack, std::span<const Workload> workloads,
+    const PerfPowerDatabase& db, Watts budget);
+
+}  // namespace greenhetero

@@ -1,0 +1,451 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/optimize.h"
+
+namespace greenhetero {
+
+double GroupModel::perf_at(Watts per_server) const {
+  if (per_server.value() < min_power.value()) return 0.0;
+  const double x = std::min(per_server.value(), max_power.value());
+  return std::max(fit(x), 0.0);
+}
+
+Watts GroupModel::saturation_power() const {
+  if (fit.a < 0.0) {
+    const double vertex = fit.vertex();
+    if (vertex > min_power.value() && vertex < max_power.value()) {
+      return Watts{vertex};
+    }
+  }
+  return max_power;
+}
+
+GroupModel GroupModel::from_record(const ProfileRecord& record, int count) {
+  if (count <= 0) {
+    throw SolverError("group model: count must be positive");
+  }
+  return GroupModel{record.fit, record.min_power, record.max_power, count};
+}
+
+double Allocation::ratio_sum() const {
+  double total = 0.0;
+  for (double r : ratios) total += r;
+  return total;
+}
+
+namespace {
+
+void validate_inputs(std::span<const GroupModel> groups, Watts total_supply,
+                     std::size_t max_groups = 3) {
+  if (groups.empty() || groups.size() > max_groups) {
+    throw SolverError("solver: group count out of range");
+  }
+  if (total_supply.value() <= 0.0) {
+    throw SolverError("solver: total supply must be positive");
+  }
+  for (const auto& g : groups) {
+    if (g.count <= 0) {
+      throw SolverError("solver: group count must be positive");
+    }
+    if (g.max_power.value() <= g.min_power.value()) {
+      throw SolverError("solver: group power range is empty");
+    }
+  }
+}
+
+/// Ratio giving group `g` exactly `per_server` watts per server.
+double ratio_for(const GroupModel& g, Watts per_server, Watts total) {
+  return per_server.value() * static_cast<double>(g.count) / total.value();
+}
+
+/// Highest ratio worth giving to a group (beyond it, watts buy nothing).
+double cap_ratio(const GroupModel& g, Watts total) {
+  return std::min(1.0, ratio_for(g, g.saturation_power(), total));
+}
+
+/// Per-group performance when it receives `ratio` of the supply.
+double group_perf(const GroupModel& g, double ratio, Watts total) {
+  const Watts per_server{ratio * total.value() / static_cast<double>(g.count)};
+  return static_cast<double>(g.count) * g.perf_at(per_server);
+}
+
+/// The interesting kink ratios of a group: entering the operating range and
+/// saturating.  The optimum frequently sits exactly on one of these.
+std::vector<double> kink_ratios(const GroupModel& g, Watts total) {
+  return {0.0, ratio_for(g, g.min_power, total),
+          ratio_for(g, g.saturation_power(), total),
+          ratio_for(g, g.max_power, total)};
+}
+
+}  // namespace
+
+double Solver::evaluate(std::span<const GroupModel> groups,
+                        std::span<const double> ratios, Watts total_supply) {
+  if (ratios.size() != groups.size()) {
+    throw SolverError("solver: ratio/group size mismatch");
+  }
+  double perf = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    perf += group_perf(groups[i], ratios[i], total_supply);
+  }
+  return perf;
+}
+
+Allocation Solver::solve(std::span<const GroupModel> groups,
+                         Watts total_supply) {
+  validate_inputs(groups, total_supply);
+  const Watts total = total_supply;
+
+  if (groups.size() == 1) {
+    const double r = cap_ratio(groups[0], total);
+    Allocation best{{r}, group_perf(groups[0], r, total), {}};
+    return best;
+  }
+
+  if (groups.size() == 2) {
+    const GroupModel& g0 = groups[0];
+    const GroupModel& g1 = groups[1];
+    const double cap0 = cap_ratio(g0, total);
+    const double cap1 = cap_ratio(g1, total);
+    const auto objective = [&](double r0) {
+      const double r1 = std::min(1.0 - r0, cap1);
+      return group_perf(g0, r0, total) + group_perf(g1, r1, total);
+    };
+    ScalarOptimum opt = grid_refine_maximize(objective, 0.0, cap0, 128);
+    // Check kink candidates of both groups (including each group's kinks
+    // reflected through the budget constraint).
+    auto consider = [&](double r0) {
+      r0 = std::clamp(r0, 0.0, cap0);
+      const double value = objective(r0);
+      if (value > opt.value) opt = ScalarOptimum{r0, value};
+    };
+    for (double k : kink_ratios(g0, total)) consider(k);
+    for (double k : kink_ratios(g1, total)) consider(1.0 - k);
+    // Analytic interior candidate (fast path oracle).
+    if (g0.fit.a < 0.0 && g1.fit.a < 0.0) {
+      const Allocation analytic = solve_analytic_2(groups, total);
+      consider(analytic.ratios[0]);
+    }
+    const double r0 = opt.x;
+    const double r1 = std::min(1.0 - r0, cap1);
+    return Allocation{{r0, r1}, opt.value, {}};
+  }
+
+  // Three groups: search (r0, r1) with r2 taking the capped remainder.
+  const double cap0 = cap_ratio(groups[0], total);
+  const double cap1 = cap_ratio(groups[1], total);
+  const double cap2 = cap_ratio(groups[2], total);
+  const auto objective = [&](double r0, double r1) {
+    const double r2 = std::min(std::max(0.0, 1.0 - r0 - r1), cap2);
+    return group_perf(groups[0], r0, total) +
+           group_perf(groups[1], r1, total) +
+           group_perf(groups[2], r2, total);
+  };
+  PlanarOptimum opt =
+      grid_refine_maximize_2d(objective, 0.0, cap0, 0.0, cap1, 1.0, 48, 5);
+  // Kink-seeded candidates.
+  for (double k0 : kink_ratios(groups[0], total)) {
+    for (double k1 : kink_ratios(groups[1], total)) {
+      const double r0 = std::clamp(k0, 0.0, cap0);
+      const double r1 = std::clamp(std::min(k1, 1.0 - r0), 0.0, cap1);
+      const double value = objective(r0, r1);
+      if (value > opt.value) opt = PlanarOptimum{r0, r1, value};
+    }
+  }
+  const double r2 = std::min(std::max(0.0, 1.0 - opt.x - opt.y), cap2);
+  return Allocation{{opt.x, opt.y, r2}, opt.value, {}};
+}
+
+double Solver::best_subset_perf(const GroupModel& group, Watts group_budget,
+                                int* active_out) {
+  if (group.count <= 0) {
+    throw SolverError("subset solver: count must be positive");
+  }
+  double best = 0.0;
+  int best_k = 0;
+  for (int k = 1; k <= group.count; ++k) {
+    const Watts per_server = group_budget / static_cast<double>(k);
+    const double perf = static_cast<double>(k) * group.perf_at(per_server);
+    if (perf > best) {
+      best = perf;
+      best_k = k;
+    }
+  }
+  if (active_out != nullptr) {
+    *active_out = best_k;
+  }
+  return best;
+}
+
+Allocation Solver::solve_subset(std::span<const GroupModel> groups,
+                                Watts total_supply) {
+  validate_inputs(groups, total_supply);
+  const Watts total = total_supply;
+  const auto subset_perf = [&](std::size_t g, double ratio) {
+    return best_subset_perf(groups[g], total * std::max(0.0, ratio));
+  };
+
+  Allocation best;
+  best.predicted_perf = -1.0;
+  const auto consider = [&](std::vector<double> ratios) {
+    double perf = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      perf += subset_perf(g, ratios[g]);
+    }
+    if (perf > best.predicted_perf) {
+      best = Allocation{std::move(ratios), perf, {}};
+    }
+  };
+
+  if (groups.size() == 1) {
+    consider({std::min(1.0, cap_ratio(groups[0], total))});
+  } else if (groups.size() == 2) {
+    const auto objective = [&](double r0) {
+      return subset_perf(0, r0) + subset_perf(1, 1.0 - r0);
+    };
+    ScalarOptimum opt = grid_refine_maximize(objective, 0.0, 1.0, 200);
+    // Kinks now exist at every per-server activation boundary of both
+    // groups (k servers at min or saturation power).
+    auto consider_r0 = [&](double r0) {
+      r0 = std::clamp(r0, 0.0, 1.0);
+      const double value = objective(r0);
+      if (value > opt.value) opt = ScalarOptimum{r0, value};
+    };
+    for (std::size_t g = 0; g < 2; ++g) {
+      for (int k = 1; k <= groups[g].count; ++k) {
+        for (const Watts p : {groups[g].min_power,
+                              groups[g].saturation_power()}) {
+          const double r = p.value() * k / total.value();
+          consider_r0(g == 0 ? r : 1.0 - r);
+        }
+      }
+    }
+    consider({opt.x, 1.0 - opt.x});
+  } else {
+    const auto objective = [&](double r0, double r1) {
+      const double r2 = std::max(0.0, 1.0 - r0 - r1);
+      return subset_perf(0, r0) + subset_perf(1, r1) + subset_perf(2, r2);
+    };
+    const PlanarOptimum opt =
+        grid_refine_maximize_2d(objective, 0.0, 1.0, 0.0, 1.0, 1.0, 64, 5);
+    consider({opt.x, opt.y, std::max(0.0, 1.0 - opt.x - opt.y)});
+  }
+
+  // Derive the activation counts and trim each ratio to what its subset can
+  // actually use (the surplus goes to battery charging).
+  best.active_counts.assign(groups.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    int k = 0;
+    (void)best_subset_perf(groups[g], total * best.ratios[g], &k);
+    best.active_counts[g] = k;
+    if (k > 0) {
+      const double usable =
+          groups[g].saturation_power().value() * k / total.value();
+      best.ratios[g] = std::min(best.ratios[g], usable);
+    } else {
+      best.ratios[g] = 0.0;
+    }
+  }
+  best.predicted_perf = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    best.predicted_perf += subset_perf(g, best.ratios[g]);
+  }
+  return best;
+}
+
+Allocation Solver::solve_n(std::span<const GroupModel> groups,
+                           Watts total_supply, int quanta) {
+  if (groups.empty()) {
+    throw SolverError("solver: needs at least one group");
+  }
+  if (groups.size() <= 3) {
+    return solve(groups, total_supply);
+  }
+  if (total_supply.value() <= 0.0) {
+    throw SolverError("solver: total supply must be positive");
+  }
+  for (const auto& g : groups) {
+    if (g.count <= 0 || g.max_power.value() <= g.min_power.value()) {
+      throw SolverError("solver: invalid group");
+    }
+  }
+  quanta = std::max(quanta, 20);
+  const double quantum = 1.0 / quanta;
+  const Watts total = total_supply;
+
+  std::vector<double> ratios(groups.size(), 0.0);
+  double remaining = 1.0;
+
+  // Greedy water-filling: each step gives one quantum (or, for a sleeping
+  // group, the whole activation chunk up to its floor) to the group with
+  // the best performance gain per ratio spent.
+  while (remaining > 1e-9) {
+    double best_gain_rate = 0.0;
+    std::size_t best = groups.size();
+    double best_spend = 0.0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const GroupModel& g = groups[i];
+      const double cap = cap_ratio(g, total);
+      if (ratios[i] >= cap - 1e-12) continue;
+      const double floor_ratio = ratio_for(g, g.min_power, total);
+      double spend;
+      if (ratios[i] < floor_ratio) {
+        // Activation is all-or-nothing: spend up to the floor at once.
+        spend = floor_ratio - ratios[i] + quantum;
+      } else {
+        spend = quantum;
+      }
+      spend = std::min({spend, remaining, cap - ratios[i]});
+      if (spend <= 1e-12) continue;
+      const double gain = group_perf(g, ratios[i] + spend, total) -
+                          group_perf(g, ratios[i], total);
+      const double rate = gain / spend;
+      if (rate > best_gain_rate) {
+        best_gain_rate = rate;
+        best = i;
+        best_spend = spend;
+      }
+    }
+    if (best == groups.size()) break;  // nobody gains: leave it for charging
+    ratios[best] += best_spend;
+    remaining -= best_spend;
+  }
+
+  // Pairwise-exchange refinement: greedy activation can strand a high-floor
+  // group; jointly re-optimising every pair's combined share (plus the
+  // unallocated remainder) with the 2-group machinery fixes the classic
+  // greedy mis-steps and cleans up sub-floor residue.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      for (std::size_t j = i + 1; j < groups.size(); ++j) {
+        const GroupModel& gi = groups[i];
+        const GroupModel& gj = groups[j];
+        const double pool = ratios[i] + ratios[j] + remaining;
+        if (pool <= 1e-12) continue;
+        const double cap_i = std::min(pool, cap_ratio(gi, total));
+        const double cap_j = cap_ratio(gj, total);
+        const auto objective = [&](double ri) {
+          const double rj = std::min(pool - ri, cap_j);
+          return group_perf(gi, ri, total) + group_perf(gj, rj, total);
+        };
+        ScalarOptimum opt{0.0, objective(0.0)};
+        const ScalarOptimum scanned =
+            grid_refine_maximize(objective, 0.0, cap_i, 64);
+        if (scanned.value > opt.value) opt = scanned;
+        for (double k : kink_ratios(gi, total)) {
+          const double r = std::clamp(k, 0.0, cap_i);
+          const double value = objective(r);
+          if (value > opt.value) opt = ScalarOptimum{r, value};
+        }
+        for (double k : kink_ratios(gj, total)) {
+          const double r = std::clamp(pool - k, 0.0, cap_i);
+          const double value = objective(r);
+          if (value > opt.value) opt = ScalarOptimum{r, value};
+        }
+        const double ri = opt.x;
+        const double rj = std::min(pool - ri, cap_j);
+        ratios[i] = ri;
+        ratios[j] = rj;
+        remaining = pool - ri - rj;
+      }
+    }
+  }
+
+  // Clean up residue a group cannot use (below its activation floor).
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const double floor_ratio = ratio_for(groups[i], groups[i].min_power, total);
+    if (ratios[i] > 0.0 && ratios[i] < floor_ratio - 1e-12) {
+      remaining += ratios[i];
+      ratios[i] = 0.0;
+    }
+  }
+
+  Allocation result{std::move(ratios), 0.0, {}};
+  result.predicted_perf = evaluate(groups, result.ratios, total);
+  return result;
+}
+
+Allocation Solver::solve_grid(std::span<const GroupModel> groups,
+                              Watts total_supply, double granularity) {
+  validate_inputs(groups, total_supply, /*max_groups=*/8);
+  if (granularity <= 0.0 || granularity > 0.5) {
+    throw SolverError("solver: granularity must be in (0, 0.5]");
+  }
+  const int steps = static_cast<int>(std::lround(1.0 / granularity));
+  Allocation best;
+  best.predicted_perf = -1.0;
+  const auto consider = [&](const std::vector<double>& ratios) {
+    const double perf = evaluate(groups, ratios, total_supply);
+    if (perf > best.predicted_perf) {
+      best = Allocation{ratios, perf, {}};
+    }
+  };
+  // Recursive simplex enumeration: groups 0..n-2 scan the remaining steps,
+  // the last group takes whatever is left (giving it less never helps the
+  // others, and extra power beyond its saturation is harmlessly clamped).
+  std::vector<double> ratios(groups.size(), 0.0);
+  const auto enumerate = [&](auto&& self, std::size_t g,
+                             int steps_left) -> void {
+    if (g + 1 == groups.size()) {
+      ratios[g] = static_cast<double>(steps_left) / steps;
+      consider(ratios);
+      return;
+    }
+    for (int i = 0; i <= steps_left; ++i) {
+      ratios[g] = static_cast<double>(i) / steps;
+      self(self, g + 1, steps_left - i);
+    }
+  };
+  enumerate(enumerate, 0, steps);
+  return best;
+}
+
+Allocation Solver::solve_analytic_2(std::span<const GroupModel> groups,
+                                    Watts total_supply) {
+  validate_inputs(groups, total_supply);
+  if (groups.size() != 2) {
+    throw SolverError("analytic solver: exactly 2 groups required");
+  }
+  const GroupModel& g0 = groups[0];
+  const GroupModel& g1 = groups[1];
+  if (g0.fit.a >= 0.0 || g1.fit.a >= 0.0) {
+    throw SolverError("analytic solver: fits must be strictly concave");
+  }
+  // Equal marginal utility: 2*a0*p0 + b0 = 2*a1*p1 + b1, with the budget
+  // c0*p0 + c1*p1 = P (p_i = per-server power of group i).
+  const double c0 = g0.count;
+  const double c1 = g1.count;
+  const double P = total_supply.value();
+  // From the marginal condition: p1 = (2*a0*p0 + b0 - b1) / (2*a1).
+  // Substitute into the budget:
+  //   c0*p0 + c1*(2*a0*p0 + b0 - b1)/(2*a1) = P.
+  const double denom = c0 + c1 * g0.fit.a / g1.fit.a;
+  if (std::fabs(denom) < 1e-12) {
+    throw SolverError("analytic solver: degenerate curvature ratio");
+  }
+  const double p0 =
+      (P - c1 * (g0.fit.b - g1.fit.b) / (2.0 * g1.fit.a)) / denom;
+  const double p1 = (2.0 * g0.fit.a * p0 + g0.fit.b - g1.fit.b) /
+                    (2.0 * g1.fit.a);
+  // Clamp each group's per-server power into its useful range, then express
+  // as ratios.  The caller re-validates against the full clamped objective.
+  const double p0c =
+      std::clamp(p0, g0.min_power.value(), g0.saturation_power().value());
+  const double p1c =
+      std::clamp(p1, g1.min_power.value(), g1.saturation_power().value());
+  double r0 = c0 * p0c / P;
+  double r1 = c1 * p1c / P;
+  const double sum = r0 + r1;
+  if (sum > 1.0) {
+    r0 /= sum;
+    r1 /= sum;
+  }
+  Allocation result{{r0, r1}, 0.0, {}};
+  result.predicted_perf = evaluate(groups, result.ratios, total_supply);
+  return result;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,117 @@
+// Problem Solver (Section IV-B.3).
+//
+// Given the database's per-server quadratic projections, the Solver finds
+// the power allocation ratios (PAR) that maximise total rack performance:
+//
+//   maximise  sum_i  count_i * Perf_i(ratio_i * P_total / count_i)
+//   s.t.      sum_i ratio_i <= 1,  ratio_i >= 0
+//
+// where Perf_i is the clamped projection (zero below the server's operating
+// range, flat above it) and servers of one type share their group's power
+// equally.  The surplus ratio 1 - sum(ratio_i) is left for battery charging.
+//
+// Two solver backends are provided and cross-checked in tests:
+//  - grid_refine (default): coarse scan + golden-section refinement, robust
+//    to the projection's kinks (the off-below-idle cliff);
+//  - analytic KKT water-filling for the concave-quadratic interior case,
+//    used as a fast path and as an oracle in tests.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/database.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+class SolverError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What the Solver knows about one server group: the fitted projection, the
+/// observed operating range, and the group size.
+struct GroupModel {
+  Quadratic fit;          ///< per-server Perf = a*P^2 + b*P + c
+  Watts min_power{0.0};   ///< below this a server cannot operate
+  Watts max_power{0.0};   ///< above this performance is flat
+  int count = 1;
+
+  /// Clamped per-server projection (paper Equations 6-7 semantics).
+  [[nodiscard]] double perf_at(Watts per_server) const;
+  /// Per-server power beyond which more watts buy nothing (the smaller of
+  /// max_power and the fitted vertex when the parabola opens downward).
+  [[nodiscard]] Watts saturation_power() const;
+
+  /// Build from a database record.
+  [[nodiscard]] static GroupModel from_record(const ProfileRecord& record,
+                                              int count);
+};
+
+/// A solved allocation: one ratio per group (of the total supply), summing
+/// to <= 1, plus the model-predicted rack performance.
+///
+/// `active_counts` is empty for the paper's policies (every server of a
+/// group shares its power).  The subset-activation extension fills it: the
+/// group's power goes to that many servers and the rest sleep.
+struct Allocation {
+  std::vector<double> ratios;
+  double predicted_perf = 0.0;
+  std::vector<int> active_counts;
+
+  [[nodiscard]] double ratio_sum() const;
+};
+
+class Solver {
+ public:
+  /// Main entry: supports 1..3 groups (the paper's per-rack limit).
+  [[nodiscard]] static Allocation solve(std::span<const GroupModel> groups,
+                                        Watts total_supply);
+
+  /// General N-group solver (the paper's "more complex cases" future work):
+  /// marginal-utility water-filling over the clamped piecewise objective —
+  /// repeatedly hand a small power quantum to the group whose projected
+  /// performance gains most, treating a group's idle floor as an
+  /// all-or-nothing activation — followed by coordinate-ascent refinement.
+  /// For <= 3 groups, delegate to solve(); beyond that this is the only
+  /// backend and is validated against solve_grid in tests.
+  [[nodiscard]] static Allocation solve_n(std::span<const GroupModel> groups,
+                                          Watts total_supply,
+                                          int quanta = 200);
+
+  /// Subset-activation extension (beyond the paper): like solve(), but each
+  /// group may concentrate its share on k <= count servers and sleep the
+  /// rest — under deep scarcity, fully powering a few servers beats
+  /// spreading watts below everyone's floor.  Fills
+  /// Allocation::active_counts.
+  [[nodiscard]] static Allocation solve_subset(
+      std::span<const GroupModel> groups, Watts total_supply);
+
+  /// Best performance a group can extract from `group_budget` when it may
+  /// choose how many of its servers to wake; also reports that count.
+  [[nodiscard]] static double best_subset_perf(const GroupModel& group,
+                                               Watts group_budget,
+                                               int* active_out = nullptr);
+
+  /// Exhaustive simplex scan at `granularity` ratio steps — the reference
+  /// oracle for tests and the engine of the Manual policy (10% granularity).
+  [[nodiscard]] static Allocation solve_grid(std::span<const GroupModel> groups,
+                                             Watts total_supply,
+                                             double granularity);
+
+  /// Analytic KKT solution assuming every group operates in the interior of
+  /// its range with a concave fit; returns an unclamped candidate that
+  /// solve() validates.  Exposed for tests and the solver micro-bench.
+  /// Only defined for 2 groups; throws otherwise.
+  [[nodiscard]] static Allocation solve_analytic_2(
+      std::span<const GroupModel> groups, Watts total_supply);
+
+  /// Model-predicted performance of an arbitrary ratio vector.
+  [[nodiscard]] static double evaluate(std::span<const GroupModel> groups,
+                                       std::span<const double> ratios,
+                                       Watts total_supply);
+};
+
+}  // namespace greenhetero

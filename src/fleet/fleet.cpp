@@ -1,0 +1,108 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenhetero {
+
+const char* to_string(GridShareMode mode) {
+  switch (mode) {
+    case GridShareMode::kStatic:
+      return "static";
+    case GridShareMode::kDemandProportional:
+      return "demand-proportional";
+  }
+  return "?";
+}
+
+Fleet::Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
+             GridShareMode mode)
+    : racks_(std::move(racks)), total_budget_(total_grid_budget), mode_(mode) {
+  if (racks_.empty()) {
+    throw FleetError("fleet: needs at least one rack");
+  }
+  if (total_budget_.value() < 0.0) {
+    throw FleetError("fleet: grid budget must be non-negative");
+  }
+  const double epoch = racks_.front().controller().config().epoch.value();
+  for (const RackSimulator& r : racks_) {
+    if (std::fabs(r.controller().config().epoch.value() - epoch) > 1e-9) {
+      throw FleetError("fleet: all racks must share one epoch length");
+    }
+  }
+}
+
+RackSimulator& Fleet::rack(std::size_t i) {
+  if (i >= racks_.size()) {
+    throw FleetError("fleet: rack index out of range");
+  }
+  return racks_[i];
+}
+
+void Fleet::pretrain() {
+  for (RackSimulator& rack : racks_) rack.pretrain();
+}
+
+std::vector<Watts> Fleet::plan_grid_shares() const {
+  const double n = static_cast<double>(racks_.size());
+  std::vector<Watts> shares(racks_.size(), total_budget_ / n);
+  if (mode_ == GridShareMode::kStatic) {
+    return shares;
+  }
+
+  // Demand-proportional: weight by each rack's current green deficit.
+  const Minutes epoch = racks_.front().controller().config().epoch;
+  std::vector<double> deficits(racks_.size(), 0.0);
+  double total_deficit = 0.0;
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    const RackSimulator& sim = racks_[i];
+    const Watts demand = sim.rack().peak_demand();
+    const Watts green = sim.plant().renewable_available(sim.now()) +
+                        sim.plant().battery_discharge_available(epoch);
+    deficits[i] = std::max(0.0, (demand - green).value());
+    total_deficit += deficits[i];
+  }
+  if (total_deficit <= 1e-9) {
+    return shares;  // nobody needs the grid: keep the even split
+  }
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    shares[i] = total_budget_ * (deficits[i] / total_deficit);
+  }
+  return shares;
+}
+
+FleetReport Fleet::run(Minutes duration) {
+  const Minutes epoch = racks_.front().controller().config().epoch;
+  const auto epochs = static_cast<std::size_t>(
+      std::llround(duration.value() / epoch.value()));
+
+  FleetReport report;
+  report.racks.resize(racks_.size());
+
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const std::vector<Watts> shares = plan_grid_shares();
+    Watts allocated{0.0};
+    for (std::size_t i = 0; i < racks_.size(); ++i) {
+      racks_[i].set_grid_budget(shares[i]);
+      allocated += shares[i];
+      report.racks[i].epochs.push_back(racks_[i].step_epoch());
+    }
+    report.peak_grid_allocation = max(report.peak_grid_allocation, allocated);
+  }
+
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    RunReport& r = report.racks[i];
+    r.ledger = racks_[i].ledger();
+    r.total_work = racks_[i].rack().total_work();
+    r.overall_epu = racks_[i].overall_epu();
+    r.battery_cycles = racks_[i].plant().battery().equivalent_cycles();
+    r.grid_cost = racks_[i].plant().grid().total_cost();
+    r.grid_energy = racks_[i].plant().grid().total_energy();
+    report.total_work += r.total_work;
+    report.grid_energy += r.grid_energy;
+    report.grid_cost += r.grid_cost;
+  }
+  return report;
+}
+
+}  // namespace greenhetero

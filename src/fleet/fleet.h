@@ -1,0 +1,75 @@
+// Fleet coordinator: multiple GreenHetero racks sharing one datacenter-level
+// grid connection.
+//
+// The paper deploys the controller per rack (Section IV-A) and notes the
+// trade-off: distributed rack controllers track load variability precisely,
+// but rack-level plants cannot share capacity.  The one genuinely shared
+// resource is the utility feed — its peak draw is what demand charges bill.
+// This coordinator drives the racks' simulators in epoch lockstep and
+// re-divides a total grid budget between them each epoch:
+//
+//   kStatic              equal share per rack, fixed forever (the baseline
+//                        a per-rack deployment implies);
+//   kDemandProportional  share proportional to each rack's current *green
+//                        deficit* (demanded power minus renewable and
+//                        battery capability) — racks with healthy green
+//                        supply cede their grid share to starved ones.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rack_simulator.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+class FleetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class GridShareMode { kStatic, kDemandProportional };
+
+[[nodiscard]] const char* to_string(GridShareMode mode);
+
+struct FleetReport {
+  std::vector<RunReport> racks;
+  double total_work = 0.0;
+  WattHours grid_energy{0.0};
+  double grid_cost = 0.0;
+  /// Highest simultaneous fleet grid draw planned in any epoch (the number
+  /// demand charges are billed on).
+  Watts peak_grid_allocation{0.0};
+};
+
+class Fleet {
+ public:
+  /// Takes ownership of the rack simulators.  Every simulator must use the
+  /// same epoch length (lockstep requires it).
+  Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
+        GridShareMode mode);
+
+  [[nodiscard]] std::size_t size() const { return racks_.size(); }
+  [[nodiscard]] Watts total_grid_budget() const { return total_budget_; }
+  [[nodiscard]] GridShareMode mode() const { return mode_; }
+  [[nodiscard]] RackSimulator& rack(std::size_t i);
+
+  /// Pretrain every rack's database (no plant interaction).
+  void pretrain();
+
+  /// Run all racks in epoch lockstep for `duration`; grid shares are
+  /// re-divided before every epoch.
+  FleetReport run(Minutes duration);
+
+  /// The share each rack would receive right now (exposed for tests).
+  [[nodiscard]] std::vector<Watts> plan_grid_shares() const;
+
+ private:
+  std::vector<RackSimulator> racks_;
+  Watts total_budget_;
+  GridShareMode mode_;
+};
+
+}  // namespace greenhetero

@@ -1,0 +1,186 @@
+#include "power/battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenhetero {
+
+void BatterySpec::validate() const {
+  if (capacity.value() <= 0.0) {
+    throw BatteryError("battery: capacity must be positive");
+  }
+  if (depth_of_discharge <= 0.0 || depth_of_discharge > 1.0) {
+    throw BatteryError("battery: DoD must be in (0, 1]");
+  }
+  if (round_trip_efficiency <= 0.0 || round_trip_efficiency > 1.0) {
+    throw BatteryError("battery: efficiency must be in (0, 1]");
+  }
+  if (max_charge_power.value() < 0.0 || max_discharge_power.value() < 0.0) {
+    throw BatteryError("battery: power limits must be non-negative");
+  }
+  if (rated_cycles <= 0) {
+    throw BatteryError("battery: rated cycles must be positive");
+  }
+  if (capacity_fade_per_cycle < 0.0 || capacity_fade_per_cycle > 0.1) {
+    throw BatteryError("battery: fade per cycle must be in [0, 0.1]");
+  }
+  if (peukert_exponent < 1.0 || peukert_exponent > 2.0) {
+    throw BatteryError("battery: Peukert exponent must be in [1, 2]");
+  }
+  if (nominal_discharge_power.value() <= 0.0) {
+    throw BatteryError("battery: nominal discharge power must be positive");
+  }
+  if (self_discharge_per_month < 0.0 || self_discharge_per_month > 0.5) {
+    throw BatteryError("battery: self-discharge must be in [0, 0.5]/month");
+  }
+}
+
+BatterySpec lead_acid_spec(WattHours capacity) {
+  BatterySpec spec;
+  spec.capacity = capacity;
+  spec.depth_of_discharge = 0.4;
+  spec.round_trip_efficiency = 0.8;
+  spec.max_charge_power = Watts{capacity.value() / 6.0};   // ~C/6
+  spec.max_discharge_power = Watts{capacity.value() / 4.0};
+  spec.rated_cycles = 1300;
+  // ~20% capacity loss over the rated cycle life.
+  spec.capacity_fade_per_cycle = 0.2 / 1300.0;
+  spec.peukert_exponent = 1.15;
+  spec.nominal_discharge_power = Watts{capacity.value() / 20.0};  // C/20
+  spec.self_discharge_per_month = 0.03;
+  return spec;
+}
+
+BatterySpec li_ion_spec(WattHours capacity) {
+  BatterySpec spec;
+  spec.capacity = capacity;
+  spec.depth_of_discharge = 0.8;
+  spec.round_trip_efficiency = 0.95;
+  spec.max_charge_power = Watts{capacity.value() / 2.0};   // ~C/2
+  spec.max_discharge_power = Watts{capacity.value()};      // ~1C
+  spec.rated_cycles = 4000;
+  spec.capacity_fade_per_cycle = 0.2 / 4000.0;
+  spec.peukert_exponent = 1.02;
+  spec.nominal_discharge_power = Watts{capacity.value() / 5.0};  // C/5
+  spec.self_discharge_per_month = 0.015;
+  return spec;
+}
+
+Battery::Battery(BatterySpec spec) : spec_(spec), stored_(spec.capacity) {
+  spec_.validate();
+}
+
+WattHours Battery::effective_capacity() const {
+  const double fade = spec_.capacity_fade_per_cycle * equivalent_cycles();
+  const WattHours faded = spec_.capacity * std::max(0.0, 1.0 - fade);
+  return max(faded, spec_.floor_energy());
+}
+
+Watts Battery::drain_rate(Watts power) const {
+  if (power.value() <= 0.0) return Watts{0.0};
+  if (spec_.peukert_exponent <= 1.0 ||
+      power.value() <= spec_.nominal_discharge_power.value()) {
+    return power;
+  }
+  const double factor = std::pow(
+      power.value() / spec_.nominal_discharge_power.value(),
+      spec_.peukert_exponent - 1.0);
+  return power * factor;
+}
+
+bool Battery::at_floor() const {
+  return stored_.value() <= spec_.floor_energy().value() + 1e-9;
+}
+
+bool Battery::full() const {
+  return stored_.value() >= effective_capacity().value() - 1e-9;
+}
+
+Watts Battery::max_discharge(Minutes dt) const {
+  if (dt.value() <= 0.0) {
+    throw BatteryError("battery: dt must be positive");
+  }
+  const WattHours available{
+      std::max(0.0, stored_.value() - spec_.floor_energy().value())};
+  // The highest deliverable power P satisfies drain_rate(P) * dt <=
+  // available; drain_rate is monotone in P, so bisect.
+  double lo = 0.0;
+  double hi = spec_.max_discharge_power.value();
+  if ((drain_rate(Watts{hi}) * dt).value() <= available.value()) {
+    return Watts{hi};
+  }
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if ((drain_rate(Watts{mid}) * dt).value() <= available.value()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Watts{lo};
+}
+
+Watts Battery::max_charge(Minutes dt) const {
+  if (dt.value() <= 0.0) {
+    throw BatteryError("battery: dt must be positive");
+  }
+  const WattHours headroom{
+      std::max(0.0, effective_capacity().value() - stored_.value())};
+  // Input energy needed to fill the headroom given charging losses.
+  const WattHours input_needed = headroom / spec_.round_trip_efficiency;
+  return min(input_needed / dt, spec_.max_charge_power);
+}
+
+WattHours Battery::discharge(Watts power, Minutes dt) {
+  if (power.value() < 0.0) {
+    throw BatteryError("battery: discharge power must be non-negative");
+  }
+  if (power.value() > max_discharge(dt).value() + 1e-6) {
+    throw BatteryError("battery: discharge exceeds available power");
+  }
+  const WattHours delivered = power * dt;
+  const WattHours drained = drain_rate(power) * dt;
+  stored_ -= drained;
+  if (stored_.value() < spec_.floor_energy().value()) {
+    stored_ = spec_.floor_energy();  // absorb rounding error
+  }
+  discharged_ += delivered;
+  return delivered;
+}
+
+WattHours Battery::charge(Watts power, Minutes dt) {
+  if (power.value() < 0.0) {
+    throw BatteryError("battery: charge power must be non-negative");
+  }
+  if (power.value() > max_charge(dt).value() + 1e-6) {
+    throw BatteryError("battery: charge exceeds acceptance limit");
+  }
+  const WattHours input = power * dt;
+  const WattHours stored = input * spec_.round_trip_efficiency;
+  stored_ = min(effective_capacity(), stored_ + stored);
+  charged_in_ += input;
+  return stored;
+}
+
+void Battery::stand(Minutes dt) {
+  if (dt.value() < 0.0) {
+    throw BatteryError("battery: stand duration must be non-negative");
+  }
+  if (spec_.self_discharge_per_month <= 0.0) return;
+  constexpr double kMinutesPerMonth = 30.0 * 24.0 * 60.0;
+  const double keep = std::pow(1.0 - spec_.self_discharge_per_month,
+                               dt.value() / kMinutesPerMonth);
+  stored_ = max(spec_.floor_energy(), stored_ * keep);
+}
+
+double Battery::equivalent_cycles() const {
+  const double cycle_energy =
+      spec_.capacity.value() * spec_.depth_of_discharge;
+  return discharged_.value() / cycle_energy;
+}
+
+double Battery::wear_fraction() const {
+  return equivalent_cycles() / static_cast<double>(spec_.rated_cycles);
+}
+
+}  // namespace greenhetero

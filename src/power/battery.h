@@ -1,0 +1,116 @@
+// Rack-level battery model.
+//
+// The paper provisions each rack with 10 x 12 V / 100 Ah lead-acid batteries
+// (12 kWh), operated at a 40% depth of discharge (DoD) to preserve lifetime
+// (~1300 recharge cycles), with 80% round-trip energy efficiency and the
+// rules of Section IV-B.1: only one source charges the battery at a time,
+// and when the DoD floor is hit the battery stops supplying until recharged.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace greenhetero {
+
+class BatteryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct BatterySpec {
+  WattHours capacity{12000.0};        ///< total nameplate energy
+  double depth_of_discharge = 0.4;    ///< usable fraction of capacity
+  double round_trip_efficiency = 0.8; ///< fraction of charged energy returned
+  Watts max_charge_power{2000.0};     ///< charge acceptance limit
+  Watts max_discharge_power{3000.0};  ///< discharge rate limit
+  int rated_cycles = 1300;            ///< lifetime at the given DoD
+
+  /// Fraction of nameplate capacity lost per equivalent DoD-deep cycle
+  /// (capacity fade).  0 disables ageing.
+  double capacity_fade_per_cycle = 0.0;
+
+  /// Peukert effect: discharging above `nominal_discharge_power` drains
+  /// stored energy faster than it delivers — the drain rate is
+  /// P * (P / nominal)^(k-1) for delivered power P.  k = 1 disables it.
+  double peukert_exponent = 1.0;
+  Watts nominal_discharge_power{600.0};
+
+  /// Self-discharge: fraction of *stored* energy lost per month of standing
+  /// (lead-acid ~3%/month; Li-ion ~1-2%).  0 disables it.
+  double self_discharge_per_month = 0.0;
+
+  /// Lowest stored energy the controller will discharge to (fraction of the
+  /// *nameplate* capacity — the BMS floor does not move as the pack ages).
+  [[nodiscard]] WattHours floor_energy() const {
+    return capacity * (1.0 - depth_of_discharge);
+  }
+  void validate() const;
+};
+
+/// Chemistry presets.  Lead-acid matches the paper's pack (Section V-A.2)
+/// with realistic fade and Peukert behaviour; Li-ion is the modern
+/// alternative the extension benches compare against.
+[[nodiscard]] BatterySpec lead_acid_spec(WattHours capacity);
+[[nodiscard]] BatterySpec li_ion_spec(WattHours capacity);
+
+/// Battery charge state and energy bookkeeping.  Charging losses are applied
+/// on the way in (stored = accepted * efficiency), so energy drawn out equals
+/// energy stored — the asymmetry matches how the simulator meters flows at
+/// the battery terminals.
+class Battery {
+ public:
+  explicit Battery(BatterySpec spec);
+
+  [[nodiscard]] const BatterySpec& spec() const { return spec_; }
+  [[nodiscard]] WattHours stored() const { return stored_; }
+  /// State of charge as a fraction of nameplate capacity.
+  [[nodiscard]] double soc() const { return stored_ / spec_.capacity; }
+  /// Nameplate capacity minus ageing fade (never below the BMS floor).
+  [[nodiscard]] WattHours effective_capacity() const;
+  /// Rate at which stored energy drains when delivering `power`
+  /// (>= power due to the Peukert effect).
+  [[nodiscard]] Watts drain_rate(Watts power) const;
+  /// True when discharged down to the DoD floor.
+  [[nodiscard]] bool at_floor() const;
+  [[nodiscard]] bool full() const;
+
+  /// Highest power the battery can sustain for `dt` without violating the
+  /// discharge rate limit or the DoD floor.
+  [[nodiscard]] Watts max_discharge(Minutes dt) const;
+
+  /// Highest *input* power the battery can accept for `dt` (rate limit and
+  /// remaining headroom, accounting for charge efficiency).
+  [[nodiscard]] Watts max_charge(Minutes dt) const;
+
+  /// Discharge at `power` for `dt`.  `power` must not exceed
+  /// max_discharge(dt) (throws BatteryError).  Returns energy delivered.
+  WattHours discharge(Watts power, Minutes dt);
+
+  /// Charge with `power` at the input terminals for `dt`; must not exceed
+  /// max_charge(dt).  Returns the energy actually stored (after losses).
+  WattHours charge(Watts power, Minutes dt);
+
+  /// Apply self-discharge for `dt` of standing time (the simulator calls
+  /// this once per substep).  Stored energy never drops below the BMS
+  /// floor from self-discharge alone.
+  void stand(Minutes dt);
+
+  /// Cycle wear: total discharged energy divided by the energy of one
+  /// DoD-deep cycle.
+  [[nodiscard]] double equivalent_cycles() const;
+  /// Fraction of rated lifetime consumed.
+  [[nodiscard]] double wear_fraction() const;
+
+  /// Total energy metered at the terminals since construction.
+  [[nodiscard]] WattHours total_discharged() const { return discharged_; }
+  [[nodiscard]] WattHours total_charged_input() const { return charged_in_; }
+
+ private:
+  BatterySpec spec_;
+  WattHours stored_;
+  WattHours discharged_{0.0};
+  WattHours charged_in_{0.0};
+};
+
+}  // namespace greenhetero

@@ -1,0 +1,31 @@
+#include "power/carbon.h"
+
+namespace greenhetero {
+
+CarbonReport carbon_report(const EnergyLedger& ledger,
+                           const CarbonModel& model) {
+  const double to_kwh = 1.0 / 1000.0;
+  CarbonReport report;
+
+  const double grid_kwh = ledger.grid_energy().value() * to_kwh;
+  // Solar energy actually used (load + battery charging); curtailed energy
+  // carries no marginal emissions.
+  const double solar_kwh =
+      (ledger.renewable_to_load() + ledger.renewable_to_battery()).value() *
+      to_kwh;
+  const double battery_kwh = ledger.battery_to_load().value() * to_kwh;
+
+  report.grid_kg = grid_kwh * model.grid_g_per_kwh / 1000.0;
+  report.solar_kg = solar_kwh * model.solar_g_per_kwh / 1000.0;
+  report.battery_kg = battery_kwh * model.battery_overhead_g_per_kwh / 1000.0;
+  report.total_kg = report.grid_kg + report.solar_kg + report.battery_kg;
+
+  const double load_kwh = ledger.load_energy().value() * to_kwh;
+  report.all_grid_baseline_kg = load_kwh * model.grid_g_per_kwh / 1000.0;
+  report.saved_kg = report.all_grid_baseline_kg - report.total_kg;
+  report.effective_g_per_kwh =
+      load_kwh > 0.0 ? report.total_kg * 1000.0 / load_kwh : 0.0;
+  return report;
+}
+
+}  // namespace greenhetero

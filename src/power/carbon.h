@@ -1,0 +1,39 @@
+// Carbon accounting.
+//
+// The paper's motivation is datacenter CO2 (its intro projects computing at
+// 1.54 Gt/year); this module turns a run's energy ledger into emission
+// numbers: lifecycle-intensity-weighted emissions per source and the saving
+// versus serving the same load entirely from the grid.
+#pragma once
+
+#include "power/energy_ledger.h"
+
+namespace greenhetero {
+
+struct CarbonModel {
+  /// Lifecycle carbon intensities, gCO2e per kWh delivered.
+  double grid_g_per_kwh = 400.0;   ///< typical mixed grid
+  double solar_g_per_kwh = 41.0;   ///< IPCC median for utility PV
+  /// Battery round-trip adds embodied + loss overhead on top of the energy
+  /// that charged it; expressed as extra gCO2e per kWh discharged.
+  double battery_overhead_g_per_kwh = 30.0;
+};
+
+struct CarbonReport {
+  double grid_kg = 0.0;     ///< emissions attributed to grid energy
+  double solar_kg = 0.0;    ///< lifecycle emissions of the solar energy used
+  double battery_kg = 0.0;  ///< storage overhead
+  double total_kg = 0.0;
+  /// Emissions had the whole load been grid-served.
+  double all_grid_baseline_kg = 0.0;
+  /// Baseline minus actual.
+  double saved_kg = 0.0;
+  /// Effective intensity of the delivered load, g/kWh.
+  double effective_g_per_kwh = 0.0;
+};
+
+/// Compute emissions for everything `ledger` recorded.
+[[nodiscard]] CarbonReport carbon_report(const EnergyLedger& ledger,
+                                         const CarbonModel& model = {});
+
+}  // namespace greenhetero

@@ -1,0 +1,29 @@
+#include "power/energy_ledger.h"
+
+#include <cmath>
+
+namespace greenhetero {
+
+void EnergyLedger::post(const PowerFlows& flows, Minutes dt) {
+  ++steps_;
+  elapsed_ += dt;
+  renewable_ += flows.renewable_total() * dt;
+  ren_to_load_ += flows.renewable_to_load * dt;
+  bat_to_load_ += flows.battery_to_load * dt;
+  grid_to_load_ += flows.grid_to_load * dt;
+  ren_to_bat_ += flows.renewable_to_battery * dt;
+  grid_to_bat_ += flows.grid_to_battery * dt;
+  curtailed_ += flows.renewable_curtailed * dt;
+}
+
+double EnergyLedger::renewable_utilization() const {
+  if (renewable_.value() <= 0.0) return 0.0;
+  return (ren_to_load_ + ren_to_bat_) / renewable_;
+}
+
+double EnergyLedger::conservation_error() const {
+  const WattHours accounted = ren_to_load_ + ren_to_bat_ + curtailed_;
+  return std::fabs(renewable_.value() - accounted.value());
+}
+
+}  // namespace greenhetero

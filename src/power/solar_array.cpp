@@ -1,0 +1,22 @@
+#include "power/solar_array.h"
+
+namespace greenhetero {
+
+SolarArray::SolarArray(PowerTrace production) : trace_(std::move(production)) {
+  if (trace_.empty()) {
+    throw TraceError("solar array: empty production trace");
+  }
+}
+
+Watts SolarArray::available(Minutes t) const { return trace_.at(t); }
+
+void SolarArray::account_step(Minutes t, Watts used, Minutes dt) {
+  const Watts avail = available(t);
+  if (used.value() > avail.value() + 1e-6) {
+    throw TraceError("solar array: used more than available");
+  }
+  produced_ += avail * dt;
+  used_ += used * dt;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,46 @@
+#include "server/combinations.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace greenhetero {
+
+std::span<const ServerCombination> table4_combinations() {
+  static const std::vector<ServerCombination> kCombinations = {
+      {"Comb1",
+       {{ServerModel::kXeonE5_2620, 5}, {ServerModel::kCoreI5_4460, 5}},
+       {Workload::kSpecJbb}},
+      {"Comb2",
+       {{ServerModel::kXeonE5_2603, 5}, {ServerModel::kCoreI5_4460, 5}},
+       {Workload::kSpecJbb}},
+      {"Comb3",
+       {{ServerModel::kXeonE5_2650, 5}, {ServerModel::kXeonE5_2620, 5}},
+       {Workload::kSpecJbb}},
+      {"Comb4",
+       {{ServerModel::kCoreI7_8700K, 5}, {ServerModel::kCoreI5_4460, 5}},
+       {Workload::kSpecJbb}},
+      {"Comb5",
+       {{ServerModel::kXeonE5_2620, 5},
+        {ServerModel::kXeonE5_2603, 5},
+        {ServerModel::kCoreI5_4460, 5}},
+       {Workload::kSpecJbb}},
+      {"Comb6",
+       {{ServerModel::kXeonE5_2620, 5}, {ServerModel::kTitanXp, 5}},
+       {Workload::kRodiniaStreamcluster, Workload::kSradV1,
+        Workload::kParticlefilter, Workload::kCfd}},
+  };
+  return kCombinations;
+}
+
+const ServerCombination& combination_by_name(std::string_view name) {
+  for (const auto& comb : table4_combinations()) {
+    if (comb.name == name) return comb;
+  }
+  throw std::invalid_argument("unknown combination: " + std::string(name));
+}
+
+std::vector<ServerGroup> default_runtime_rack() {
+  return {{ServerModel::kXeonE5_2620, 5}, {ServerModel::kCoreI5_4460, 5}};
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,35 @@
+// Server combinations of the heterogeneity study (Table IV of the paper).
+//
+// Comb1-Comb5 run SPECjbb on CPU mixes; Comb6 pairs the Xeon E5-2620 with
+// the Titan Xp GPU node and runs the four Rodinia kernels (Figure 14).
+// Each configuration contributes 5 servers, matching the evaluation
+// platform ("each configuration consists of 5 servers in racks").
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "server/rack.h"
+#include "workload/workload_spec.h"
+
+namespace greenhetero {
+
+struct ServerCombination {
+  std::string_view name;
+  std::vector<ServerGroup> groups;
+  std::vector<Workload> workloads;
+};
+
+/// All six Table IV combinations.
+[[nodiscard]] std::span<const ServerCombination> table4_combinations();
+
+/// Lookup by name ("Comb1".."Comb6"); throws std::invalid_argument.
+[[nodiscard]] const ServerCombination& combination_by_name(
+    std::string_view name);
+
+/// The fixed rack of the Figure 8/11/12 runtime experiments:
+/// 5 x Xeon E5-2620 + 5 x Core i5-4460 (Comb1's mix, "10 total servers").
+[[nodiscard]] std::vector<ServerGroup> default_runtime_rack();
+
+}  // namespace greenhetero

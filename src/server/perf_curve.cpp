@@ -1,0 +1,38 @@
+#include "server/perf_curve.h"
+
+#include <cmath>
+
+namespace greenhetero {
+
+PerfCurve::PerfCurve(PerfCurveParams params) : params_(params) {
+  if (params_.idle_power.value() < 0.0 ||
+      params_.peak_power.value() <= params_.idle_power.value()) {
+    throw CurveError("perf curve: require 0 <= idle < peak power");
+  }
+  if (params_.peak_throughput <= 0.0) {
+    throw CurveError("perf curve: peak throughput must be positive");
+  }
+  if (params_.floor_fraction < 0.0 || params_.floor_fraction >= 1.0) {
+    throw CurveError("perf curve: floor fraction must be in [0, 1)");
+  }
+  if (params_.gamma <= 0.0 || params_.gamma > 1.5) {
+    throw CurveError("perf curve: gamma must be in (0, 1.5]");
+  }
+}
+
+double PerfCurve::throughput_at(Watts power) const {
+  if (power.value() < params_.idle_power.value()) {
+    return 0.0;
+  }
+  if (power.value() >= params_.peak_power.value()) {
+    return params_.peak_throughput;
+  }
+  const double x = (power - params_.idle_power) /
+                   (params_.peak_power - params_.idle_power);
+  const double scale =
+      params_.floor_fraction +
+      (1.0 - params_.floor_fraction) * std::pow(x, params_.gamma);
+  return params_.peak_throughput * scale;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,61 @@
+// Ground-truth performance-power behaviour of one (server, workload) pair.
+//
+// This is the simulator-side physics the controller never sees directly: it
+// only observes (power, throughput) samples through the Monitor and fits its
+// own quadratic projections.  The curve is the saturating concave shape the
+// paper's Section IV-B.3 assumes:
+//
+//   throughput(P) = 0                                     for P <  idle
+//                 = peak * (floor + (1-floor) * x^gamma)  for idle <= P <= peak,
+//                       with x = (P - idle) / (peak - idle)
+//                 = peak_perf                              for P >  peak
+//
+// gamma in (0, 1] controls the concavity (memory-bound workloads saturate
+// early, compute-bound ones scale almost linearly with power), floor is the
+// relative throughput at the lowest operating frequency.
+#pragma once
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace greenhetero {
+
+class CurveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PerfCurveParams {
+  Watts idle_power{50.0};   ///< minimum operating draw for this workload
+  Watts peak_power{150.0};  ///< draw at full tilt for this workload
+  double peak_throughput = 1000.0;  ///< metric units/s at peak power
+  double floor_fraction = 0.35;     ///< relative throughput at idle power
+  double gamma = 0.8;               ///< concavity; <1 is diminishing returns
+};
+
+class PerfCurve {
+ public:
+  explicit PerfCurve(PerfCurveParams params);
+
+  [[nodiscard]] const PerfCurveParams& params() const { return params_; }
+  [[nodiscard]] Watts idle_power() const { return params_.idle_power; }
+  [[nodiscard]] Watts peak_power() const { return params_.peak_power; }
+  [[nodiscard]] double peak_throughput() const {
+    return params_.peak_throughput;
+  }
+
+  /// Throughput produced when drawing `power` watts.
+  [[nodiscard]] double throughput_at(Watts power) const;
+
+  /// Energy efficiency at full tilt (throughput per watt) — what the
+  /// GreenHetero-p policy ranks servers by.
+  [[nodiscard]] double peak_efficiency() const {
+    return params_.peak_throughput / params_.peak_power.value();
+  }
+
+ private:
+  PerfCurveParams params_;
+};
+
+}  // namespace greenhetero

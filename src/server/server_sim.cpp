@@ -1,0 +1,43 @@
+#include "server/server_sim.h"
+
+namespace greenhetero {
+
+namespace {
+
+DvfsLadder make_ladder(const ServerSpec& spec, const PerfCurve& curve) {
+  return DvfsLadder{curve.idle_power(), curve.peak_power(), spec.dvfs_states};
+}
+
+}  // namespace
+
+ServerSim::ServerSim(const ServerSpec& spec, PerfCurve curve)
+    : spec_(spec), curve_(curve), ladder_(make_ladder(spec, curve)) {}
+
+void ServerSim::set_curve(PerfCurve curve) {
+  curve_ = curve;
+  ladder_ = make_ladder(spec_, curve_);
+  state_ = DvfsLadder::kOffState;
+}
+
+int ServerSim::enforce_budget(Watts budget) {
+  state_ = ladder_.state_for_budget(budget);
+  return state_;
+}
+
+void ServerSim::run_full_speed() { state_ = ladder_.operating_states(); }
+
+void ServerSim::power_off() { state_ = DvfsLadder::kOffState; }
+
+Watts ServerSim::draw() const { return ladder_.state_power(state_); }
+
+double ServerSim::throughput() const {
+  if (state_ == DvfsLadder::kOffState) return 0.0;
+  return curve_.throughput_at(draw());
+}
+
+void ServerSim::accumulate(Minutes dt) {
+  energy_ += draw() * dt;
+  work_ += throughput() * dt.value() / 60.0;
+}
+
+}  // namespace greenhetero

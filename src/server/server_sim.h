@@ -1,0 +1,65 @@
+// Simulated server: the unit the Enforcer's Server Power Controller acts on.
+//
+// A server holds the ground-truth PerfCurve of its current workload and a
+// DVFS ladder spanning that workload's operating power range.  Enforcing a
+// power budget picks the highest ladder state that fits (the paper's linear
+// power-to-state map); the server then *draws* that state's power and
+// produces the curve's throughput at that draw.  A budget below the lowest
+// operating state puts the server into the sleep state (zero draw, zero
+// throughput) — this is the waste mechanism behind the EPU results.
+#pragma once
+
+#include <optional>
+
+#include "server/dvfs.h"
+#include "server/perf_curve.h"
+#include "server/server_spec.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+class ServerSim {
+ public:
+  ServerSim(const ServerSpec& spec, PerfCurve curve);
+
+  [[nodiscard]] const ServerSpec& spec() const { return spec_; }
+  [[nodiscard]] const PerfCurve& curve() const { return curve_; }
+  [[nodiscard]] const DvfsLadder& ladder() const { return ladder_; }
+
+  /// Swap in a new workload's ground truth (rebuilds the ladder; the server
+  /// restarts in the sleep state).
+  void set_curve(PerfCurve curve);
+
+  /// SPC enforcement: clamp to the best state within `budget`.
+  /// Returns the chosen state.
+  int enforce_budget(Watts budget);
+
+  /// Training-run behaviour (ondemand governor with ample power): top state.
+  void run_full_speed();
+
+  void power_off();
+
+  [[nodiscard]] int state() const { return state_; }
+  /// Wall power currently drawn.
+  [[nodiscard]] Watts draw() const;
+  /// Throughput currently produced (metric units / s).
+  [[nodiscard]] double throughput() const;
+
+  /// Integrate the current operating point over `dt`.
+  void accumulate(Minutes dt);
+
+  [[nodiscard]] WattHours energy_used() const { return energy_; }
+  /// Work = throughput integrated over time (metric units * minutes / 60,
+  /// i.e. metric-unit-hours).
+  [[nodiscard]] double work_done() const { return work_; }
+
+ private:
+  ServerSpec spec_;
+  PerfCurve curve_;
+  DvfsLadder ladder_;
+  int state_ = DvfsLadder::kOffState;
+  WattHours energy_{0.0};
+  double work_ = 0.0;
+};
+
+}  // namespace greenhetero

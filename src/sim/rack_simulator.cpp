@@ -1,0 +1,374 @@
+#include "sim/rack_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace greenhetero {
+
+BatterySpec paper_battery_spec() {
+  BatterySpec spec;
+  spec.capacity = WattHours{12000.0};  // 10 x 12V x 100Ah
+  spec.depth_of_discharge = 0.4;
+  spec.round_trip_efficiency = 0.8;
+  spec.max_charge_power = Watts{2000.0};
+  spec.max_discharge_power = Watts{3000.0};
+  spec.rated_cycles = 1300;
+  return spec;
+}
+
+RackPowerPlant make_standard_plant(PowerTrace solar, GridSpec grid) {
+  return RackPowerPlant{SolarArray{std::move(solar)},
+                        Battery{paper_battery_spec()}, GridSupply{grid}};
+}
+
+RackPowerPlant make_fixed_budget_plant(Watts budget, Minutes duration) {
+  const Minutes interval{15.0};
+  const auto samples = static_cast<std::size_t>(
+      std::ceil(duration.value() / interval.value())) + 1;
+  PowerTrace constant{interval, std::vector<Watts>(samples, budget)};
+  BatterySpec battery;
+  battery.capacity = WattHours{1.0};
+  battery.depth_of_discharge = 1.0;
+  battery.max_charge_power = Watts{0.0};
+  battery.max_discharge_power = Watts{0.0};
+  GridSpec grid;
+  grid.budget = Watts{0.0};
+  return RackPowerPlant{SolarArray{std::move(constant)}, Battery{battery},
+                        GridSupply{grid}};
+}
+
+struct RackSimulator::EpochStats {
+  double renewable_sum = 0.0;
+  double throughput_sum = 0.0;
+  double discharge_sum = 0.0;
+  double charge_sum = 0.0;
+  double grid_sum = 0.0;
+  double shortfall_sum = 0.0;
+  EpuMeter epu;
+  int steps = 0;
+
+  void observe(const PowerFlows& flows, Watts renewable, double throughput,
+               Watts shortfall) {
+    renewable_sum += renewable.value();
+    throughput_sum += throughput;
+    discharge_sum += flows.battery_to_load.value();
+    charge_sum += flows.battery_input().value();
+    grid_sum += (flows.grid_to_load + flows.grid_to_battery).value();
+    shortfall_sum += shortfall.value();
+    ++steps;
+  }
+  [[nodiscard]] double mean(double sum) const {
+    return steps > 0 ? sum / steps : 0.0;
+  }
+};
+
+RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
+    : rack_(std::move(rack)),
+      plant_(std::move(plant)),
+      config_(std::move(config)),
+      controller_(config_.controller),
+      clock_(config_.controller.epoch, config_.substep) {
+  if (config_.rapl_enforcement) {
+    if (config_.controller.policy == PolicyKind::kGreenHeteroS) {
+      // The feedback caps act per group; they cannot express waking only a
+      // subset of a group's members.
+      throw std::invalid_argument(
+          "simulator: RAPL enforcement does not support the subset policy");
+    }
+    PowerCapConfig cap_config;
+    // Average over a few control ticks so state changes lag realistically.
+    cap_config.window = config_.substep * 3.0;
+    rapl_.assign(rack_.group_count(), PowerCapController{cap_config});
+  }
+}
+
+void RackSimulator::enforce_with_rapl(std::span<const Watts> group_power) {
+  for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+    const Watts cap =
+        group_power[i] / static_cast<double>(rack_.group(i).count);
+    rapl_[i].update(rack_.mutable_group_representative(i), cap,
+                    clock_.substep_length());
+    rack_.set_group_state(i, rack_.group_representative(i).state());
+  }
+}
+
+Watts RackSimulator::demand_at(Minutes t) const {
+  const Watts peak = rack_.peak_demand();
+  if (!config_.demand_trace) return peak;
+  return min(peak, config_.demand_trace->at(t));
+}
+
+void RackSimulator::pretrain() {
+  if (!controller_.policy().needs_database()) return;
+  const std::vector<double> sweep = controller_.training_sweep();
+  for (std::size_t g = 0; g < rack_.group_count(); ++g) {
+    const ProfileKey key{rack_.group(g).model, rack_.group_workload(g)};
+    if (controller_.database().contains(key)) continue;
+    // Flaky meters can drop readings; re-run the sweep until a usable
+    // sample set lands (bounded — give up to the online training path).
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      std::vector<ServerSample> samples;
+      samples.reserve(sweep.size());
+      for (double fraction : sweep) {
+        // Drive the whole rack to this fraction of each group's range;
+        // only group g's meter is read, the rest just burn along (ample
+        // power).
+        std::vector<Watts> budgets;
+        for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+          const PerfCurve& curve = rack_.group_curve(i);
+          const Watts per_server =
+              curve.idle_power() +
+              (curve.peak_power() - curve.idle_power()) * fraction;
+          budgets.push_back((per_server + Watts{0.01}) *
+                            static_cast<double>(rack_.group(i).count));
+        }
+        rack_.enforce_allocation(budgets);
+        const ServerSample s = controller_.monitor().sample_group(rack_, g);
+        if (s.power.value() > 0.0) samples.push_back(s);
+      }
+      if (samples.size() < 3) continue;
+      try {
+        controller_.record_training(key, samples);
+        break;
+      } catch (const DatabaseError&) {
+        // Degenerate (e.g. surviving samples at too few powers): retry.
+      }
+    }
+  }
+  rack_.power_off();
+}
+
+void RackSimulator::apply_workload_schedule(Minutes now) {
+  while (next_switch_ < config_.workload_schedule.size() &&
+         config_.workload_schedule[next_switch_].at.value() <=
+             now.value() + 1e-9) {
+    const WorkloadSwitch& sw = config_.workload_schedule[next_switch_];
+    if (sw.workload != rack_.workload() || !rack_.uniform_workload()) {
+      GH_INFO << "workload switch @" << now.value() << "min -> '"
+              << workload_spec(sw.workload).name << "'";
+      rack_.set_workload(sw.workload);
+    }
+    ++next_switch_;
+  }
+}
+
+EpochRecord RackSimulator::step_epoch() {
+  const Minutes epoch_start = clock_.now();
+  apply_workload_schedule(epoch_start);
+  const Watts demand_hint = demand_at(epoch_start);
+  const EpochPlan plan =
+      controller_.plan_epoch(rack_, plant_, epoch_start, demand_hint);
+
+  EpochRecord record;
+  record.start = epoch_start;
+  record.training = plan.training_run;
+  record.source_case = plan.source.source_case;
+  record.predicted_renewable = plan.predicted_renewable;
+  record.budget = plan.source.server_budget;
+  record.ratios = plan.allocation.ratios;
+
+  if (plan.training_run) {
+    run_training_epoch(plan, record);
+  } else {
+    run_normal_epoch(plan, demand_hint, record);
+  }
+  return record;
+}
+
+void RackSimulator::set_grid_budget(Watts budget) {
+  plant_.set_grid_budget(budget);
+}
+
+RunReport RackSimulator::run(Minutes duration) {
+  RunReport report;
+  const auto epochs = static_cast<std::size_t>(
+      std::llround(duration.value() / clock_.epoch_length().value()));
+  for (std::size_t e = 0; e < epochs; ++e) {
+    report.epochs.push_back(step_epoch());
+  }
+
+  report.ledger = ledger_;
+  report.total_work = rack_.total_work();
+  report.overall_epu = run_epu_.epu();
+  report.battery_cycles = plant_.battery().equivalent_cycles();
+  report.grid_cost = plant_.grid().total_cost();
+  report.grid_energy = plant_.grid().total_energy();
+  return report;
+}
+
+void RackSimulator::run_training_epoch(const EpochPlan& plan,
+                                       EpochRecord& record) {
+  // Training run (Fig. 7): sweep the frequency levels under ample power for
+  // training_duration, sampling each level; then full speed for the rest of
+  // the epoch.  Battery and grid stand by to absorb renewable shortfalls.
+  const ControllerConfig& cc = controller_.config();
+  const std::vector<double> sweep = controller_.training_sweep();
+  std::vector<std::vector<ServerSample>> samples(rack_.group_count());
+
+  SourceDecision decision;
+  decision.source_case = PowerCase::kGridFallback;
+  decision.from_battery = plant_.battery_discharge_available(clock_.substep_length());
+  decision.from_grid = plant_.grid_budget();
+  decision.server_budget = plan.source.server_budget;
+
+  EpochStats stats;
+  const auto substeps = clock_.substeps_per_epoch();
+  for (std::size_t s = 0; s < substeps; ++s) {
+    const double elapsed =
+        static_cast<double>(s) * clock_.substep_length().value();
+    std::vector<Watts> budgets(rack_.group_count());
+    const bool in_training = elapsed < cc.training_duration.value();
+    const auto sample_idx = std::min(
+        sweep.size() - 1,
+        static_cast<std::size_t>(elapsed /
+                                 cc.training_sample_interval.value()));
+    const double fraction = in_training ? sweep[sample_idx] : 1.0;
+    for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+      const PerfCurve& curve = rack_.group_curve(i);
+      const Watts per_server =
+          curve.idle_power() +
+          (curve.peak_power() - curve.idle_power()) * fraction;
+      budgets[i] = (per_server + Watts{0.01}) *
+                   static_cast<double>(rack_.group(i).count);
+    }
+    rack_.enforce_allocation(budgets);
+    // Sample at the end of each profiling interval.
+    if (in_training &&
+        std::fmod(elapsed + clock_.substep_length().value(),
+                  cc.training_sample_interval.value()) < 1e-9) {
+      for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+        samples[i].push_back(controller_.monitor().sample_group(rack_, i));
+      }
+    }
+    execute_substep(decision, budgets, stats);
+    clock_.advance_substep();
+  }
+
+  for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+    const ProfileKey key{rack_.group(i).model, rack_.group_workload(i)};
+    if (!controller_.database().contains(key)) {
+      // Dropped meter readings (zero power) carry no information; if too
+      // few valid samples remain, skip recording — needs_training stays
+      // true and the next epoch retries the run.
+      std::vector<ServerSample> valid;
+      for (const ServerSample& s : samples[i]) {
+        if (s.power.value() > 0.0) valid.push_back(s);
+      }
+      if (valid.size() < 3) {
+        GH_WARN << "training run for group " << i
+                << " lost too many samples; retrying next epoch";
+        continue;
+      }
+      try {
+        controller_.record_training(key, valid);
+      } catch (const DatabaseError&) {
+        GH_WARN << "training samples degenerate for group " << i
+                << "; retrying next epoch";
+      }
+    }
+  }
+
+  record.actual_renewable = Watts{stats.mean(stats.renewable_sum)};
+  record.throughput = stats.mean(stats.throughput_sum);
+  record.epu = stats.epu.epu();
+  record.battery_soc = plant_.battery().soc();
+  record.battery_discharge = Watts{stats.mean(stats.discharge_sum)};
+  record.battery_charge = Watts{stats.mean(stats.charge_sum)};
+  record.grid_power = Watts{stats.mean(stats.grid_sum)};
+  record.shortfall = Watts{stats.mean(stats.shortfall_sum)};
+  controller_.finish_epoch(rack_, record.actual_renewable,
+                           rack_.peak_demand());
+}
+
+void RackSimulator::run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
+                                     EpochRecord& record) {
+  std::vector<Watts> group_power;
+  if (plan.source.server_budget.value() > 1e-6 &&
+      !plan.allocation.ratios.empty()) {
+    if (config_.rapl_enforcement) {
+      // RAPL mode: only set the caps; the feedback loops converge over the
+      // next substeps instead of jumping instantly.
+      group_power.reserve(plan.allocation.ratios.size());
+      for (double ratio : plan.allocation.ratios) {
+        group_power.push_back(plan.source.server_budget *
+                              std::max(0.0, ratio));
+      }
+    } else {
+      group_power = Enforcer::apply_allocation(rack_, plan.allocation,
+                                               plan.source.server_budget);
+    }
+  } else {
+    rack_.power_off();
+    group_power.assign(rack_.group_count(), Watts{0.0});
+  }
+
+  EpochStats stats;
+  const auto substeps = clock_.substeps_per_epoch();
+  for (std::size_t s = 0; s < substeps; ++s) {
+    execute_substep(plan.source, group_power, stats);
+    clock_.advance_substep();
+  }
+
+  record.actual_renewable = Watts{stats.mean(stats.renewable_sum)};
+  record.throughput = stats.mean(stats.throughput_sum);
+  record.epu = stats.epu.epu();
+  record.battery_soc = plant_.battery().soc();
+  record.battery_discharge = Watts{stats.mean(stats.discharge_sum)};
+  record.battery_charge = Watts{stats.mean(stats.charge_sum)};
+  record.grid_power = Watts{stats.mean(stats.grid_sum)};
+  record.shortfall = Watts{stats.mean(stats.shortfall_sum)};
+  controller_.finish_epoch(rack_, record.actual_renewable, demand_hint);
+}
+
+PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
+                                          std::vector<Watts>& group_power,
+                                          EpochStats& stats) {
+  const Minutes now = clock_.now();
+  const Minutes dt = clock_.substep_length();
+  const Watts renewable = plant_.renewable_available(now);
+
+  if (config_.rapl_enforcement && !group_power.empty()) {
+    enforce_with_rapl(group_power);
+  }
+
+  Watts draw = rack_.total_draw();
+  StepPlan step = Enforcer::plan_step(decision, renewable, draw, plant_, dt);
+  if (step.shortfall.value() > 1e-6 && draw.value() > 0.0) {
+    // The plan overshot the sources (prediction error): degrade every
+    // group's budget proportionally and re-enforce.  Enforcement quantises
+    // downward, so one pass brings the draw within the available power.
+    // In RAPL mode this is the PROCHOT-style emergency throttle: the
+    // feedback loop is bypassed and states drop immediately.
+    const double factor =
+        std::max(0.0, (draw - step.shortfall) / draw);
+    for (Watts& budget : group_power) budget *= factor;
+    rack_.enforce_allocation(group_power);
+    draw = rack_.total_draw();
+    step = Enforcer::plan_step(decision, renewable, draw, plant_, dt);
+    GH_DEBUG << "substep @" << now.value() << "min: degraded allocation by "
+             << factor;
+  }
+
+  // EPU bookkeeping: green power offered to the servers this step, computed
+  // against pre-execution battery availability.
+  const Watts green_planned =
+      max(Watts{0.0}, decision.server_budget - decision.from_grid);
+  Watts green_available = renewable;
+  if (decision.from_battery.value() > 0.0) {
+    green_available += plant_.battery_discharge_available(dt);
+  }
+  const Watts offered = min(green_planned, green_available);
+  run_epu_.record(offered, step.flows.green_to_load(), dt);
+  stats.epu.record(offered, step.flows.green_to_load(), dt);
+
+  const PowerFlows flows = plant_.execute(step.flows, now, dt);
+  ledger_.post(flows, dt);
+
+  rack_.accumulate(dt);
+  stats.observe(flows, renewable, rack_.total_throughput(), step.shortfall);
+  return flows;
+}
+
+}  // namespace greenhetero

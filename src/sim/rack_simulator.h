@@ -1,0 +1,132 @@
+// Rack simulator: the epoch/substep engine that drives one rack, one power
+// plant and one GreenHetero controller through simulated time.
+//
+// Per epoch it mirrors the paper's runtime loop: plan (training run or
+// predict -> select sources -> solve -> enforce), then per substep cover the
+// rack's actual draw renewable-first / battery / grid, degrade the
+// enforcement if the plan overshot what the sources can deliver, meter every
+// flow, and at epoch end feed observations back (predictors + database).
+//
+// Two plant factories cover the evaluation's setups: the standard solar +
+// battery + grid plant of the 24-hour runs, and a constant-budget plant
+// (battery and grid disabled) for the fixed-supply studies of Figures 3, 9
+// and 10.
+#pragma once
+
+#include <optional>
+
+#include "core/controller.h"
+#include "core/enforcer.h"
+#include "core/epu.h"
+#include "server/power_cap.h"
+#include "power/energy_ledger.h"
+#include "power/power_bus.h"
+#include "server/rack.h"
+#include "sim/run_report.h"
+#include "sim/sim_clock.h"
+#include "trace/trace.h"
+
+namespace greenhetero {
+
+/// The paper's battery provision: 10 x 12V/100Ah lead-acid (12 kWh),
+/// DoD 40%, 80% efficiency, 1300 rated cycles.
+[[nodiscard]] BatterySpec paper_battery_spec();
+
+/// Standard plant: given solar production, paper battery, budgeted grid.
+[[nodiscard]] RackPowerPlant make_standard_plant(PowerTrace solar,
+                                                 GridSpec grid = {});
+
+/// Fixed-green-budget plant: constant renewable at `budget` for `duration`,
+/// unusable battery, no grid — the Solver then receives exactly `budget`
+/// every epoch (Figures 3/9/10 setup).
+[[nodiscard]] RackPowerPlant make_fixed_budget_plant(Watts budget,
+                                                     Minutes duration);
+
+/// A scheduled workload switch: at `at` minutes from simulation start the
+/// whole rack moves to `workload` (the paper's workloads "can be executed
+/// iteratively"; arrivals of unseen workloads trigger training runs at
+/// runtime — Algorithm 1 lines 3-5).
+struct WorkloadSwitch {
+  Minutes at{0.0};
+  Workload workload = Workload::kSpecJbb;
+};
+
+struct SimConfig {
+  ControllerConfig controller;
+  Minutes substep{1.0};
+  /// Optional rack power-demand trace (watts); when absent the rack always
+  /// demands its full-tilt peak power.
+  std::optional<PowerTrace> demand_trace;
+  /// Optional workload arrival schedule, applied at epoch boundaries in
+  /// order; entries must be sorted by time.
+  std::vector<WorkloadSwitch> workload_schedule;
+  /// Enforcement realism: false (default) applies the SPC's budget->state
+  /// map instantly; true drives each group through a RAPL-style feedback
+  /// capping loop instead (one control update per substep), so state
+  /// changes lag the decision like real hardware capping does.
+  bool rapl_enforcement = false;
+};
+
+class RackSimulator {
+ public:
+  RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config);
+
+  [[nodiscard]] const Rack& rack() const { return rack_; }
+  [[nodiscard]] const RackPowerPlant& plant() const { return plant_; }
+  [[nodiscard]] GreenHeteroController& controller() { return controller_; }
+  [[nodiscard]] const GreenHeteroController& controller() const {
+    return controller_;
+  }
+
+  /// Populate the database out-of-band (the paper's "workload has executed
+  /// before" steady state): runs the training sweep under ample power
+  /// without touching the plant or the report.
+  void pretrain();
+
+  /// Simulate `duration` minutes and return the report.  May be called
+  /// repeatedly; state (battery, database, predictors) carries over.
+  RunReport run(Minutes duration);
+
+  /// Advance exactly one scheduling epoch and return its record.  The fleet
+  /// coordinator drives racks in lockstep through this; `run()` is a loop
+  /// over it.  State carries over across calls.
+  EpochRecord step_epoch();
+
+  /// Replace the grid budget from the next planning decision on (the fleet
+  /// coordinator reassigns shares of a datacenter-level budget per epoch).
+  void set_grid_budget(Watts budget);
+
+  /// Accumulated accounting since construction (used by run() and by the
+  /// fleet coordinator to assemble reports).
+  [[nodiscard]] const EnergyLedger& ledger() const { return ledger_; }
+  [[nodiscard]] double overall_epu() const { return run_epu_.epu(); }
+  [[nodiscard]] Minutes now() const { return clock_.now(); }
+
+ private:
+  struct EpochStats;  // defined in the .cpp
+
+  void run_training_epoch(const EpochPlan& plan, EpochRecord& record);
+  void run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
+                        EpochRecord& record);
+  /// One substep: cover the rack draw, degrade on shortfall, execute flows.
+  PowerFlows execute_substep(const SourceDecision& decision,
+                             std::vector<Watts>& group_power,
+                             EpochStats& stats);
+  [[nodiscard]] Watts demand_at(Minutes t) const;
+  void apply_workload_schedule(Minutes now);
+
+  /// RAPL mode: apply per-group caps through the feedback controllers.
+  void enforce_with_rapl(std::span<const Watts> group_power);
+
+  Rack rack_;
+  RackPowerPlant plant_;
+  SimConfig config_;
+  GreenHeteroController controller_;
+  SimClock clock_;
+  EnergyLedger ledger_;
+  EpuMeter run_epu_;
+  std::size_t next_switch_ = 0;
+  std::vector<PowerCapController> rapl_;  ///< one per group (RAPL mode)
+};
+
+}  // namespace greenhetero

@@ -1,0 +1,38 @@
+// Simulation clock: epoch/substep time arithmetic for the rack simulator.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace greenhetero {
+
+class SimClock {
+ public:
+  SimClock(Minutes epoch, Minutes substep);
+
+  [[nodiscard]] Minutes now() const { return now_; }
+  [[nodiscard]] Minutes epoch_length() const { return epoch_; }
+  [[nodiscard]] Minutes substep_length() const { return substep_; }
+  [[nodiscard]] std::size_t substeps_per_epoch() const { return substeps_; }
+  [[nodiscard]] std::size_t epoch_index() const { return epoch_index_; }
+
+  /// Hour-of-day in [0, 24) for diurnal lookups.
+  [[nodiscard]] double hour_of_day() const;
+
+  /// Advance one substep; returns true when this crossed an epoch boundary.
+  bool advance_substep();
+
+  void reset();
+
+ private:
+  Minutes epoch_;
+  Minutes substep_;
+  std::size_t substeps_;
+  Minutes now_{0.0};
+  std::size_t substep_in_epoch_ = 0;
+  std::size_t epoch_index_ = 0;
+};
+
+}  // namespace greenhetero

@@ -1,0 +1,49 @@
+#include "trace/heterogeneity.h"
+
+#include "util/rng.h"
+
+namespace greenhetero {
+
+const std::array<DatacenterHeterogeneity, 10>&
+google_datacenter_heterogeneity() {
+  // Values read off Figure 1 (Whare-Map's ten surveyed Google datacenters).
+  static const std::array<DatacenterHeterogeneity, 10> kData = {{
+      {"DC-1", 3},
+      {"DC-2", 2},
+      {"DC-3", 4},
+      {"DC-4", 3},
+      {"DC-5", 2},
+      {"DC-6", 5},
+      {"DC-7", 3},
+      {"DC-8", 2},
+      {"DC-9", 4},
+      {"DC-10", 3},
+  }};
+  return kData;
+}
+
+std::vector<int> heterogeneity_histogram() {
+  std::vector<int> histogram(6, 0);  // counts 0..5
+  for (const auto& dc : google_datacenter_heterogeneity()) {
+    histogram[static_cast<std::size_t>(dc.config_count)] += 1;
+  }
+  return histogram;
+}
+
+double fraction_with_at_most(int count) {
+  int matching = 0;
+  const auto& data = google_datacenter_heterogeneity();
+  for (const auto& dc : data) {
+    if (dc.config_count <= count) ++matching;
+  }
+  return static_cast<double>(matching) / static_cast<double>(data.size());
+}
+
+int sample_config_count(std::uint64_t seed, std::uint64_t index) {
+  Rng rng = Rng(seed).fork(index);
+  const auto& data = google_datacenter_heterogeneity();
+  const int pick = rng.uniform_int(0, static_cast<int>(data.size()) - 1);
+  return data[static_cast<std::size_t>(pick)].config_count;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,37 @@
+// Datacenter heterogeneity statistics (Figure 1 of the paper).
+//
+// Figure 1 reports the number of distinct server microarchitectural
+// configurations in ten randomly selected Google datacenters (from Mars et
+// al., "Whare-Map", ISCA'13): between 2 and 5 configurations per datacenter,
+// with ~80% of datacenters at 2-3 configurations.  We encode that data and a
+// sampler for generating synthetic heterogeneous datacenters that match the
+// distribution — used by the Fig. 1 bench and the multi-rack examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace greenhetero {
+
+/// One datacenter's configuration count, as read off Figure 1.
+struct DatacenterHeterogeneity {
+  const char* name;
+  int config_count;
+};
+
+/// The ten Google datacenters of Figure 1.
+[[nodiscard]] const std::array<DatacenterHeterogeneity, 10>&
+google_datacenter_heterogeneity();
+
+/// Histogram over configuration counts (index = count, value = #datacenters).
+[[nodiscard]] std::vector<int> heterogeneity_histogram();
+
+/// Fraction of the surveyed datacenters with `count` or fewer configurations.
+[[nodiscard]] double fraction_with_at_most(int count);
+
+/// Sample a configuration count for a synthetic datacenter, following the
+/// empirical Figure 1 distribution.  Deterministic in `seed`/`index`.
+[[nodiscard]] int sample_config_count(std::uint64_t seed, std::uint64_t index);
+
+}  // namespace greenhetero

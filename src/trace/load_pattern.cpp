@@ -1,0 +1,73 @@
+#include "trace/load_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace greenhetero {
+
+namespace {
+
+/// Smooth interpolation between two levels as x goes 0 -> 1.
+double smoothstep(double a, double b, double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  const double s = x * x * (3.0 - 2.0 * x);
+  return a + (b - a) * s;
+}
+
+}  // namespace
+
+double diurnal_utilization(const LoadPatternModel& model, double h) {
+  // Segments: night trough -> morning ramp -> day plateau -> climb to the
+  // evening peak -> fall back to the night trough.
+  const double ramp_len = 2.5;   // hours for the morning ramp
+  const double climb_len = 3.0;  // hours of pre-peak climb
+  const double fall_len = model.night_hour - model.evening_peak_hour;
+
+  if (h < model.morning_ramp_hour) {
+    return model.night_level;
+  }
+  if (h < model.morning_ramp_hour + ramp_len) {
+    return smoothstep(model.night_level, model.day_level,
+                      (h - model.morning_ramp_hour) / ramp_len);
+  }
+  if (h < model.evening_peak_hour - climb_len) {
+    return model.day_level;
+  }
+  if (h < model.evening_peak_hour) {
+    return smoothstep(model.day_level, model.evening_peak,
+                      1.0 - (model.evening_peak_hour - h) / climb_len);
+  }
+  if (h < model.night_hour) {
+    return smoothstep(model.evening_peak, model.night_level,
+                      (h - model.evening_peak_hour) / fall_len);
+  }
+  return model.night_level;
+}
+
+PowerTrace generate_load_trace(const LoadPatternModel& model, Watts scale,
+                               int days, std::uint64_t seed,
+                               Minutes interval) {
+  if (days <= 0) {
+    throw TraceError("load pattern: days must be positive");
+  }
+  Rng rng(seed);
+  const auto samples_per_day =
+      static_cast<std::size_t>(std::llround(24.0 * 60.0 / interval.value()));
+  std::vector<Watts> samples;
+  samples.reserve(samples_per_day * static_cast<std::size_t>(days));
+  for (int day = 0; day < days; ++day) {
+    for (std::size_t s = 0; s < samples_per_day; ++s) {
+      const double hour = static_cast<double>(s) * interval.value() / 60.0;
+      double util = diurnal_utilization(model, hour) +
+                    rng.gaussian(0.0, model.jitter);
+      util = std::clamp(util, 0.01, 1.0);
+      samples.push_back(scale * util);
+    }
+  }
+  return PowerTrace{interval, std::move(samples)};
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,41 @@
+// Diurnal rack-demand pattern.
+//
+// Figure 6 of the paper drives the 24-hour runs with "a typical datacenter
+// server rack power pattern" from Wang et al. (SIGMETRICS'12): a daytime
+// plateau with a morning ramp, an evening peak and a night trough.  This
+// generator produces that shape as a utilisation series in [min_util, 1]
+// which the simulator maps onto rack power demand.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+struct LoadPatternModel {
+  double night_level = 0.45;    ///< utilisation in the overnight trough
+  double day_level = 0.85;      ///< utilisation on the working-hours plateau
+  double evening_peak = 1.0;    ///< utilisation at the evening spike
+  double morning_ramp_hour = 7.0;
+  double evening_peak_hour = 20.0;
+  double night_hour = 23.0;
+  double jitter = 0.02;         ///< per-sample gaussian jitter
+};
+
+/// Deterministic utilisation-fraction value (no jitter) at hour-of-day `h`,
+/// piecewise-smooth between the model's anchor levels.
+[[nodiscard]] double diurnal_utilization(const LoadPatternModel& model,
+                                         double h);
+
+/// A `days`-day utilisation trace sampled every `interval`; samples are the
+/// diurnal shape plus seeded jitter, clipped to (0, 1].  The trace stores the
+/// fraction scaled by `scale` watts so it composes with PowerTrace tooling;
+/// pass scale = the rack's peak demand to get a demand trace directly.
+[[nodiscard]] PowerTrace generate_load_trace(const LoadPatternModel& model,
+                                             Watts scale, int days,
+                                             std::uint64_t seed,
+                                             Minutes interval = Minutes{15.0});
+
+}  // namespace greenhetero

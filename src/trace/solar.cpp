@@ -1,0 +1,84 @@
+#include "trace/solar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace greenhetero {
+
+SolarModel high_solar_model(Watts capacity) {
+  SolarModel model;
+  model.capacity = capacity;
+  model.mean_clearness = 0.92;
+  model.volatility = 0.03;
+  model.reversion = 0.2;
+  model.overcast_probability = 0.05;
+  model.overcast_clearness = 0.45;
+  return model;
+}
+
+SolarModel low_solar_model(Watts capacity) {
+  SolarModel model;
+  model.capacity = capacity;
+  model.mean_clearness = 0.55;
+  model.volatility = 0.12;
+  model.reversion = 0.1;
+  model.overcast_probability = 0.4;
+  model.overcast_clearness = 0.2;
+  return model;
+}
+
+double clear_sky_envelope(const SolarModel& model, double h) {
+  if (h <= model.sunrise_hour || h >= model.sunset_hour) {
+    return 0.0;
+  }
+  const double daylight = model.sunset_hour - model.sunrise_hour;
+  const double phase = (h - model.sunrise_hour) / daylight;  // in (0, 1)
+  // Half-sine: 0 at sunrise/sunset, 1 at solar noon.
+  return std::sin(phase * std::numbers::pi);
+}
+
+PowerTrace generate_solar_trace(const SolarModel& model, int days,
+                                std::uint64_t seed, Minutes interval) {
+  if (days <= 0) {
+    throw TraceError("solar: days must be positive");
+  }
+  if (interval.value() <= 0.0) {
+    throw TraceError("solar: interval must be positive");
+  }
+  Rng rng(seed);
+  const auto samples_per_day =
+      static_cast<std::size_t>(std::llround(24.0 * 60.0 / interval.value()));
+  std::vector<Watts> samples;
+  samples.reserve(samples_per_day * static_cast<std::size_t>(days));
+
+  double clearness = model.mean_clearness;
+  for (int day = 0; day < days; ++day) {
+    const bool overcast = rng.bernoulli(model.overcast_probability);
+    const double regime_mean =
+        overcast ? model.overcast_clearness : model.mean_clearness;
+    for (std::size_t s = 0; s < samples_per_day; ++s) {
+      const double hour =
+          static_cast<double>(s) * interval.value() / 60.0;
+      // Mean-reverting cloud attenuation step.
+      clearness += model.reversion * (regime_mean - clearness) +
+                   rng.gaussian(0.0, model.volatility);
+      clearness = std::clamp(clearness, model.clearness_floor, 1.0);
+      const double envelope = clear_sky_envelope(model, hour);
+      samples.push_back(model.capacity * (envelope * clearness));
+    }
+  }
+  return PowerTrace{interval, std::move(samples)};
+}
+
+PowerTrace high_solar_week(Watts capacity, std::uint64_t seed) {
+  return generate_solar_trace(high_solar_model(capacity), 7, seed);
+}
+
+PowerTrace low_solar_week(Watts capacity, std::uint64_t seed) {
+  return generate_solar_trace(low_solar_model(capacity), 7, seed);
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,56 @@
+// Synthetic solar production traces.
+//
+// The paper replays two one-week NREL MIDC irradiance traces (15-minute
+// samples): a *High* trace (clear, high-yield days) and a *Low* trace
+// (overcast, strongly fluctuating days).  Those exact files are not
+// redistributable, so this generator reproduces their statistical structure:
+//
+//   production(t) = capacity * clear_sky(t) * weather(t)
+//
+// - clear_sky(t): cosine-of-zenith daylight bell between sunrise and sunset
+//   (zero at night), the deterministic diurnal envelope;
+// - weather(t): mean-reverting cloud attenuation (AR(1) on a 15-minute step)
+//   with day-scale regimes, giving the short-term dips of Case B and whole
+//   overcast days for the Low trace.
+//
+// Generated traces are deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+/// Tunable parameters of the synthetic solar model.
+struct SolarModel {
+  Watts capacity{2500.0};        ///< peak panel output on a perfect day
+  double sunrise_hour = 6.0;     ///< local time the envelope opens
+  double sunset_hour = 18.0;     ///< local time the envelope closes
+  double mean_clearness = 0.9;   ///< long-run average of weather(t)
+  double clearness_floor = 0.0;  ///< lower clip for weather(t)
+  double volatility = 0.05;      ///< step stddev of the AR(1) cloud process
+  double reversion = 0.15;       ///< AR(1) pull toward the day's regime mean
+  double overcast_probability = 0.0;  ///< chance a day is an overcast regime
+  double overcast_clearness = 0.25;   ///< regime mean on overcast days
+};
+
+/// Presets matching the paper's two NREL traces.
+[[nodiscard]] SolarModel high_solar_model(Watts capacity);
+[[nodiscard]] SolarModel low_solar_model(Watts capacity);
+
+/// Generate `days` days of production at `interval` sampling (default the
+/// paper's 15 minutes).  Deterministic in `seed`.
+[[nodiscard]] PowerTrace generate_solar_trace(const SolarModel& model,
+                                              int days, std::uint64_t seed,
+                                              Minutes interval = Minutes{15.0});
+
+/// Convenience: one-week High / Low traces as used throughout the evaluation.
+[[nodiscard]] PowerTrace high_solar_week(Watts capacity, std::uint64_t seed);
+[[nodiscard]] PowerTrace low_solar_week(Watts capacity, std::uint64_t seed);
+
+/// The deterministic clear-sky envelope in [0, 1] at hour-of-day `h`.
+[[nodiscard]] double clear_sky_envelope(const SolarModel& model, double h);
+
+}  // namespace greenhetero

@@ -1,0 +1,95 @@
+#include "trace/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenhetero {
+
+TraceStatistics analyze_trace(const PowerTrace& trace) {
+  if (trace.empty()) {
+    throw TraceError("statistics: empty trace");
+  }
+  TraceStatistics stats;
+  stats.mean = trace.mean_power();
+  stats.peak = trace.peak_power();
+  stats.load_factor =
+      stats.peak.value() > 0.0 ? stats.mean / stats.peak : 0.0;
+
+  double sum_sq = 0.0;
+  double ramp_sum = 0.0;
+  double max_ramp = 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double v = trace.sample(i).value();
+    const double d = v - stats.mean.value();
+    sum_sq += d * d;
+    if (v < 1e-9) ++zeros;
+    if (i > 0) {
+      const double ramp = std::fabs(v - trace.sample(i - 1).value());
+      ramp_sum += ramp;
+      max_ramp = std::max(max_ramp, ramp);
+    }
+  }
+  const auto n = static_cast<double>(trace.size());
+  const double variance = sum_sq / n;
+  stats.variability =
+      stats.mean.value() > 0.0 ? std::sqrt(variance) / stats.mean.value()
+                               : 0.0;
+  stats.mean_ramp =
+      Watts{trace.size() > 1 ? ramp_sum / (n - 1.0) : 0.0};
+  stats.max_ramp = Watts{max_ramp};
+  stats.zero_fraction = static_cast<double>(zeros) / n;
+
+  if (trace.size() > 1 && variance > 0.0) {
+    double covariance = 0.0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      covariance += (trace.sample(i).value() - stats.mean.value()) *
+                    (trace.sample(i - 1).value() - stats.mean.value());
+    }
+    stats.autocorrelation = covariance / (n - 1.0) / variance;
+  }
+  return stats;
+}
+
+double insufficiency_fraction(const PowerTrace& supply,
+                              const PowerTrace& demand) {
+  if (supply.empty() || demand.empty()) {
+    throw TraceError("statistics: empty trace");
+  }
+  if (std::fabs(supply.interval().value() - demand.interval().value()) >
+      1e-9) {
+    throw TraceError("statistics: traces must share the sampling interval");
+  }
+  const std::size_t n = std::min(supply.size(), demand.size());
+  std::size_t short_samples = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (supply.sample(i).value() < demand.sample(i).value()) {
+      ++short_samples;
+    }
+  }
+  return static_cast<double>(short_samples) / static_cast<double>(n);
+}
+
+std::vector<Watts> diurnal_profile(const PowerTrace& trace) {
+  if (trace.empty()) {
+    throw TraceError("statistics: empty trace");
+  }
+  std::vector<double> sums(24, 0.0);
+  std::vector<int> counts(24, 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double minute =
+        static_cast<double>(i) * trace.interval().value();
+    const auto hour =
+        static_cast<std::size_t>(std::fmod(minute, 24.0 * 60.0) / 60.0);
+    sums[hour] += trace.sample(i).value();
+    counts[hour] += 1;
+  }
+  std::vector<Watts> profile;
+  profile.reserve(24);
+  for (int h = 0; h < 24; ++h) {
+    profile.emplace_back(counts[h] > 0 ? sums[h] / counts[h] : 0.0);
+  }
+  return profile;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,52 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace greenhetero {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::cerr << "[" << to_string(level) << "] " << message << "\n";
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  Sink previous = std::move(sink_);
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::cerr << "[" << to_string(level) << "] " << message << "\n";
+    };
+  }
+  return previous;
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) {
+    sink_(level, message);
+  }
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,76 @@
+// Minimal leveled logger.
+//
+// The controller and simulator report decisions (source switches, PAR
+// choices, training runs) through this logger; benches and examples raise the
+// level to keep their table output clean, tests can capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace greenhetero {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Process-wide logging configuration.  Not thread-safe by design: the
+/// simulator is single-threaded and benches set the level once up front.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default writes to stderr).  Pass nullptr to
+  /// restore the default.  Returns the previous sink so tests can restore it.
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view message);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace greenhetero
+
+// Stream-style logging macros; the stream expression is not evaluated when
+// the level is disabled.
+#define GH_LOG(level)                                               \
+  if (!::greenhetero::Logger::instance().enabled(level)) {          \
+  } else                                                            \
+    ::greenhetero::detail::LogLine(level)
+
+#define GH_DEBUG GH_LOG(::greenhetero::LogLevel::kDebug)
+#define GH_INFO GH_LOG(::greenhetero::LogLevel::kInfo)
+#define GH_WARN GH_LOG(::greenhetero::LogLevel::kWarn)
+#define GH_ERROR GH_LOG(::greenhetero::LogLevel::kError)

@@ -1,0 +1,132 @@
+#include "util/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace greenhetero {
+
+ScalarOptimum golden_section_maximize(const std::function<double(double)>& f,
+                                      double lo, double hi, double tolerance) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > tolerance) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  const double x = 0.5 * (a + b);
+  return ScalarOptimum{x, f(x)};
+}
+
+ScalarOptimum grid_refine_maximize(const std::function<double(double)>& f,
+                                   double lo, double hi, int coarse_steps,
+                                   double tolerance) {
+  coarse_steps = std::max(coarse_steps, 2);
+  double best_x = lo;
+  double best_value = f(lo);
+  const double step = (hi - lo) / coarse_steps;
+  for (int i = 1; i <= coarse_steps; ++i) {
+    const double x = (i == coarse_steps) ? hi : lo + step * i;
+    const double value = f(x);
+    if (value > best_value) {
+      best_value = value;
+      best_x = x;
+    }
+  }
+  // Refine inside the two neighbouring cells around the best grid point.
+  const double refine_lo = std::max(lo, best_x - step);
+  const double refine_hi = std::min(hi, best_x + step);
+  ScalarOptimum refined =
+      golden_section_maximize(f, refine_lo, refine_hi, tolerance);
+  if (refined.value >= best_value) {
+    return refined;
+  }
+  return ScalarOptimum{best_x, best_value};
+}
+
+PlanarOptimum grid_refine_maximize_2d(
+    const std::function<double(double, double)>& f, double xlo, double xhi,
+    double ylo, double yhi, double sum_cap, int coarse_steps,
+    int refine_rounds) {
+  coarse_steps = std::max(coarse_steps, 2);
+  const auto feasible = [sum_cap](double x, double y) {
+    return sum_cap < 0.0 || x + y <= sum_cap + 1e-12;
+  };
+
+  PlanarOptimum best{xlo, ylo,
+                     feasible(xlo, ylo) ? f(xlo, ylo)
+                                        : -std::numeric_limits<double>::max()};
+  const double xstep = (xhi - xlo) / coarse_steps;
+  const double ystep = (yhi - ylo) / coarse_steps;
+  for (int i = 0; i <= coarse_steps; ++i) {
+    const double x = (i == coarse_steps) ? xhi : xlo + xstep * i;
+    for (int j = 0; j <= coarse_steps; ++j) {
+      double y = (j == coarse_steps) ? yhi : ylo + ystep * j;
+      if (!feasible(x, y)) {
+        // Snap onto the constraint boundary so boundary optima are sampled.
+        y = sum_cap - x;
+        if (y < ylo || y > yhi) break;
+      }
+      const double value = f(x, y);
+      if (value > best.value) {
+        best = PlanarOptimum{x, y, value};
+      }
+      if (sum_cap >= 0.0 && x + y >= sum_cap) break;
+    }
+  }
+
+  // Alternating 1-D refinements around the best point.
+  double span_x = xstep;
+  double span_y = ystep;
+  for (int round = 0; round < refine_rounds; ++round) {
+    {
+      const double lo = std::max(xlo, best.x - span_x);
+      double hi = std::min(xhi, best.x + span_x);
+      if (sum_cap >= 0.0) hi = std::min(hi, sum_cap - best.y);
+      if (hi > lo) {
+        const double y = best.y;
+        auto opt = grid_refine_maximize([&](double x) { return f(x, y); }, lo,
+                                        hi, 16, 1e-7);
+        if (opt.value > best.value) {
+          best.x = opt.x;
+          best.value = opt.value;
+        }
+      }
+    }
+    {
+      const double lo = std::max(ylo, best.y - span_y);
+      double hi = std::min(yhi, best.y + span_y);
+      if (sum_cap >= 0.0) hi = std::min(hi, sum_cap - best.x);
+      if (hi > lo) {
+        const double x = best.x;
+        auto opt = grid_refine_maximize([&](double y) { return f(x, y); }, lo,
+                                        hi, 16, 1e-7);
+        if (opt.value > best.value) {
+          best.y = opt.x;
+          best.value = opt.value;
+        }
+      }
+    }
+    span_x *= 0.5;
+    span_y *= 0.5;
+  }
+  return best;
+}
+
+}  // namespace greenhetero

@@ -1,0 +1,48 @@
+// Numeric optimisation primitives shared by the Solver (PAR search) and the
+// predictor trainer (alpha/beta grid search).
+//
+// The objective surfaces here are cheap to evaluate but only piecewise-smooth
+// (clamping at server idle/peak power introduces kinks), so the workhorse is
+// coarse-grid scan + local refinement rather than derivative methods.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+namespace greenhetero {
+
+/// Result of a scalar maximisation.
+struct ScalarOptimum {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Result of a two-variable maximisation.
+struct PlanarOptimum {
+  double x = 0.0;
+  double y = 0.0;
+  double value = 0.0;
+};
+
+/// Maximise a unimodal function on [lo, hi] by golden-section search.
+/// `tolerance` is the final bracket width on x.
+[[nodiscard]] ScalarOptimum golden_section_maximize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tolerance = 1e-6);
+
+/// Maximise an arbitrary (possibly multi-modal, kinked) function on [lo, hi]:
+/// scan `coarse_steps` evenly spaced points, then golden-section refine around
+/// the best cell.  Robust to the plateaus and kinks of clamped perf curves.
+[[nodiscard]] ScalarOptimum grid_refine_maximize(
+    const std::function<double(double)>& f, double lo, double hi,
+    int coarse_steps = 64, double tolerance = 1e-6);
+
+/// Maximise f(x, y) over the triangle/box x in [xlo, xhi], y in [ylo, yhi]
+/// with optional constraint x + y <= sum_cap (pass a negative cap to
+/// disable).  Coarse grid then iterative coordinate refinement.
+[[nodiscard]] PlanarOptimum grid_refine_maximize_2d(
+    const std::function<double(double, double)>& f, double xlo, double xhi,
+    double ylo, double yhi, double sum_cap = -1.0, int coarse_steps = 32,
+    int refine_rounds = 4);
+
+}  // namespace greenhetero

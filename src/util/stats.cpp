@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace greenhetero {
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("mean of empty range");
+  }
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum_sq += (v - m) * (v - m);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("min of empty range");
+  }
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("max of empty range");
+  }
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) {
+    throw std::invalid_argument("percentile of empty range");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile p must be in [0, 100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("geomean of empty range");
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) {
+      throw std::invalid_argument("geomean requires positive values");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("mse: mismatched or empty series");
+  }
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(a.size());
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace greenhetero

@@ -1,0 +1,41 @@
+// Small statistics helpers used by reports, the predictor trainer and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace greenhetero {
+
+[[nodiscard]] double sum(std::span<const double> values);
+[[nodiscard]] double mean(std::span<const double> values);
+/// Sample standard deviation (n - 1 denominator); 0 for fewer than 2 values.
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+/// Geometric mean; requires strictly positive values.
+[[nodiscard]] double geomean(std::span<const double> values);
+/// Mean squared error between two equal-length series.
+[[nodiscard]] double mse(std::span<const double> a, std::span<const double> b);
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace greenhetero

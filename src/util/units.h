@@ -1,0 +1,150 @@
+// Strong unit types for the quantities that flow through GreenHetero.
+//
+// Power (watts), energy (watt-hours) and durations (minutes) are all
+// represented by `double` at the machine level, which makes it very easy to
+// hand a watt-hour value to a function expecting watts.  These thin wrappers
+// make such mistakes type errors while keeping the arithmetic that *is*
+// meaningful (summing powers, scaling by a ratio, power x time = energy).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace greenhetero {
+
+namespace detail {
+
+// CRTP base providing the arithmetic shared by all scalar unit types.
+template <typename Derived>
+class ScalarUnit {
+ public:
+  constexpr ScalarUnit() = default;
+  constexpr explicit ScalarUnit(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value_ + b.value_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value_ - b.value_};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value_ / s};
+  }
+  // Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value_}; }
+
+  Derived& operator+=(Derived other) {
+    value_ += other.value_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived other) {
+    value_ -= other.value_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend constexpr auto operator<=>(ScalarUnit a, ScalarUnit b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Electrical power in watts.
+class Watts : public detail::ScalarUnit<Watts> {
+ public:
+  using ScalarUnit::ScalarUnit;
+};
+
+/// Energy in watt-hours.
+class WattHours : public detail::ScalarUnit<WattHours> {
+ public:
+  using ScalarUnit::ScalarUnit;
+};
+
+/// Duration in minutes (the natural granularity of the simulator: the paper
+/// profiles every 2 minutes and schedules every 15).
+class Minutes : public detail::ScalarUnit<Minutes> {
+ public:
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double hours() const { return value() / 60.0; }
+};
+
+/// power x time = energy.
+[[nodiscard]] constexpr WattHours operator*(Watts p, Minutes t) {
+  return WattHours{p.value() * t.value() / 60.0};
+}
+[[nodiscard]] constexpr WattHours operator*(Minutes t, Watts p) {
+  return p * t;
+}
+/// energy / time = power.
+[[nodiscard]] constexpr Watts operator/(WattHours e, Minutes t) {
+  return Watts{e.value() * 60.0 / t.value()};
+}
+/// energy / power = time.
+[[nodiscard]] constexpr Minutes operator/(WattHours e, Watts p) {
+  return Minutes{e.value() * 60.0 / p.value()};
+}
+
+[[nodiscard]] inline Watts min(Watts a, Watts b) { return a < b ? a : b; }
+[[nodiscard]] inline Watts max(Watts a, Watts b) { return a < b ? b : a; }
+[[nodiscard]] inline WattHours min(WattHours a, WattHours b) {
+  return a < b ? a : b;
+}
+[[nodiscard]] inline WattHours max(WattHours a, WattHours b) {
+  return a < b ? b : a;
+}
+
+[[nodiscard]] inline Watts clamp(Watts x, Watts lo, Watts hi) {
+  return max(lo, min(x, hi));
+}
+
+inline std::ostream& operator<<(std::ostream& os, Watts w) {
+  return os << w.value() << "W";
+}
+inline std::ostream& operator<<(std::ostream& os, WattHours e) {
+  return os << e.value() << "Wh";
+}
+inline std::ostream& operator<<(std::ostream& os, Minutes m) {
+  return os << m.value() << "min";
+}
+
+// User-defined literals: `220.0_W`, `1200.0_Wh`, `15.0_min`.
+namespace literals {
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(unsigned long long v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr WattHours operator""_Wh(long double v) {
+  return WattHours{static_cast<double>(v)};
+}
+constexpr WattHours operator""_Wh(unsigned long long v) {
+  return WattHours{static_cast<double>(v)};
+}
+constexpr Minutes operator""_min(long double v) {
+  return Minutes{static_cast<double>(v)};
+}
+constexpr Minutes operator""_min(unsigned long long v) {
+  return Minutes{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace greenhetero

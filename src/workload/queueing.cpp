@@ -1,0 +1,102 @@
+#include "workload/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/optimize.h"
+
+namespace greenhetero {
+
+double mm1_percentile_latency(double lambda, double mu, double percentile) {
+  if (percentile <= 0.0 || percentile >= 1.0) {
+    throw std::invalid_argument("queueing: percentile must be in (0, 1)");
+  }
+  if (mu <= 0.0 || lambda < 0.0) {
+    throw std::invalid_argument("queueing: rates must be non-negative");
+  }
+  if (lambda >= mu) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Response time of M/M/1 is exponential with rate (mu - lambda).
+  return -std::log(1.0 - percentile) / (mu - lambda);
+}
+
+double sla_throughput(double mu, const SlaSpec& sla) {
+  if (sla.latency_bound_s <= 0.0) {
+    throw std::invalid_argument("queueing: latency bound must be positive");
+  }
+  const double required_slack =
+      -std::log(1.0 - sla.percentile) / sla.latency_bound_s;
+  return std::max(0.0, mu - required_slack);
+}
+
+double service_rate(const ServiceModel& model, double f) {
+  if (model.peak_service_rate <= 0.0) {
+    throw std::invalid_argument("queueing: peak service rate must be positive");
+  }
+  if (model.frequency_insensitive < 0.0 || model.frequency_insensitive > 1.0) {
+    throw std::invalid_argument(
+        "queueing: frequency-insensitive share must be in [0, 1]");
+  }
+  const double clamped = std::clamp(f, 0.0, 1.0);
+  return model.peak_service_rate *
+         (model.frequency_insensitive +
+          (1.0 - model.frequency_insensitive) * clamped);
+}
+
+PerfCurveParams derive_interactive_curve(Watts idle_power, Watts peak_power,
+                                         const ServiceModel& model,
+                                         const SlaSpec& sla,
+                                         double* fit_error_out) {
+  if (peak_power.value() <= idle_power.value()) {
+    throw std::invalid_argument("queueing: require idle < peak power");
+  }
+  // Sample the derived curve across the power range.
+  constexpr int kSamples = 33;
+  std::vector<double> xs;       // power fraction in [0, 1]
+  std::vector<double> derived;  // SLA throughput
+  xs.reserve(kSamples);
+  derived.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = static_cast<double>(i) / (kSamples - 1);
+    xs.push_back(x);
+    derived.push_back(sla_throughput(service_rate(model, x), sla));
+  }
+  const double peak_throughput = derived.back();
+  if (peak_throughput <= 0.0) {
+    throw std::invalid_argument(
+        "queueing: SLA unsatisfiable even at full frequency");
+  }
+
+  // Fit floor + (1 - floor) * x^gamma to the normalised derived curve.
+  const auto sse = [&](double floor, double gamma) {
+    double total = 0.0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double predicted =
+          floor + (1.0 - floor) * std::pow(xs[i], gamma);
+      const double err = predicted - derived[i] / peak_throughput;
+      total += err * err;
+    }
+    return total;
+  };
+  const PlanarOptimum best = grid_refine_maximize_2d(
+      [&](double floor, double gamma) { return -sse(floor, gamma); }, 0.0,
+      0.99, 0.05, 1.5, /*sum_cap=*/-1.0, 48, 5);
+
+  if (fit_error_out != nullptr) {
+    *fit_error_out = std::sqrt(sse(best.x, best.y) / kSamples);
+  }
+
+  PerfCurveParams params;
+  params.idle_power = idle_power;
+  params.peak_power = peak_power;
+  params.peak_throughput = peak_throughput;
+  params.floor_fraction = best.x;
+  params.gamma = std::max(best.y, 0.05);
+  return params;
+}
+
+}  // namespace greenhetero

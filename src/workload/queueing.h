@@ -1,0 +1,60 @@
+// Queueing-theoretic derivation of interactive performance-power curves.
+//
+// Table I's interactive workloads are measured as throughput under a tail
+// latency bound (SPECjbb: jops at 99%-ile < 500 ms; Memcached: rps at
+// 95%-ile < 10 ms).  The calibrated catalog encodes such curves with a
+// (floor, gamma) power law; this module derives the same shape from first
+// principles so the calibration is grounded rather than guessed:
+//
+//  - a server at frequency fraction f serves requests at rate
+//    mu(f) = mu_peak * (s + (1 - s) * f)   (s = frequency-independent part:
+//    memory/IO time does not scale with clock);
+//  - for an M/M/1 queue the p-th percentile response time at arrival rate
+//    lambda is  T_p = -ln(1 - p) / (mu - lambda);
+//  - the SLA-constrained throughput is therefore
+//    lambda_max(mu) = max(0, mu + ln(1 - p) / L)  for bound L.
+//
+// `derive_interactive_curve` maps DVFS power to frequency to lambda_max and
+// least-squares-fits the catalog's (floor, gamma) form to the result.
+#pragma once
+
+#include "server/perf_curve.h"
+#include "util/units.h"
+
+namespace greenhetero {
+
+/// Tail-latency service level objective.
+struct SlaSpec {
+  double percentile = 0.99;     ///< e.g. 0.99 for a 99%-ile bound
+  double latency_bound_s = 0.5; ///< seconds
+};
+
+/// Service-rate model of one server running one interactive workload.
+struct ServiceModel {
+  double peak_service_rate = 1000.0;  ///< requests/s at full frequency
+  /// Fraction of service capacity that does not scale with frequency
+  /// (memory stalls, NIC, storage).
+  double frequency_insensitive = 0.3;
+};
+
+/// M/M/1 p-th percentile response time at utilisation lambda/mu; infinite
+/// when lambda >= mu.
+[[nodiscard]] double mm1_percentile_latency(double lambda, double mu,
+                                            double percentile);
+
+/// Highest arrival rate whose p-th percentile latency meets the SLA.
+[[nodiscard]] double sla_throughput(double mu, const SlaSpec& sla);
+
+/// Service rate at DVFS frequency fraction f in [0, 1].
+[[nodiscard]] double service_rate(const ServiceModel& model, double f);
+
+/// Derive the full power->SLA-throughput curve for a server whose DVFS
+/// range spans [idle_power, peak_power] (frequency fraction linear in
+/// power), then fit the catalog's (floor, gamma) form to it.  The returned
+/// params reproduce the derived curve in least-squares; `fit_error_out`
+/// (optional) receives the relative RMS error of that fit.
+[[nodiscard]] PerfCurveParams derive_interactive_curve(
+    Watts idle_power, Watts peak_power, const ServiceModel& model,
+    const SlaSpec& sla, double* fit_error_out = nullptr);
+
+}  // namespace greenhetero

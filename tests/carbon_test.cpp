@@ -1,0 +1,93 @@
+#include "power/carbon.h"
+
+#include <gtest/gtest.h>
+
+namespace greenhetero {
+namespace {
+
+EnergyLedger ledger_with(Watts renewable_to_load, Watts battery_to_load,
+                         Watts grid_to_load, Watts renewable_to_battery,
+                         Minutes duration) {
+  EnergyLedger ledger;
+  PowerFlows flows;
+  flows.renewable_to_load = renewable_to_load;
+  flows.battery_to_load = battery_to_load;
+  flows.grid_to_load = grid_to_load;
+  flows.renewable_to_battery = renewable_to_battery;
+  ledger.post(flows, duration);
+  return ledger;
+}
+
+TEST(Carbon, EmptyLedger) {
+  const CarbonReport report = carbon_report(EnergyLedger{});
+  EXPECT_DOUBLE_EQ(report.total_kg, 0.0);
+  EXPECT_DOUBLE_EQ(report.saved_kg, 0.0);
+  EXPECT_DOUBLE_EQ(report.effective_g_per_kwh, 0.0);
+}
+
+TEST(Carbon, PureGridLoadMatchesBaseline) {
+  // 1 kW from the grid for 1 h = 1 kWh at 400 g -> 0.4 kg, zero saving.
+  const EnergyLedger ledger = ledger_with(Watts{0.0}, Watts{0.0},
+                                          Watts{1000.0}, Watts{0.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger);
+  EXPECT_NEAR(report.grid_kg, 0.4, 1e-12);
+  EXPECT_NEAR(report.total_kg, 0.4, 1e-12);
+  EXPECT_NEAR(report.all_grid_baseline_kg, 0.4, 1e-12);
+  EXPECT_NEAR(report.saved_kg, 0.0, 1e-12);
+  EXPECT_NEAR(report.effective_g_per_kwh, 400.0, 1e-9);
+}
+
+TEST(Carbon, PureSolarLoadSavesAlmostEverything) {
+  const EnergyLedger ledger = ledger_with(Watts{1000.0}, Watts{0.0},
+                                          Watts{0.0}, Watts{0.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger);
+  EXPECT_NEAR(report.solar_kg, 0.041, 1e-12);
+  EXPECT_NEAR(report.saved_kg, 0.4 - 0.041, 1e-12);
+  EXPECT_NEAR(report.effective_g_per_kwh, 41.0, 1e-9);
+}
+
+TEST(Carbon, BatteryDischargeCarriesOverhead) {
+  const EnergyLedger ledger = ledger_with(Watts{0.0}, Watts{1000.0},
+                                          Watts{0.0}, Watts{0.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger);
+  EXPECT_NEAR(report.battery_kg, 0.030, 1e-12);
+  EXPECT_GT(report.saved_kg, 0.0);
+}
+
+TEST(Carbon, ChargingSolarEnergyIsCounted) {
+  // Solar to battery carries the PV lifecycle intensity even though no load
+  // was served this step.
+  const EnergyLedger ledger = ledger_with(Watts{0.0}, Watts{0.0},
+                                          Watts{0.0}, Watts{500.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger);
+  EXPECT_NEAR(report.solar_kg, 0.5 * 0.041, 1e-12);
+  EXPECT_DOUBLE_EQ(report.all_grid_baseline_kg, 0.0);
+}
+
+TEST(Carbon, CustomModel) {
+  CarbonModel model;
+  model.grid_g_per_kwh = 800.0;  // coal-heavy grid
+  const EnergyLedger ledger = ledger_with(Watts{500.0}, Watts{0.0},
+                                          Watts{500.0}, Watts{0.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger, model);
+  EXPECT_NEAR(report.grid_kg, 0.4, 1e-12);
+  EXPECT_NEAR(report.all_grid_baseline_kg, 0.8, 1e-12);
+  EXPECT_GT(report.saved_kg, 0.0);
+}
+
+TEST(Carbon, MixedLoadIntensityBetweenSources) {
+  const EnergyLedger ledger = ledger_with(Watts{500.0}, Watts{250.0},
+                                          Watts{250.0}, Watts{0.0},
+                                          Minutes{60.0});
+  const CarbonReport report = carbon_report(ledger);
+  EXPECT_GT(report.effective_g_per_kwh, 41.0);
+  EXPECT_LT(report.effective_g_per_kwh, 400.0);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,157 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+namespace greenhetero {
+namespace {
+
+Rack comb1_rack() { return Rack{default_runtime_rack(), Workload::kSpecJbb}; }
+
+PowerTrace flat(Watts level) {
+  return PowerTrace{Minutes{15.0}, std::vector<Watts>(400, level)};
+}
+
+RackPowerPlant plant_with(Watts solar) {
+  GridSpec grid;
+  grid.budget = Watts{1000.0};
+  return RackPowerPlant{SolarArray{flat(solar)}, Battery{paper_battery_spec()},
+                        GridSupply{grid}};
+}
+
+ControllerConfig config_for(PolicyKind kind, double noise = 0.0) {
+  ControllerConfig cfg;
+  cfg.policy = kind;
+  cfg.profiling_noise = noise;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Controller, ConfigValidation) {
+  ControllerConfig cfg = config_for(PolicyKind::kGreenHetero);
+  cfg.epoch = Minutes{0.0};
+  EXPECT_THROW(GreenHeteroController{cfg}, std::invalid_argument);
+  cfg = config_for(PolicyKind::kGreenHetero);
+  cfg.training_duration = Minutes{20.0};  // longer than the 15-min epoch
+  EXPECT_THROW(GreenHeteroController{cfg}, std::invalid_argument);
+  cfg = config_for(PolicyKind::kGreenHetero);
+  cfg.training_sample_interval = Minutes{0.0};
+  EXPECT_THROW(GreenHeteroController{cfg}, std::invalid_argument);
+}
+
+TEST(Controller, TrainingNeededOnlyForDbPolicies) {
+  const Rack rack = comb1_rack();
+  GreenHeteroController uniform{config_for(PolicyKind::kUniform)};
+  EXPECT_FALSE(uniform.needs_training(rack));
+  GreenHeteroController gh{config_for(PolicyKind::kGreenHetero)};
+  EXPECT_TRUE(gh.needs_training(rack));
+}
+
+TEST(Controller, TrainingSweepShape) {
+  GreenHeteroController gh{config_for(PolicyKind::kGreenHetero)};
+  // 10 minutes at 2-minute sampling: 5 points, ending at full speed.
+  EXPECT_EQ(gh.training_sample_count(), 5);
+  const auto sweep = gh.training_sweep();
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(sweep.front(), GreenHeteroController::kTrainingSweepFloor);
+  EXPECT_DOUBLE_EQ(sweep.back(), 1.0);
+}
+
+TEST(Controller, PlanFlagsTrainingForUnseenWorkload) {
+  const Rack rack = comb1_rack();
+  const RackPowerPlant plant = plant_with(Watts{800.0});
+  GreenHeteroController gh{config_for(PolicyKind::kGreenHetero)};
+  const EpochPlan plan =
+      gh.plan_epoch(rack, plant, Minutes{0.0}, rack.peak_demand());
+  EXPECT_TRUE(plan.training_run);
+}
+
+TEST(Controller, RecordTrainingUnblocksPlanning) {
+  Rack rack = comb1_rack();
+  const RackPowerPlant plant = plant_with(Watts{800.0});
+  GreenHeteroController gh{config_for(PolicyKind::kGreenHetero)};
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const PerfCurve& curve = rack.group_curve(g);
+    std::vector<ServerSample> samples;
+    for (double f : gh.training_sweep()) {
+      const Watts p = curve.idle_power() +
+                      (curve.peak_power() - curve.idle_power()) * f;
+      samples.push_back({p, curve.throughput_at(p)});
+    }
+    gh.record_training({rack.group(g).model, rack.workload()}, samples);
+  }
+  EXPECT_FALSE(gh.needs_training(rack));
+  const EpochPlan plan =
+      gh.plan_epoch(rack, plant, Minutes{0.0}, rack.peak_demand());
+  EXPECT_FALSE(plan.training_run);
+  EXPECT_GT(plan.source.server_budget.value(), 0.0);
+  ASSERT_EQ(plan.allocation.ratios.size(), 2u);
+  EXPECT_LE(plan.allocation.ratio_sum(), 1.0 + 1e-6);
+}
+
+TEST(Controller, PredictionWarmsUpFromHints) {
+  const Rack rack = comb1_rack();
+  const RackPowerPlant plant = plant_with(Watts{800.0});
+  GreenHeteroController gh{config_for(PolicyKind::kUniform)};
+  // Before any observations the plan uses the actuals/hints.
+  const EpochPlan plan =
+      gh.plan_epoch(rack, plant, Minutes{0.0}, Watts{900.0});
+  EXPECT_DOUBLE_EQ(plan.predicted_renewable.value(), 800.0);
+  EXPECT_DOUBLE_EQ(plan.predicted_demand.value(), 900.0);
+}
+
+TEST(Controller, PredictorTracksObservations) {
+  const Rack rack = comb1_rack();
+  const RackPowerPlant plant = plant_with(Watts{800.0});
+  GreenHeteroController gh{config_for(PolicyKind::kUniform)};
+  for (int i = 0; i < 10; ++i) {
+    gh.finish_epoch(rack, Watts{500.0}, Watts{900.0});
+  }
+  const EpochPlan plan =
+      gh.plan_epoch(rack, plant, Minutes{0.0}, Watts{900.0});
+  EXPECT_NEAR(plan.predicted_renewable.value(), 500.0, 25.0);
+}
+
+TEST(Controller, DemandCappedAtRackPeak) {
+  const Rack rack = comb1_rack();
+  const RackPowerPlant plant = plant_with(Watts{5000.0});
+  GreenHeteroController gh{config_for(PolicyKind::kUniform)};
+  const EpochPlan plan =
+      gh.plan_epoch(rack, plant, Minutes{0.0}, Watts{99999.0});
+  EXPECT_LE(plan.predicted_demand.value(), rack.peak_demand().value() + 1e-6);
+}
+
+TEST(Controller, FinishEpochUpdatesDatabaseOnlyForGreenHetero) {
+  Rack rack = comb1_rack();
+  auto seed_db = [&](GreenHeteroController& c) {
+    for (std::size_t g = 0; g < rack.group_count(); ++g) {
+      const PerfCurve& curve = rack.group_curve(g);
+      std::vector<ServerSample> samples;
+      for (double f : c.training_sweep()) {
+        const Watts p = curve.idle_power() +
+                        (curve.peak_power() - curve.idle_power()) * f;
+        samples.push_back({p, curve.throughput_at(p)});
+      }
+      c.record_training({rack.group(g).model, rack.workload()}, samples);
+    }
+  };
+
+  GreenHeteroController gh{config_for(PolicyKind::kGreenHetero)};
+  GreenHeteroController gha{config_for(PolicyKind::kGreenHeteroA)};
+  seed_db(gh);
+  seed_db(gha);
+  rack.run_full_speed();  // give the monitor a live operating point
+
+  const ProfileKey key{rack.group(0).model, rack.workload()};
+  const int before_gh = gh.database().record(key).refit_count;
+  const int before_gha = gha.database().record(key).refit_count;
+  gh.finish_epoch(rack, Watts{500.0}, Watts{900.0});
+  gha.finish_epoch(rack, Watts{500.0}, Watts{900.0});
+  EXPECT_GT(gh.database().record(key).refit_count, before_gh);
+  EXPECT_EQ(gha.database().record(key).refit_count, before_gha);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,112 @@
+// Odds-and-ends coverage: API surface the focused suites do not reach.
+#include <gtest/gtest.h>
+
+#include "power/power_bus.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "sim/run_report.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(Coverage, GridSetBudgetValidatesAndApplies) {
+  GridSupply grid{GridSpec{}};
+  grid.set_budget(Watts{2500.0});
+  EXPECT_DOUBLE_EQ(grid.budget().value(), 2500.0);
+  EXPECT_THROW(grid.set_budget(Watts{-1.0}), GridError);
+}
+
+TEST(Coverage, PlantGridBudgetPropagates) {
+  RackPowerPlant plant = make_fixed_budget_plant(Watts{500.0}, Minutes{60.0});
+  plant.set_grid_budget(Watts{123.0});
+  EXPECT_DOUBLE_EQ(plant.grid_budget().value(), 123.0);
+}
+
+TEST(Coverage, TouFlowsThroughPlantExecute) {
+  GridSpec spec;
+  spec.budget = Watts{1000.0};
+  spec.energy_price = 0.10e-3;
+  spec.demand_charge = 0.0;
+  spec.peak_multiplier = 2.0;
+  PowerTrace flat{Minutes{15.0}, std::vector<Watts>(200, Watts{0.0})};
+  RackPowerPlant plant{SolarArray{flat}, Battery{paper_battery_spec()},
+                       GridSupply{spec}};
+  PowerFlows flows;
+  flows.grid_to_load = Watts{1000.0};
+  // Noon (off-peak) and 18:00 (peak) draws of one hour each.
+  plant.execute(flows, Minutes{12.0 * 60.0}, Minutes{60.0});
+  plant.execute(flows, Minutes{18.0 * 60.0}, Minutes{60.0});
+  EXPECT_DOUBLE_EQ(plant.grid().peak_tariff_energy().value(), 1000.0);
+  EXPECT_NEAR(plant.grid().total_cost(), 0.10 + 0.20, 1e-12);
+}
+
+TEST(Coverage, TouSurvivesDayWrap) {
+  GridSpec spec;
+  spec.peak_multiplier = 2.0;
+  PowerTrace flat{Minutes{15.0}, std::vector<Watts>(400, Watts{0.0})};
+  RackPowerPlant plant{SolarArray{flat}, Battery{paper_battery_spec()},
+                       GridSupply{spec}};
+  PowerFlows flows;
+  flows.grid_to_load = Watts{100.0};
+  // Day 2, 18:30 -> still inside the peak window after the modulo.
+  plant.execute(flows, Minutes{(24.0 + 18.5) * 60.0}, Minutes{30.0});
+  EXPECT_GT(plant.grid().peak_tariff_energy().value(), 0.0);
+}
+
+TEST(Coverage, RunReportCsvCarriesValues) {
+  RunReport report;
+  EpochRecord e;
+  e.start = Minutes{15.0};
+  e.source_case = PowerCase::kJointSupply;
+  e.budget = Watts{640.0};
+  e.ratios = {0.25, 0.75};
+  e.throughput = 1234.0;
+  e.epu = 0.5;
+  e.battery_soc = 0.8;
+  report.epochs.push_back(e);
+  const CsvTable csv = report.to_csv();
+  ASSERT_EQ(csv.row_count(), 1u);
+  EXPECT_DOUBLE_EQ(csv.number(0, "minute"), 15.0);
+  EXPECT_DOUBLE_EQ(csv.number(0, "budget_w"), 640.0);
+  EXPECT_DOUBLE_EQ(csv.number(0, "par0"), 0.25);
+  EXPECT_DOUBLE_EQ(csv.number(0, "par1"), 0.75);
+  EXPECT_DOUBLE_EQ(csv.number(0, "par2"), 0.0);  // absent third group
+  EXPECT_DOUBLE_EQ(csv.number(0, "throughput"), 1234.0);
+  EXPECT_DOUBLE_EQ(csv.number(0, "epu"), 0.5);
+}
+
+TEST(Coverage, SimulatorNowAdvances) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(Watts{700.0}, Minutes{100.0}),
+                    SimConfig{}};
+  EXPECT_DOUBLE_EQ(sim.now().value(), 0.0);
+  (void)sim.step_epoch();
+  EXPECT_DOUBLE_EQ(sim.now().value(), 15.0);
+}
+
+TEST(Coverage, FixedBudgetPlantHandlesLongRuns) {
+  // Duration rounding: the trace must cover the requested horizon.
+  const RackPowerPlant plant =
+      make_fixed_budget_plant(Watts{700.0}, Minutes{7.0 * 24.0 * 60.0});
+  EXPECT_DOUBLE_EQ(
+      plant.renewable_available(Minutes{7.0 * 24.0 * 60.0 - 1.0}).value(),
+      700.0);
+}
+
+TEST(Coverage, EpochPlanCarriesPredictions) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kUniform;
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(Watts{700.0}, Minutes{500.0}),
+                    std::move(cfg)};
+  const RunReport report = sim.run(Minutes{120.0});
+  // After warmup the predicted renewable tracks the constant 700 W plant.
+  const EpochRecord& last = report.epochs.back();
+  EXPECT_NEAR(last.predicted_renewable.value(), 700.0, 50.0);
+  EXPECT_NEAR(last.actual_renewable.value(), 700.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace greenhetero

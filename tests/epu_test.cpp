@@ -1,0 +1,67 @@
+#include "core/epu.h"
+
+#include <gtest/gtest.h>
+
+namespace greenhetero {
+namespace {
+
+TEST(Epu, EmptyMeterIsZero) {
+  const EpuMeter meter;
+  EXPECT_DOUBLE_EQ(meter.epu(), 0.0);
+}
+
+TEST(Epu, PerfectUtilisation) {
+  EpuMeter meter;
+  meter.record(Watts{220.0}, Watts{220.0}, Minutes{15.0});
+  EXPECT_DOUBLE_EQ(meter.epu(), 1.0);
+}
+
+TEST(Epu, PaperFigure3Arithmetic) {
+  // The case study: 220 W supplied, servers able to draw only 81 W at the
+  // degenerate 100% PAR -> EPU ~ 37%.
+  EpuMeter meter;
+  meter.record(Watts{220.0}, Watts{81.0}, Minutes{15.0});
+  EXPECT_NEAR(meter.epu(), 0.368, 1e-3);
+}
+
+TEST(Epu, UsefulDrawCappedAtSupply) {
+  EpuMeter meter;
+  meter.record(Watts{100.0}, Watts{150.0}, Minutes{10.0});
+  EXPECT_DOUBLE_EQ(meter.epu(), 1.0);
+}
+
+TEST(Epu, EnergyWeightedAcrossSteps) {
+  EpuMeter meter;
+  meter.record(Watts{100.0}, Watts{100.0}, Minutes{60.0});  // 100 Wh / 100 Wh
+  meter.record(Watts{300.0}, Watts{0.0}, Minutes{20.0});    // 0 / 100 Wh
+  EXPECT_NEAR(meter.epu(), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(meter.supplied().value(), 200.0);
+  EXPECT_DOUBLE_EQ(meter.useful().value(), 100.0);
+}
+
+TEST(Epu, ZeroSupplyStepsIgnored) {
+  EpuMeter meter;
+  meter.record(Watts{0.0}, Watts{0.0}, Minutes{15.0});
+  EXPECT_DOUBLE_EQ(meter.epu(), 0.0);
+  meter.record(Watts{100.0}, Watts{80.0}, Minutes{15.0});
+  EXPECT_NEAR(meter.epu(), 0.8, 1e-12);
+}
+
+TEST(Epu, InstantaneousHelper) {
+  EXPECT_DOUBLE_EQ(EpuMeter::instantaneous(Watts{0.0}, Watts{50.0}), 0.0);
+  EXPECT_NEAR(EpuMeter::instantaneous(Watts{200.0}, Watts{150.0}), 0.75,
+              1e-12);
+  EXPECT_DOUBLE_EQ(EpuMeter::instantaneous(Watts{200.0}, Watts{300.0}), 1.0);
+}
+
+TEST(Epu, AlwaysWithinUnitInterval) {
+  EpuMeter meter;
+  for (int i = 0; i < 50; ++i) {
+    meter.record(Watts{50.0 + i}, Watts{i * 3.0}, Minutes{5.0});
+    EXPECT_GE(meter.epu(), 0.0);
+    EXPECT_LE(meter.epu(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,118 @@
+// Failure injection: flaky meters and renewable outages.  The controller
+// must degrade (fewer samples, grid fallback), never crash or corrupt its
+// database.
+#include <gtest/gtest.h>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/solar.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(FaultInjection, MonitorDropoutValidation) {
+  Monitor monitor{0.0, Rng(1)};
+  EXPECT_THROW(monitor.set_dropout_rate(-0.1), std::invalid_argument);
+  EXPECT_THROW(monitor.set_dropout_rate(1.1), std::invalid_argument);
+  monitor.set_dropout_rate(0.25);
+  EXPECT_DOUBLE_EQ(monitor.dropout_rate(), 0.25);
+}
+
+TEST(FaultInjection, DroppedSamplesReadAsZero) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  rack.run_full_speed();
+  Monitor monitor{0.0, Rng(7)};
+  monitor.set_dropout_rate(1.0);  // every reading lost
+  const ServerSample s = monitor.sample_group(rack, 0);
+  EXPECT_DOUBLE_EQ(s.power.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.throughput, 0.0);
+}
+
+TEST(FaultInjection, TrainingRetriesUnderHeavyDropout) {
+  // 60% of readings lost: single training runs often yield < 3 valid
+  // samples, so the controller must keep retrying until one sticks — and
+  // the run must complete without throwing.
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 5;
+  cfg.controller.monitor_dropout = 0.6;
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(Watts{800.0}, Minutes{2000.0}),
+                    std::move(cfg)};
+  const RunReport report = sim.run(Minutes{8.0 * 60.0});
+  // Eventually both groups get trained and service resumes.
+  EXPECT_EQ(sim.controller().database().size(), 2u);
+  int training_epochs = 0;
+  for (const auto& e : report.epochs) training_epochs += e.training ? 1 : 0;
+  EXPECT_GE(training_epochs, 1);
+  EXPECT_GT(report.epochs.back().throughput, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-6);
+}
+
+TEST(FaultInjection, RuntimeDropoutDoesNotPoisonTheDatabase) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 9;
+  cfg.controller.monitor_dropout = 0.5;
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(Watts{800.0}, Minutes{2000.0}),
+                    std::move(cfg)};
+  sim.pretrain();  // pretraining bypasses the flaky meters? No: it samples
+                   // through the same monitor, so it may retry too.
+  const RunReport report = sim.run(Minutes{6.0 * 60.0});
+  // Every database sample is a real (positive-power) observation.
+  for (const ProfileKey& key : sim.controller().database().keys()) {
+    const ProfileRecord& rec = sim.controller().database().record(key);
+    for (double p : rec.powers) {
+      EXPECT_GT(p, 0.0);
+    }
+  }
+  EXPECT_GT(report.total_work, 0.0);
+}
+
+TEST(FaultInjection, TraceOutageZeroesTheWindow) {
+  const PowerTrace solar = high_solar_week(Watts{2500.0}, 3);
+  const PowerTrace broken =
+      solar.with_outage(Minutes{11.0 * 60.0}, Minutes{2.0 * 60.0});
+  ASSERT_EQ(broken.size(), solar.size());
+  EXPECT_DOUBLE_EQ(broken.at(Minutes{11.5 * 60.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(broken.at(Minutes{12.9 * 60.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(broken.at(Minutes{13.0 * 60.0}).value(),
+                   solar.at(Minutes{13.0 * 60.0}).value());
+  EXPECT_THROW((void)solar.with_outage(Minutes{0.0}, Minutes{0.0}),
+               TraceError);
+}
+
+TEST(FaultInjection, MiddayInverterTripIsRiddenThrough) {
+  // Kill the solar feed for two midday hours: battery and grid must carry
+  // the rack, and the run must conserve energy throughout.
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 13;
+  GridSpec grid;
+  grid.budget = Watts{1000.0};
+  const PowerTrace solar = high_solar_week(Watts{2500.0}, 3)
+                               .with_outage(Minutes{11.0 * 60.0},
+                                            Minutes{2.0 * 60.0});
+  RackSimulator sim{std::move(rack), make_standard_plant(solar, grid),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{24.0 * 60.0});
+  EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-5);
+  // During the outage window the rack still did useful work.
+  double outage_throughput = 0.0;
+  for (const auto& e : report.epochs) {
+    const double hour = e.start.value() / 60.0;
+    if (hour >= 11.25 && hour < 13.0) {
+      outage_throughput += e.throughput;
+      EXPECT_LT(e.actual_renewable.value(), 1.0);
+    }
+  }
+  EXPECT_GT(outage_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,161 @@
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "server/combinations.h"
+#include "trace/solar.h"
+
+namespace greenhetero {
+namespace {
+
+RackSimulator make_rack_sim(Watts solar_capacity, PolicyKind policy,
+                            std::uint64_t seed,
+                            Minutes epoch = Minutes{15.0}) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = policy;
+  cfg.controller.seed = seed;
+  cfg.controller.epoch = epoch;
+  cfg.controller.profiling_noise = 0.0;
+  GridSpec grid;
+  grid.budget = Watts{500.0};  // overwritten by the fleet each epoch
+  PowerTrace solar =
+      generate_solar_trace(high_solar_model(solar_capacity), 2, seed);
+  return RackSimulator{std::move(rack), make_standard_plant(std::move(solar), grid),
+                       std::move(cfg)};
+}
+
+TEST(Fleet, Validation) {
+  EXPECT_THROW(Fleet({}, Watts{1000.0}, GridShareMode::kStatic), FleetError);
+
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 1));
+  EXPECT_THROW(Fleet(std::move(racks), Watts{-1.0}, GridShareMode::kStatic),
+               FleetError);
+
+  std::vector<RackSimulator> mismatched;
+  mismatched.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 1));
+  mismatched.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 2,
+                                     Minutes{30.0}));
+  EXPECT_THROW(
+      Fleet(std::move(mismatched), Watts{1000.0}, GridShareMode::kStatic),
+      FleetError);
+}
+
+TEST(Fleet, ModeNames) {
+  EXPECT_STREQ(to_string(GridShareMode::kStatic), "static");
+  EXPECT_STREQ(to_string(GridShareMode::kDemandProportional),
+               "demand-proportional");
+}
+
+TEST(Fleet, SingleRackMatchesStandaloneRun) {
+  // A fleet of one with a static share equal to the standalone grid budget
+  // must reproduce the standalone simulation exactly.
+  RackSimulator standalone =
+      make_rack_sim(Watts{2000.0}, PolicyKind::kGreenHetero, 7);
+  standalone.set_grid_budget(Watts{1000.0});
+  standalone.pretrain();
+  const RunReport expected = standalone.run(Minutes{6.0 * 60.0});
+
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kGreenHetero, 7));
+  Fleet fleet{std::move(racks), Watts{1000.0}, GridShareMode::kStatic};
+  fleet.pretrain();
+  const FleetReport report = fleet.run(Minutes{6.0 * 60.0});
+
+  ASSERT_EQ(report.racks.size(), 1u);
+  ASSERT_EQ(report.racks[0].epochs.size(), expected.epochs.size());
+  EXPECT_NEAR(report.total_work, expected.total_work, 1e-9);
+  EXPECT_NEAR(report.racks[0].overall_epu, expected.overall_epu, 1e-12);
+}
+
+TEST(Fleet, StaticSharesAreEqual) {
+  std::vector<RackSimulator> racks;
+  for (int i = 0; i < 4; ++i) {
+    racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform,
+                                  static_cast<std::uint64_t>(i)));
+  }
+  const Fleet fleet{std::move(racks), Watts{2000.0}, GridShareMode::kStatic};
+  const auto shares = fleet.plan_grid_shares();
+  ASSERT_EQ(shares.size(), 4u);
+  for (const Watts s : shares) {
+    EXPECT_NEAR(s.value(), 500.0, 1e-9);
+  }
+}
+
+TEST(Fleet, ProportionalSharesSumToBudget) {
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{500.0}, PolicyKind::kUniform, 1));
+  racks.push_back(make_rack_sim(Watts{4000.0}, PolicyKind::kUniform, 2));
+  Fleet fleet{std::move(racks), Watts{1500.0},
+              GridShareMode::kDemandProportional};
+  fleet.pretrain();
+  (void)fleet.run(Minutes{60.0});  // advance into the day
+  const auto shares = fleet.plan_grid_shares();
+  double total = 0.0;
+  for (const Watts s : shares) {
+    EXPECT_GE(s.value(), -1e-9);
+    total += s.value();
+  }
+  EXPECT_LE(total, 1500.0 + 1e-6);
+}
+
+TEST(Fleet, ProportionalFavoursTheStarvedRack) {
+  // Rack 0 has a tiny solar array, rack 1 a huge one: once the sun is up,
+  // the proportional coordinator must give rack 0 the larger grid share.
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{200.0}, PolicyKind::kUniform, 1));
+  racks.push_back(make_rack_sim(Watts{6000.0}, PolicyKind::kUniform, 2));
+  Fleet fleet{std::move(racks), Watts{1500.0},
+              GridShareMode::kDemandProportional};
+  fleet.pretrain();
+  (void)fleet.run(Minutes{13.0 * 60.0});  // reach midday
+  const auto shares = fleet.plan_grid_shares();
+  EXPECT_GT(shares[0].value(), shares[1].value());
+}
+
+TEST(Fleet, PeakAllocationWithinBudget) {
+  std::vector<RackSimulator> racks;
+  for (int i = 0; i < 3; ++i) {
+    racks.push_back(make_rack_sim(Watts{1000.0 + 800.0 * i},
+                                  PolicyKind::kGreenHetero,
+                                  static_cast<std::uint64_t>(i + 10)));
+  }
+  Fleet fleet{std::move(racks), Watts{2400.0},
+              GridShareMode::kDemandProportional};
+  fleet.pretrain();
+  const FleetReport report = fleet.run(Minutes{24.0 * 60.0});
+  EXPECT_LE(report.peak_grid_allocation.value(), 2400.0 + 1e-6);
+  EXPECT_GT(report.total_work, 0.0);
+  for (const RunReport& r : report.racks) {
+    EXPECT_NEAR(r.ledger.conservation_error(), 0.0, 1e-6);
+  }
+}
+
+TEST(Fleet, ProportionalBeatsStaticOnAsymmetricFleet) {
+  // One sun-poor and one sun-rich rack share a tight grid budget: shifting
+  // grid watts to the starved rack must increase total fleet work.
+  auto build = [](GridShareMode mode) {
+    std::vector<RackSimulator> racks;
+    racks.push_back(make_rack_sim(Watts{300.0}, PolicyKind::kGreenHetero, 5));
+    racks.push_back(make_rack_sim(Watts{5000.0}, PolicyKind::kGreenHetero, 6));
+    Fleet fleet{std::move(racks), Watts{1200.0}, mode};
+    fleet.pretrain();
+    return fleet.run(Minutes{24.0 * 60.0});
+  };
+  const FleetReport statically = build(GridShareMode::kStatic);
+  const FleetReport proportional =
+      build(GridShareMode::kDemandProportional);
+  EXPECT_GT(proportional.total_work, statically.total_work);
+}
+
+TEST(Fleet, RackAccessorBounds) {
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 1));
+  Fleet fleet{std::move(racks), Watts{1000.0}, GridShareMode::kStatic};
+  EXPECT_NO_THROW((void)fleet.rack(0));
+  EXPECT_THROW((void)fleet.rack(1), FleetError);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,127 @@
+// Colocation extension: groups of one rack running different workloads.
+// The controller's database keys are per (server config, workload), so the
+// whole pipeline works unchanged; these tests pin that down.
+#include <gtest/gtest.h>
+
+#include "core/policies.h"
+#include "server/rack.h"
+#include "sim/rack_simulator.h"
+
+namespace greenhetero {
+namespace {
+
+Rack colocated_rack() {
+  return Rack{{{ServerModel::kXeonE5_2620, 5}, {ServerModel::kCoreI5_4460, 5}},
+              {Workload::kStreamcluster, Workload::kMemcached}};
+}
+
+TEST(MixedRack, ConstructionAndAccessors) {
+  const Rack rack = colocated_rack();
+  EXPECT_EQ(rack.group_workload(0), Workload::kStreamcluster);
+  EXPECT_EQ(rack.group_workload(1), Workload::kMemcached);
+  EXPECT_FALSE(rack.uniform_workload());
+  EXPECT_EQ(rack.workload(), Workload::kStreamcluster);  // first group
+  EXPECT_THROW((void)rack.group_workload(2), RackError);
+}
+
+TEST(MixedRack, UniformConstructorStaysUniform) {
+  const Rack rack{{{ServerModel::kXeonE5_2620, 2},
+                   {ServerModel::kCoreI5_4460, 2}},
+                  Workload::kSpecJbb};
+  EXPECT_TRUE(rack.uniform_workload());
+  EXPECT_EQ(rack.group_workload(1), Workload::kSpecJbb);
+}
+
+TEST(MixedRack, ValidatesShape) {
+  // Wrong workload count.
+  EXPECT_THROW(Rack({{ServerModel::kXeonE5_2620, 2}},
+                    std::vector<Workload>{Workload::kSpecJbb,
+                                          Workload::kMemcached}),
+               RackError);
+  // Non-runnable pair (interactive service on the GPU node).
+  EXPECT_THROW(Rack({{ServerModel::kXeonE5_2620, 2},
+                     {ServerModel::kTitanXp, 2}},
+                    {Workload::kSpecJbb, Workload::kMemcached}),
+               RackError);
+  // GPU node with a GPU-capable workload is fine.
+  EXPECT_NO_THROW(Rack({{ServerModel::kXeonE5_2620, 2},
+                        {ServerModel::kTitanXp, 2}},
+                       {Workload::kSpecJbb, Workload::kSradV1}));
+}
+
+TEST(MixedRack, GroupCurvesComeFromOwnWorkload) {
+  const Rack rack = colocated_rack();
+  const WorkloadCatalog& cat = default_catalog();
+  EXPECT_DOUBLE_EQ(
+      rack.group_curve(0).peak_throughput(),
+      cat.curve(ServerModel::kXeonE5_2620, Workload::kStreamcluster)
+          .peak_throughput());
+  EXPECT_DOUBLE_EQ(
+      rack.group_curve(1).peak_throughput(),
+      cat.curve(ServerModel::kCoreI5_4460, Workload::kMemcached)
+          .peak_throughput());
+}
+
+TEST(MixedRack, SetGroupWorkloadRebuildsOneGroup) {
+  Rack rack = colocated_rack();
+  rack.run_full_speed();
+  const double xeon_before = rack.group_curve(0).peak_throughput();
+  rack.set_group_workload(1, Workload::kSpecJbb);
+  EXPECT_EQ(rack.group_workload(1), Workload::kSpecJbb);
+  EXPECT_DOUBLE_EQ(rack.group_curve(0).peak_throughput(), xeon_before);
+  // Only group 1's servers restarted asleep.
+  EXPECT_GT(rack.group_draw(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(rack.group_draw(1).value(), 0.0);
+}
+
+TEST(MixedRack, PretrainCreatesPerWorkloadRecords) {
+  RackSimulator sim{colocated_rack(),
+                    make_fixed_budget_plant(Watts{700.0}, Minutes{300.0}),
+                    SimConfig{}};
+  sim.pretrain();
+  const PerfPowerDatabase& db = sim.controller().database();
+  EXPECT_TRUE(db.contains(
+      {ServerModel::kXeonE5_2620, Workload::kStreamcluster}));
+  EXPECT_TRUE(db.contains({ServerModel::kCoreI5_4460, Workload::kMemcached}));
+  EXPECT_FALSE(db.contains({ServerModel::kXeonE5_2620, Workload::kMemcached}));
+}
+
+TEST(MixedRack, FullPipelineRunsAndConserves) {
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = 3;
+  RackSimulator sim{colocated_rack(),
+                    make_fixed_budget_plant(Watts{800.0}, Minutes{400.0}),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{180.0});
+  EXPECT_GT(report.total_work, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-6);
+  for (const auto& e : report.epochs) {
+    EXPECT_FALSE(e.training);  // pretraining covered both pairs
+  }
+}
+
+TEST(MixedRack, SolverAllocatesAcrossWorkloads) {
+  Rack rack = colocated_rack();
+  PerfPowerDatabase db;
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const PerfCurve& curve = rack.group_curve(g);
+    std::vector<ServerSample> samples;
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const Watts p = curve.idle_power() +
+                      (curve.peak_power() - curve.idle_power()) * f;
+      samples.push_back({p, curve.throughput_at(p)});
+    }
+    db.add_training_samples({rack.group(g).model, rack.group_workload(g)},
+                            samples);
+  }
+  const Allocation a =
+      make_policy(PolicyKind::kGreenHetero)->allocate(rack, db, Watts{900.0});
+  ASSERT_EQ(a.ratios.size(), 2u);
+  EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6);
+  EXPECT_GT(a.predicted_perf, 0.0);
+}
+
+}  // namespace
+}  // namespace greenhetero

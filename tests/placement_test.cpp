@@ -1,0 +1,138 @@
+// Workload placement + time-of-use tariff tests.
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+#include "power/grid.h"
+#include "server/combinations.h"
+
+namespace greenhetero {
+namespace {
+
+/// Noise-free database covering each group model x workload pair.
+PerfPowerDatabase db_for(const Rack& rack,
+                         std::span<const Workload> workloads) {
+  PerfPowerDatabase db;
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    for (Workload w : workloads) {
+      if (!rack.catalog().runnable(rack.group(g).model, w)) continue;
+      const PerfCurve curve = rack.catalog().curve(rack.group(g).model, w);
+      std::vector<ServerSample> samples;
+      for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const Watts p = curve.idle_power() +
+                        (curve.peak_power() - curve.idle_power()) * f;
+        samples.push_back({p, curve.throughput_at(p)});
+      }
+      db.add_training_samples({rack.group(g).model, w}, samples);
+    }
+  }
+  return db;
+}
+
+TEST(Placement, ValidatesShape) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const PerfPowerDatabase db;
+  const std::vector<Workload> one = {Workload::kSpecJbb};
+  EXPECT_THROW((void)optimize_placement(rack, one, db, Watts{700.0}),
+               RackError);
+}
+
+TEST(Placement, MissingRecordsThrow) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const PerfPowerDatabase empty;
+  const std::vector<Workload> w = {Workload::kSpecJbb, Workload::kMemcached};
+  EXPECT_THROW((void)optimize_placement(rack, w, empty, Watts{700.0}),
+               DatabaseError);
+}
+
+TEST(Placement, MapsBandwidthBoundWorkToTheXeons) {
+  // Streamcluster favours the Xeons, Swaptions the desktop parts: the
+  // optimizer must assign accordingly rather than the other way round.
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const std::vector<Workload> w = {Workload::kStreamcluster,
+                                   Workload::kSwaptions};
+  const PerfPowerDatabase db = db_for(rack, w);
+  const PlacementResult r =
+      optimize_placement(rack, w, db, Watts{1000.0});
+  ASSERT_EQ(r.assignment.size(), 2u);
+  EXPECT_EQ(r.assignment[0], Workload::kStreamcluster);  // Xeon group
+  EXPECT_EQ(r.assignment[1], Workload::kSwaptions);      // i5 group
+  EXPECT_GT(r.predicted_perf, 0.0);
+  EXPECT_LE(r.allocation.ratio_sum(), 1.0 + 1e-6);
+}
+
+TEST(Placement, RespectsRunnability) {
+  // One workload is GPU-only-infeasible on the GPU group... invert: the
+  // GPU group cannot run Memcached, so the assignment must put Srad_v1
+  // there even if the raw numbers said otherwise.
+  const Rack rack{{{ServerModel::kXeonE5_2620, 5}, {ServerModel::kTitanXp, 5}},
+                  {Workload::kMcf, Workload::kSradV1}};
+  const std::vector<Workload> w = {Workload::kMcf, Workload::kSradV1};
+  const PerfPowerDatabase db = db_for(rack, w);
+  const PlacementResult r =
+      optimize_placement(rack, w, db, Watts{2000.0});
+  EXPECT_EQ(r.assignment[1], Workload::kSradV1);  // only feasible choice
+  EXPECT_EQ(r.assignment[0], Workload::kMcf);
+}
+
+TEST(Placement, BeatsTheWorstAssignment) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const std::vector<Workload> w = {Workload::kStreamcluster,
+                                   Workload::kSwaptions};
+  const PerfPowerDatabase db = db_for(rack, w);
+  const Watts budget{1000.0};
+  const PlacementResult best = optimize_placement(rack, w, db, budget);
+  // Evaluate the flipped assignment by hand.
+  const std::vector<Workload> flipped = {Workload::kSwaptions,
+                                         Workload::kStreamcluster};
+  Rack flipped_rack{default_runtime_rack(), flipped};
+  double flipped_perf = 0.0;
+  {
+    std::vector<GroupModel> models;
+    for (std::size_t g = 0; g < flipped_rack.group_count(); ++g) {
+      GroupModel m = GroupModel::from_record(
+          db.record({flipped_rack.group(g).model, flipped[g]}),
+          flipped_rack.group(g).count);
+      const PerfCurve curve = flipped_rack.group_curve(g);
+      m.min_power = curve.idle_power();
+      m.max_power = curve.peak_power();
+      models.push_back(m);
+    }
+    flipped_perf = Solver::solve(models, budget).predicted_perf;
+  }
+  EXPECT_GE(best.predicted_perf, flipped_perf - 1e-6);
+}
+
+TEST(TimeOfUse, PeakWindowDetection) {
+  GridSpec spec;
+  spec.peak_multiplier = 3.0;
+  EXPECT_TRUE(spec.in_peak(18.0));
+  EXPECT_FALSE(spec.in_peak(12.0));
+  EXPECT_FALSE(spec.in_peak(21.0));  // end-exclusive
+  GridSpec flat;
+  EXPECT_FALSE(flat.in_peak(18.0));  // multiplier 1.0 disables TOU
+}
+
+TEST(TimeOfUse, PeakEnergyBilledAtMultiplier) {
+  GridSpec spec;
+  spec.budget = Watts{1000.0};
+  spec.energy_price = 0.10e-3;
+  spec.demand_charge = 0.0;
+  spec.peak_multiplier = 3.0;
+  GridSupply grid{spec};
+  grid.draw(Watts{1000.0}, Minutes{60.0}, /*hour=*/12.0);  // off-peak 1 kWh
+  grid.draw(Watts{1000.0}, Minutes{60.0}, /*hour=*/18.0);  // peak 1 kWh
+  EXPECT_DOUBLE_EQ(grid.total_energy().value(), 2000.0);
+  EXPECT_DOUBLE_EQ(grid.peak_tariff_energy().value(), 1000.0);
+  // $0.10 off-peak + $0.30 peak.
+  EXPECT_NEAR(grid.total_cost(), 0.40, 1e-12);
+}
+
+TEST(TimeOfUse, FlatTariffUnchanged) {
+  GridSupply grid{GridSpec{Watts{1000.0}, 0.10e-3, 0.0}};
+  grid.draw(Watts{500.0}, Minutes{120.0}, 18.0);  // hour irrelevant
+  EXPECT_DOUBLE_EQ(grid.peak_tariff_energy().value(), 0.0);
+  EXPECT_NEAR(grid.total_cost(), 0.10, 1e-12);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,163 @@
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "server/combinations.h"
+
+namespace greenhetero {
+namespace {
+
+Rack comb1_rack() { return Rack{default_runtime_rack(), Workload::kSpecJbb}; }
+
+/// Seed a database from the rack's ground truth (a perfect training run).
+PerfPowerDatabase perfect_db(const Rack& rack) {
+  PerfPowerDatabase db;
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const PerfCurve& curve = rack.group_curve(g);
+    std::vector<ServerSample> samples;
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const Watts p = curve.idle_power() +
+                      (curve.peak_power() - curve.idle_power()) * f;
+      samples.push_back({p, curve.throughput_at(p)});
+    }
+    db.add_training_samples({rack.group(g).model, rack.workload()}, samples);
+  }
+  return db;
+}
+
+/// Ground-truth rack performance of an allocation.
+double true_perf(const Rack& rack, const Allocation& a, Watts budget) {
+  double total = 0.0;
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const double count = rack.group(g).count;
+    const Watts per_server{a.ratios[g] * budget.value() / count};
+    if (per_server.value() >= rack.group_curve(g).idle_power().value()) {
+      total += count * rack.group_curve(g).throughput_at(per_server);
+    }
+  }
+  return total;
+}
+
+TEST(Policies, Names) {
+  EXPECT_EQ(to_string(PolicyKind::kUniform), "Uniform");
+  EXPECT_EQ(to_string(PolicyKind::kManual), "Manual");
+  EXPECT_EQ(to_string(PolicyKind::kGreenHeteroP), "GreenHetero-p");
+  EXPECT_EQ(to_string(PolicyKind::kGreenHeteroA), "GreenHetero-a");
+  EXPECT_EQ(to_string(PolicyKind::kGreenHetero), "GreenHetero");
+}
+
+TEST(Policies, FactoryAndFlags) {
+  for (PolicyKind kind : kAllPolicies) {
+    const auto policy = make_policy(kind);
+    EXPECT_EQ(policy->kind(), kind);
+  }
+  EXPECT_FALSE(make_policy(PolicyKind::kUniform)->needs_database());
+  EXPECT_FALSE(make_policy(PolicyKind::kManual)->needs_database());
+  EXPECT_TRUE(make_policy(PolicyKind::kGreenHeteroP)->needs_database());
+  EXPECT_TRUE(make_policy(PolicyKind::kGreenHeteroA)->needs_database());
+  EXPECT_FALSE(make_policy(PolicyKind::kGreenHeteroA)->updates_database());
+  EXPECT_TRUE(make_policy(PolicyKind::kGreenHetero)->updates_database());
+}
+
+TEST(Policies, UniformSplitsByServerCount) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db;
+  const Allocation a =
+      make_policy(PolicyKind::kUniform)->allocate(rack, db, Watts{700.0});
+  ASSERT_EQ(a.ratios.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.ratios[0], 0.5);
+  EXPECT_DOUBLE_EQ(a.ratios[1], 0.5);
+}
+
+TEST(Policies, UniformOnUnevenGroups) {
+  const Rack rack{{{ServerModel::kXeonE5_2620, 2},
+                   {ServerModel::kCoreI5_4460, 8}},
+                  Workload::kSpecJbb};
+  const PerfPowerDatabase db;
+  const Allocation a =
+      make_policy(PolicyKind::kUniform)->allocate(rack, db, Watts{700.0});
+  EXPECT_DOUBLE_EQ(a.ratios[0], 0.2);
+  EXPECT_DOUBLE_EQ(a.ratios[1], 0.8);
+}
+
+TEST(Policies, ManualBeatsUniformUnderScarcity) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db;
+  const Watts budget{600.0};
+  const Allocation manual =
+      make_policy(PolicyKind::kManual)->allocate(rack, db, budget);
+  const Allocation uniform =
+      make_policy(PolicyKind::kUniform)->allocate(rack, db, budget);
+  EXPECT_GT(true_perf(rack, manual, budget),
+            true_perf(rack, uniform, budget));
+  EXPECT_LE(manual.ratio_sum(), 1.0 + 1e-9);
+}
+
+TEST(Policies, ManualRatiosAreTenPercentGranular) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db;
+  const Allocation a =
+      make_policy(PolicyKind::kManual)->allocate(rack, db, Watts{777.0});
+  for (double r : a.ratios) {
+    EXPECT_NEAR(r * 10.0, std::round(r * 10.0), 1e-9);
+  }
+}
+
+TEST(Policies, GreenHeteroPFillsEfficientGroupFirst) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db = perfect_db(rack);
+  // SPECjbb: the i5 (group 1) has the better throughput/watt.
+  const Allocation a =
+      make_policy(PolicyKind::kGreenHeteroP)->allocate(rack, db, Watts{500.0});
+  // 500 W barely covers the i5 group's 5 x 96 W peak: nearly everything
+  // goes there, and the sliver left for the Xeons is below their floor.
+  EXPECT_GT(a.ratios[1], 0.9);
+  EXPECT_LT(a.ratios[0], 0.1);
+}
+
+TEST(Policies, GreenHeteroPRespectsPeaks) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db = perfect_db(rack);
+  const Watts budget{2000.0};
+  const Allocation a =
+      make_policy(PolicyKind::kGreenHeteroP)->allocate(rack, db, budget);
+  // The efficient group gets exactly its peak, the rest flows on.
+  const Watts i5_peak = rack.group_curve(1).peak_power();
+  EXPECT_NEAR(a.ratios[1] * budget.value(), i5_peak.value() * 5.0, 1.0);
+  EXPECT_GT(a.ratios[0], 0.0);
+}
+
+TEST(Policies, SolverPoliciesNeedDbRecords) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase empty;
+  EXPECT_THROW((void)make_policy(PolicyKind::kGreenHetero)
+                   ->allocate(rack, empty, Watts{700.0}),
+               DatabaseError);
+}
+
+TEST(Policies, GreenHeteroBeatsUniformAndPOnTruth) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db = perfect_db(rack);
+  const Watts budget{700.0};
+  const Allocation gh =
+      make_policy(PolicyKind::kGreenHetero)->allocate(rack, db, budget);
+  const Allocation uniform =
+      make_policy(PolicyKind::kUniform)->allocate(rack, db, budget);
+  const Allocation p =
+      make_policy(PolicyKind::kGreenHeteroP)->allocate(rack, db, budget);
+  const double gh_perf = true_perf(rack, gh, budget);
+  EXPECT_GT(gh_perf, true_perf(rack, uniform, budget));
+  EXPECT_GE(gh_perf, true_perf(rack, p, budget) * 0.98);
+}
+
+TEST(Policies, GroupModelsFromDbMatchesGroups) {
+  const Rack rack = comb1_rack();
+  const PerfPowerDatabase db = perfect_db(rack);
+  const auto models = group_models_from_db(rack, db);
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].count, 5);
+  EXPECT_GT(models[0].max_power.value(), models[0].min_power.value());
+}
+
+}  // namespace
+}  // namespace greenhetero

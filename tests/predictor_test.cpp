@@ -1,0 +1,209 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "trace/solar.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(Holt, ParamValidation) {
+  EXPECT_THROW(HoltPredictor(HoltParams{-0.1, 0.5}), PredictorError);
+  EXPECT_THROW(HoltPredictor(HoltParams{0.5, 1.1}), PredictorError);
+  EXPECT_NO_THROW(HoltPredictor(HoltParams{0.0, 1.0}));
+}
+
+TEST(Holt, NotReadyBeforeTwoObservations) {
+  HoltPredictor p;
+  EXPECT_FALSE(p.ready());
+  EXPECT_THROW((void)p.predict(), PredictorError);
+  p.observe(1.0);
+  EXPECT_FALSE(p.ready());
+  p.observe(2.0);
+  EXPECT_TRUE(p.ready());
+}
+
+TEST(Holt, ConstantSeriesPredictsConstant) {
+  HoltPredictor p(HoltParams{0.5, 0.3});
+  for (int i = 0; i < 20; ++i) p.observe(100.0);
+  EXPECT_NEAR(p.predict(), 100.0, 1e-9);
+  EXPECT_NEAR(p.trend(), 0.0, 1e-9);
+}
+
+TEST(Holt, LinearTrendExtrapolates) {
+  HoltPredictor p(HoltParams{0.8, 0.8});
+  for (int i = 0; i < 50; ++i) p.observe(10.0 + 2.0 * i);
+  // Next value should be ~10 + 2*50.
+  EXPECT_NEAR(p.predict(), 110.0, 1.0);
+}
+
+TEST(Holt, ResetClearsState) {
+  HoltPredictor p;
+  p.observe(1.0);
+  p.observe(2.0);
+  p.reset();
+  EXPECT_FALSE(p.ready());
+}
+
+TEST(LastValue, PredictsLastObservation) {
+  LastValuePredictor p;
+  EXPECT_THROW((void)p.predict(), PredictorError);
+  p.observe(3.0);
+  p.observe(7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+  p.reset();
+  EXPECT_FALSE(p.ready());
+}
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAveragePredictor p(3);
+  p.observe(1.0);
+  p.observe(2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1.5);
+  p.observe(3.0);
+  p.observe(4.0);  // window holds 2, 3, 4
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  EXPECT_THROW(MovingAveragePredictor(0), PredictorError);
+}
+
+TEST(HoltTraining, NeedsHistory) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW((void)train_holt(tiny), PredictorError);
+  EXPECT_THROW((void)holt_sse(tiny, HoltParams{}), PredictorError);
+}
+
+TEST(HoltTraining, SseIsZeroForPerfectLine) {
+  // With alpha = beta = 1, Holt tracks a perfect line exactly after warmup.
+  std::vector<double> line;
+  for (int i = 0; i < 20; ++i) line.push_back(5.0 + 3.0 * i);
+  EXPECT_NEAR(holt_sse(line, HoltParams{1.0, 1.0}), 0.0, 1e-18);
+}
+
+TEST(HoltTraining, TrainedBeatsArbitraryParams) {
+  // Noisy ramp: the trained parameters must achieve SSE no worse than a few
+  // arbitrary candidates.
+  std::vector<double> series;
+  for (int i = 0; i < 60; ++i) {
+    series.push_back(50.0 + 2.0 * i + 10.0 * std::sin(i * 0.7));
+  }
+  const HoltParams trained = train_holt(series);
+  const double trained_sse = holt_sse(series, trained);
+  for (const HoltParams candidate :
+       {HoltParams{0.1, 0.9}, HoltParams{0.9, 0.1}, HoltParams{0.5, 0.5}}) {
+    EXPECT_LE(trained_sse, holt_sse(series, candidate) + 1e-9);
+  }
+}
+
+TEST(HoltTraining, TrainedParamsInRange) {
+  std::vector<double> series;
+  for (int i = 0; i < 30; ++i) series.push_back(100.0 + (i % 5));
+  const HoltParams p = train_holt(series);
+  EXPECT_GE(p.alpha, 0.0);
+  EXPECT_LE(p.alpha, 1.0);
+  EXPECT_GE(p.beta, 0.0);
+  EXPECT_LE(p.beta, 1.0);
+}
+
+TEST(HoltWinters, Validation) {
+  EXPECT_THROW(HoltWintersPredictor(HoltParams{}, 1), PredictorError);
+  EXPECT_THROW(HoltWintersPredictor(HoltParams{}, 4, -0.1), PredictorError);
+  EXPECT_THROW(HoltWintersPredictor(HoltParams{}, 4, 1.1), PredictorError);
+  EXPECT_THROW(HoltWintersPredictor(HoltParams{-1.0, 0.5}, 4),
+               PredictorError);
+}
+
+TEST(HoltWinters, ReadyAfterFullSeason) {
+  HoltWintersPredictor p(HoltParams{0.5, 0.1}, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(p.ready());
+    p.observe(static_cast<double>(i));
+  }
+  EXPECT_FALSE(p.ready());  // exactly one season: still warming up
+  p.observe(0.0);
+  EXPECT_TRUE(p.ready());
+  p.reset();
+  EXPECT_FALSE(p.ready());
+}
+
+TEST(HoltWinters, LearnsPureSeasonalPattern) {
+  // A repeating 4-step pattern with no trend: after a few seasons the
+  // one-step forecast should match the upcoming value closely.
+  const double pattern[] = {10.0, 50.0, 90.0, 30.0};
+  HoltWintersPredictor p(HoltParams{0.2, 0.05}, 4, 0.5);
+  for (int i = 0; i < 40; ++i) p.observe(pattern[i % 4]);
+  for (int i = 40; i < 48; ++i) {
+    EXPECT_NEAR(p.predict(), pattern[i % 4], 6.0) << "step " << i;
+    p.observe(pattern[i % 4]);
+  }
+}
+
+TEST(HoltWinters, BeatsPlainHoltOnDiurnalSolar) {
+  // On a clean diurnal series, the seasonal term must cut the one-step error
+  // versus plain Holt (which always lags the morning ramp).
+  const PowerTrace trace =
+      generate_solar_trace(high_solar_model(Watts{2500.0}), 5, 17);
+  std::vector<double> series;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    series.push_back(trace.sample(i).value());
+  }
+  HoltPredictor holt(HoltParams{0.6, 0.2});
+  HoltWintersPredictor hw(HoltParams{0.6, 0.2}, 96, 0.4);
+  double holt_err = 0.0;
+  double hw_err = 0.0;
+  int counted = 0;
+  for (double v : series) {
+    if (hw.ready()) {  // compare only where both are warmed up
+      holt_err += std::fabs(holt.predict() - v);
+      hw_err += std::fabs(hw.predict() - v);
+      ++counted;
+    }
+    holt.observe(v);
+    hw.observe(v);
+  }
+  ASSERT_GT(counted, 96);
+  EXPECT_LT(hw_err, holt_err);
+}
+
+TEST(PredictorFactory, CreatesEveryKind) {
+  for (PredictorKind kind :
+       {PredictorKind::kHolt, PredictorKind::kHoltWinters,
+        PredictorKind::kLastValue, PredictorKind::kMovingAverage}) {
+    const auto p = make_predictor(kind, 96);
+    ASSERT_NE(p, nullptr) << to_string(kind);
+    EXPECT_FALSE(p->ready());
+  }
+  EXPECT_EQ(to_string(PredictorKind::kHoltWinters), "Holt-Winters");
+}
+
+TEST(HoltOnSolar, ReasonableOneStepError) {
+  // Holt on a real-ish solar day should track the diurnal ramp far better
+  // than predicting zero, and at least as well as last-value on average.
+  const PowerTrace trace = high_solar_week(Watts{2500.0}, 3);
+  std::vector<double> series;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    series.push_back(trace.sample(i).value());
+  }
+  const HoltParams params = train_holt(series);
+  HoltPredictor holt(params);
+  LastValuePredictor last;
+  double holt_err = 0.0;
+  double last_err = 0.0;
+  int counted = 0;
+  for (double v : series) {
+    if (holt.ready()) {
+      holt_err += std::fabs(holt.predict() - v);
+      last_err += std::fabs(last.predict() - v);
+      ++counted;
+    }
+    holt.observe(v);
+    last.observe(v);
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(holt_err, last_err * 1.05);
+}
+
+}  // namespace
+}  // namespace greenhetero

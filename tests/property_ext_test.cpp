@@ -1,0 +1,207 @@
+// Extended property sweeps over the substrate extensions: wind traces,
+// battery chemistries, queueing-derived curves, fleets and colocation —
+// parameterised invariants complementing property_test.cpp's core sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fleet/fleet.h"
+#include "power/battery.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/solar.h"
+#include "trace/statistics.h"
+#include "trace/wind.h"
+#include "workload/queueing.h"
+
+namespace greenhetero {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wind traces stay physical for every seed.
+
+class WindSeedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindSeedProperty, BoundedPersistentAndPlausible) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const WindModel model;
+  const PowerTrace trace = generate_wind_trace(model, 5, seed);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace.sample(i).value(), 0.0);
+    EXPECT_LE(trace.sample(i).value(), model.rated_power.value() + 1e-9);
+  }
+  const TraceStatistics stats = analyze_trace(trace);
+  EXPECT_GT(stats.load_factor, 0.05);
+  EXPECT_LT(stats.load_factor, 0.8);
+  EXPECT_GT(stats.autocorrelation, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindSeedProperty, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Battery invariants across chemistry and DoD.
+
+class BatteryDodProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatteryDodProperty, DrainRespectsFloorAndRates) {
+  const auto [chem, dod_step] = GetParam();
+  BatterySpec spec = chem == 0 ? lead_acid_spec(WattHours{12000.0})
+                               : li_ion_spec(WattHours{12000.0});
+  spec.depth_of_discharge = 0.2 + 0.2 * dod_step;
+  Battery battery{spec};
+
+  // Drain in hourly steps at whatever the battery offers.
+  for (int hour = 0; hour < 48; ++hour) {
+    const Watts offered = battery.max_discharge(Minutes{60.0});
+    EXPECT_LE(offered.value(), spec.max_discharge_power.value() + 1e-9);
+    if (offered.value() <= 0.0) break;
+    battery.discharge(offered, Minutes{60.0});
+    EXPECT_GE(battery.stored().value(), spec.floor_energy().value() - 1e-6);
+  }
+  EXPECT_TRUE(battery.at_floor());
+  // Delivered energy never exceeds the usable window (Peukert can only
+  // shrink it).
+  EXPECT_LE(battery.total_discharged().value(),
+            spec.capacity.value() * spec.depth_of_discharge + 1e-6);
+
+  // Recharge completes and lands at the (possibly faded) capacity.
+  for (int hour = 0; hour < 72 && !battery.full(); ++hour) {
+    const Watts acceptance = battery.max_charge(Minutes{60.0});
+    if (acceptance.value() <= 0.0) break;
+    battery.charge(acceptance, Minutes{60.0});
+  }
+  EXPECT_TRUE(battery.full());
+  EXPECT_LE(battery.stored().value(), battery.effective_capacity().value() + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChemistryAndDod, BatteryDodProperty,
+                         ::testing::Combine(::testing::Range(0, 2),
+                                            ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------------
+// Queueing-derived curves behave across SLA tightness.
+
+class QueueingSlaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueingSlaProperty, ThroughputMonotoneInServiceRate) {
+  const double bound = 0.005 * std::pow(2.0, GetParam());  // 5ms..160ms
+  const SlaSpec sla{0.95, bound};
+  double prev = -1.0;
+  for (double mu = 100.0; mu <= 5000.0; mu += 100.0) {
+    const double lambda = sla_throughput(mu, sla);
+    EXPECT_GE(lambda, prev);
+    EXPECT_GE(lambda, 0.0);
+    EXPECT_LT(lambda, mu);
+    if (lambda > 0.0) {
+      EXPECT_NEAR(mm1_percentile_latency(lambda, mu, sla.percentile), bound,
+                  1e-9);
+    }
+    prev = lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, QueueingSlaProperty, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Every CPU pairing of Table II runs the full pipeline without violating
+// conservation (coverage over rack shapes beyond the Table IV set).
+
+class RackPairProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RackPairProperty, PipelineRunsAndConserves) {
+  const auto [a, b] = GetParam();
+  if (a >= b) GTEST_SKIP() << "unordered pair";
+  const ServerSpec& spec_a = all_server_specs()[a];
+  const ServerSpec& spec_b = all_server_specs()[b];
+  if (spec_a.is_gpu || spec_b.is_gpu) GTEST_SKIP() << "CPU pairs only here";
+
+  Rack rack{{{spec_a.model, 3}, {spec_b.model, 3}}, Workload::kSpecJbb};
+  const Watts budget = rack.peak_demand() * 0.5;
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = static_cast<std::uint64_t>(a * 7 + b);
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(budget, Minutes{300.0}),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{120.0});
+  EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-6);
+  EXPECT_GE(report.overall_epu, 0.0);
+  EXPECT_LE(report.overall_epu, 1.0);
+  EXPECT_GT(report.total_work, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCpuPairs, RackPairProperty,
+    ::testing::Combine(::testing::Range(0, kServerModelCount),
+                       ::testing::Range(0, kServerModelCount)));
+
+// ---------------------------------------------------------------------------
+// Fleets of any size conserve the shared grid budget each epoch.
+
+class FleetSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FleetSizeProperty, SharesRespectTotalBudget) {
+  const int racks = GetParam();
+  std::vector<RackSimulator> sims;
+  for (int i = 0; i < racks; ++i) {
+    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kUniform;
+    cfg.controller.seed = static_cast<std::uint64_t>(i);
+    sims.emplace_back(
+        std::move(rack),
+        make_standard_plant(
+            generate_solar_trace(high_solar_model(Watts{1200.0 + 500.0 * i}),
+                                 2, static_cast<std::uint64_t>(i)),
+            GridSpec{}),
+        std::move(cfg));
+  }
+  const Watts total{700.0 * racks};
+  Fleet fleet{std::move(sims), total, GridShareMode::kDemandProportional};
+  const FleetReport report = fleet.run(Minutes{6.0 * 60.0});
+  EXPECT_LE(report.peak_grid_allocation.value(), total.value() + 1e-6);
+  ASSERT_EQ(report.racks.size(), static_cast<std::size_t>(racks));
+  for (const RunReport& r : report.racks) {
+    EXPECT_NEAR(r.ledger.conservation_error(), 0.0, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FleetSizeProperty, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Colocation sweeps: every interactive x batch pairing runs end to end.
+
+class ColocationProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ColocationProperty, MixedWorkloadPipeline) {
+  constexpr Workload kInteractive[] = {
+      Workload::kSpecJbb, Workload::kWebSearch, Workload::kMemcached};
+  constexpr Workload kBatch[] = {Workload::kStreamcluster, Workload::kVips,
+                                 Workload::kCanneal};
+  const auto [i, b] = GetParam();
+  Rack rack{{{ServerModel::kXeonE5_2620, 4}, {ServerModel::kCoreI5_4460, 4}},
+            {kBatch[b], kInteractive[i]}};
+  const Watts budget = rack.peak_demand() * 0.55;
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = static_cast<std::uint64_t>(10 * i + b);
+  RackSimulator sim{std::move(rack),
+                    make_fixed_budget_plant(budget, Minutes{300.0}),
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{120.0});
+  EXPECT_GT(report.total_work, 0.0);
+  EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ColocationProperty,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,109 @@
+#include "workload/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace greenhetero {
+namespace {
+
+TEST(Queueing, PercentileLatencyBasics) {
+  // mu = 10/s, lambda = 0: P99 = -ln(0.01)/10 ~ 0.4605 s.
+  EXPECT_NEAR(mm1_percentile_latency(0.0, 10.0, 0.99), 0.4605, 1e-3);
+  // Latency grows with load and diverges at saturation.
+  EXPECT_GT(mm1_percentile_latency(8.0, 10.0, 0.99),
+            mm1_percentile_latency(2.0, 10.0, 0.99));
+  EXPECT_TRUE(std::isinf(mm1_percentile_latency(10.0, 10.0, 0.99)));
+  EXPECT_TRUE(std::isinf(mm1_percentile_latency(12.0, 10.0, 0.99)));
+}
+
+TEST(Queueing, PercentileLatencyValidation) {
+  EXPECT_THROW((void)mm1_percentile_latency(1.0, 10.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1_percentile_latency(1.0, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1_percentile_latency(-1.0, 10.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)mm1_percentile_latency(1.0, 0.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Queueing, SlaThroughputFormula) {
+  const SlaSpec sla{0.99, 0.5};  // SPECjbb-style bound
+  // lambda_max = mu - (-ln(0.01) / 0.5) = mu - 9.21.
+  EXPECT_NEAR(sla_throughput(100.0, sla), 100.0 - 9.2103, 1e-3);
+  // Below the required slack the SLA cannot be met at all.
+  EXPECT_DOUBLE_EQ(sla_throughput(5.0, sla), 0.0);
+  EXPECT_THROW((void)sla_throughput(10.0, SlaSpec{0.99, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Queueing, SlaThroughputMeetsTheBoundExactly) {
+  const SlaSpec sla{0.95, 0.01};  // Memcached-style: 95%-ile < 10 ms
+  const double mu = 2000.0;
+  const double lambda = sla_throughput(mu, sla);
+  ASSERT_GT(lambda, 0.0);
+  EXPECT_NEAR(mm1_percentile_latency(lambda, mu, sla.percentile),
+              sla.latency_bound_s, 1e-9);
+}
+
+TEST(Queueing, ServiceRateScalesWithFrequency) {
+  const ServiceModel model{1000.0, 0.3};
+  EXPECT_DOUBLE_EQ(service_rate(model, 1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(service_rate(model, 0.0), 300.0);
+  EXPECT_DOUBLE_EQ(service_rate(model, 0.5), 650.0);
+  // Clamped outside [0, 1].
+  EXPECT_DOUBLE_EQ(service_rate(model, 2.0), 1000.0);
+  EXPECT_THROW((void)service_rate(ServiceModel{0.0, 0.3}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)service_rate(ServiceModel{10.0, 1.5}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Queueing, DerivedCurveIsInteractiveShaped) {
+  // A loose SLA on a mostly-memory-bound service (Memcached-like) must come
+  // out as the catalog encodes interactive services: high floor, gamma < 1.
+  const ServiceModel model{5000.0, 0.6};
+  const SlaSpec sla{0.95, 0.01};
+  double fit_error = 1.0;
+  const PerfCurveParams params = derive_interactive_curve(
+      Watts{47.0}, Watts{96.0}, model, sla, &fit_error);
+  EXPECT_GT(params.floor_fraction, 0.4);
+  EXPECT_LE(params.gamma, 1.1);
+  EXPECT_GT(params.peak_throughput, 0.0);
+  // The (floor, gamma) family reproduces the M/M/1-derived curve well.
+  EXPECT_LT(fit_error, 0.05);
+}
+
+TEST(Queueing, DerivedCurveIsUsableByTheSimulator) {
+  const ServiceModel model{3000.0, 0.35};
+  const SlaSpec sla{0.99, 0.5};
+  const PerfCurveParams params =
+      derive_interactive_curve(Watts{88.0}, Watts{178.0}, model, sla);
+  const PerfCurve curve{params};  // validates
+  EXPECT_DOUBLE_EQ(curve.throughput_at(Watts{178.0}),
+                   params.peak_throughput);
+  EXPECT_GT(curve.throughput_at(Watts{88.0}), 0.0);
+}
+
+TEST(Queueing, TightSlaCollapsesThroughput) {
+  // The same service under an impossible bound: zero everywhere -> the
+  // derivation must refuse rather than return a degenerate curve.
+  const ServiceModel model{10.0, 0.3};
+  const SlaSpec impossible{0.99, 0.001};
+  EXPECT_THROW((void)derive_interactive_curve(Watts{47.0}, Watts{96.0}, model,
+                                              impossible),
+               std::invalid_argument);
+}
+
+TEST(Queueing, TighterSlaLowersThroughputEverywhere) {
+  const ServiceModel model{5000.0, 0.4};
+  const PerfCurveParams loose = derive_interactive_curve(
+      Watts{47.0}, Watts{96.0}, model, SlaSpec{0.95, 0.1});
+  const PerfCurveParams tight = derive_interactive_curve(
+      Watts{47.0}, Watts{96.0}, model, SlaSpec{0.99, 0.01});
+  EXPECT_GT(loose.peak_throughput, tight.peak_throughput);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "core/enforcer.h"
+#include "core/source_selector.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+namespace greenhetero {
+namespace {
+
+PowerTrace flat(Watts level) {
+  return PowerTrace{Minutes{15.0}, std::vector<Watts>(200, level)};
+}
+
+RackPowerPlant plant_with(Watts solar, Watts grid_budget) {
+  GridSpec grid;
+  grid.budget = grid_budget;
+  return RackPowerPlant{SolarArray{flat(solar)}, Battery{paper_battery_spec()},
+                        GridSupply{grid}};
+}
+
+void drain_battery(RackPowerPlant& plant) {
+  // Discharge to the DoD floor via the plant interface.
+  PowerFlows flows;
+  while (!plant.battery().at_floor()) {
+    flows.battery_to_load =
+        plant.battery_discharge_available(Minutes{60.0});
+    if (flows.battery_to_load.value() <= 0.0) break;
+    plant.execute(flows, Minutes{0.0}, Minutes{60.0});
+  }
+}
+
+constexpr Minutes kEpoch{15.0};
+
+TEST(Selector, CaseAWhenRenewableCoversDemand) {
+  const RackPowerPlant plant = plant_with(Watts{1500.0}, Watts{1000.0});
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{1500.0}, Watts{1000.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kRenewableSufficient);
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(d.from_renewable.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 0.0);
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 0.0);
+  // Battery full -> no charging directive.
+  EXPECT_FALSE(d.charge_from_renewable);
+}
+
+TEST(Selector, CaseAChargesWhenBatteryNotFull) {
+  RackPowerPlant plant = plant_with(Watts{1500.0}, Watts{1000.0});
+  PowerFlows discharge;
+  discharge.battery_to_load = Watts{1000.0};
+  plant.execute(discharge, Minutes{0.0}, Minutes{60.0});
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{1500.0}, Watts{1000.0}, plant, kEpoch);
+  EXPECT_TRUE(d.charge_from_renewable);
+  EXPECT_FALSE(d.charge_from_grid);
+}
+
+TEST(Selector, CaseBJointSupply) {
+  const RackPowerPlant plant = plant_with(Watts{600.0}, Watts{1000.0});
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{600.0}, Watts{1000.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kJointSupply);
+  EXPECT_DOUBLE_EQ(d.from_renewable.value(), 600.0);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 400.0);
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 0.0);
+}
+
+TEST(Selector, CaseBGridCoversBatteryRateLimit) {
+  // Demand far beyond battery rate: the residual falls to the grid.
+  const RackPowerPlant plant = plant_with(Watts{500.0}, Watts{1000.0});
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{500.0}, Watts{4500.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kJointSupply);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 3000.0);  // rate limit
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 1000.0);     // capped at budget
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 4500.0);
+}
+
+TEST(Selector, CaseCBatteryOnly) {
+  const RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{0.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kBatteryOnly);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 900.0);
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 900.0);
+}
+
+TEST(Selector, GridFallbackWhenBatteryDrained) {
+  RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  drain_battery(plant);
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{0.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kGridFallback);
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 900.0);
+  EXPECT_TRUE(d.charge_from_grid);
+}
+
+TEST(Selector, GridFallbackBudgetCapsTheLoad) {
+  RackPowerPlant plant = plant_with(Watts{0.0}, Watts{600.0});
+  drain_battery(plant);
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{0.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 600.0);
+}
+
+TEST(Selector, RenewableWithDrainedBatteryUsesGridSupplement) {
+  RackPowerPlant plant = plant_with(Watts{400.0}, Watts{1000.0});
+  drain_battery(plant);
+  const PowerSourceSelector selector;
+  const SourceDecision d =
+      selector.decide(Watts{400.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kGridFallback);
+  EXPECT_DOUBLE_EQ(d.from_renewable.value(), 400.0);
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 500.0);
+  EXPECT_TRUE(d.charge_from_grid);
+}
+
+TEST(Selector, RationingCapsBatteryContribution) {
+  const RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  SelectorConfig config;
+  config.rationing_horizon = Minutes{8.0 * 60.0};  // make it last the night
+  const PowerSourceSelector selector{config};
+  // Full battery: 4800 Wh usable over 8 h -> 600 W cap.
+  const SourceDecision d =
+      selector.decide(Watts{0.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_NEAR(d.from_battery.value(), 600.0, 1e-9);
+  // The grid covers the residual (Case C with supplement).
+  EXPECT_NEAR(d.from_grid.value(), 300.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.server_budget.value(), 900.0);
+}
+
+TEST(Selector, RationingLoosensAsDemandFits) {
+  const RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  SelectorConfig config;
+  config.rationing_horizon = Minutes{8.0 * 60.0};
+  const PowerSourceSelector selector{config};
+  // Demand below the ration: battery alone covers it.
+  const SourceDecision d =
+      selector.decide(Watts{0.0}, Watts{450.0}, plant, kEpoch);
+  EXPECT_EQ(d.source_case, PowerCase::kBatteryOnly);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 450.0);
+}
+
+TEST(Selector, ZeroHorizonIsGreedy) {
+  const RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  const PowerSourceSelector greedy{SelectorConfig{}};
+  const SourceDecision d =
+      greedy.decide(Watts{0.0}, Watts{900.0}, plant, kEpoch);
+  EXPECT_DOUBLE_EQ(d.from_battery.value(), 900.0);
+  EXPECT_DOUBLE_EQ(d.from_grid.value(), 0.0);
+}
+
+TEST(Enforcer, AppliesAllocationToRack) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation alloc{{0.3, 0.7}, 0.0, {}};
+  const auto group_power =
+      Enforcer::apply_allocation(rack, alloc, Watts{1000.0});
+  ASSERT_EQ(group_power.size(), 2u);
+  EXPECT_DOUBLE_EQ(group_power[0].value(), 300.0);
+  EXPECT_DOUBLE_EQ(group_power[1].value(), 700.0);
+  EXPECT_LE(rack.group_draw(1).value(), 700.0 + 1e-9);
+}
+
+TEST(Enforcer, AllocationSizeMismatchThrows) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation alloc{{1.0}, 0.0, {}};
+  EXPECT_THROW(Enforcer::apply_allocation(rack, alloc, Watts{1000.0}),
+               RackError);
+}
+
+TEST(Enforcer, PlanStepRenewableFirst) {
+  const RackPowerPlant plant = plant_with(Watts{800.0}, Watts{1000.0});
+  SourceDecision d;
+  d.source_case = PowerCase::kJointSupply;
+  d.from_battery = Watts{200.0};
+  const StepPlan plan =
+      Enforcer::plan_step(d, Watts{800.0}, Watts{900.0}, plant, Minutes{1.0});
+  EXPECT_DOUBLE_EQ(plan.flows.renewable_to_load.value(), 800.0);
+  EXPECT_DOUBLE_EQ(plan.flows.battery_to_load.value(), 100.0);
+  EXPECT_DOUBLE_EQ(plan.flows.grid_to_load.value(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.shortfall.value(), 0.0);
+}
+
+TEST(Enforcer, PlanStepReportsShortfall) {
+  // No battery planned, no grid: a 300 W gap is unfixable.
+  const RackPowerPlant plant = plant_with(Watts{600.0}, Watts{0.0});
+  SourceDecision d;
+  d.source_case = PowerCase::kJointSupply;
+  const StepPlan plan =
+      Enforcer::plan_step(d, Watts{600.0}, Watts{900.0}, plant, Minutes{1.0});
+  EXPECT_DOUBLE_EQ(plan.shortfall.value(), 300.0);
+}
+
+TEST(Enforcer, PlanStepCaseACharging) {
+  RackPowerPlant plant = plant_with(Watts{1000.0}, Watts{0.0});
+  PowerFlows discharge;
+  discharge.battery_to_load = Watts{2000.0};
+  plant.execute(discharge, Minutes{0.0}, Minutes{60.0});
+
+  SourceDecision d;
+  d.source_case = PowerCase::kRenewableSufficient;
+  d.charge_from_renewable = true;
+  const StepPlan plan =
+      Enforcer::plan_step(d, Watts{1000.0}, Watts{600.0}, plant, Minutes{1.0});
+  EXPECT_DOUBLE_EQ(plan.flows.renewable_to_load.value(), 600.0);
+  EXPECT_GT(plan.flows.renewable_to_battery.value(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.flows.grid_to_battery.value(), 0.0);
+  // Whatever the battery cannot accept is curtailed.
+  EXPECT_NEAR(plan.flows.renewable_total().value(), 1000.0, 1e-9);
+}
+
+TEST(Enforcer, PlanStepGridCharging) {
+  RackPowerPlant plant = plant_with(Watts{0.0}, Watts{1000.0});
+  drain_battery(plant);
+  SourceDecision d;
+  d.source_case = PowerCase::kGridFallback;
+  d.from_grid = Watts{600.0};
+  d.charge_from_grid = true;
+  const StepPlan plan =
+      Enforcer::plan_step(d, Watts{0.0}, Watts{600.0}, plant, Minutes{1.0});
+  EXPECT_DOUBLE_EQ(plan.flows.grid_to_load.value(), 600.0);
+  EXPECT_GT(plan.flows.grid_to_battery.value(), 0.0);
+  EXPECT_LE(plan.flows.grid_to_battery.value(), 400.0 + 1e-9);
+}
+
+TEST(Enforcer, NeverChargesWhileDischarging) {
+  const RackPowerPlant plant = plant_with(Watts{500.0}, Watts{1000.0});
+  SourceDecision d;
+  d.source_case = PowerCase::kJointSupply;
+  d.from_battery = Watts{400.0};
+  d.charge_from_renewable = true;  // contradictory directive
+  const StepPlan plan =
+      Enforcer::plan_step(d, Watts{500.0}, Watts{900.0}, plant, Minutes{1.0});
+  EXPECT_GT(plan.flows.battery_to_load.value(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.flows.battery_input().value(), 0.0);
+}
+
+TEST(Enforcer, PlanIsExecutableByThePlant) {
+  // Whatever plan_step emits must satisfy plant.execute's invariants.
+  RackPowerPlant plant = plant_with(Watts{700.0}, Watts{800.0});
+  SourceDecision d;
+  d.source_case = PowerCase::kJointSupply;
+  d.from_battery = Watts{500.0};
+  d.from_grid = Watts{800.0};
+  const StepPlan plan = Enforcer::plan_step(d, Watts{700.0}, Watts{2500.0},
+                                            plant, Minutes{1.0});
+  EXPECT_NO_THROW(plant.execute(plan.flows, Minutes{0.0}, Minutes{1.0}));
+}
+
+}  // namespace
+}  // namespace greenhetero

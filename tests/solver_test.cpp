@@ -1,0 +1,293 @@
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace greenhetero {
+namespace {
+
+GroupModel concave_group(double a, double b, double c, Watts lo, Watts hi,
+                         int count) {
+  return GroupModel{Quadratic{a, b, c}, lo, hi, count};
+}
+
+// A pair resembling Xeon (wide range, high idle) vs i5 (narrow, low idle).
+std::vector<GroupModel> xeon_i5_pair() {
+  return {
+      concave_group(-0.015, 7.0, -250.0, Watts{88.0}, Watts{178.0}, 5),
+      concave_group(-0.030, 9.0, -150.0, Watts{47.0}, Watts{96.0}, 5),
+  };
+}
+
+TEST(GroupModel, ClampedPerf) {
+  const GroupModel g = concave_group(-0.01, 4.0, 0.0, Watts{50.0},
+                                     Watts{150.0}, 1);
+  EXPECT_DOUBLE_EQ(g.perf_at(Watts{40.0}), 0.0);
+  EXPECT_NEAR(g.perf_at(Watts{100.0}), -0.01 * 1e4 + 400.0, 1e-9);
+  EXPECT_NEAR(g.perf_at(Watts{999.0}), g.perf_at(Watts{150.0}), 1e-9);
+}
+
+TEST(GroupModel, SaturationAtVertex) {
+  // Vertex at 100 W inside [50, 150]: no point allocating beyond it.
+  const GroupModel g = concave_group(-0.02, 4.0, 0.0, Watts{50.0},
+                                     Watts{150.0}, 1);
+  EXPECT_NEAR(g.saturation_power().value(), 100.0, 1e-9);
+  // Vertex outside the range: saturation is max_power.
+  const GroupModel h = concave_group(-0.001, 4.0, 0.0, Watts{50.0},
+                                     Watts{150.0}, 1);
+  EXPECT_DOUBLE_EQ(h.saturation_power().value(), 150.0);
+}
+
+TEST(Solver, ValidatesInputs) {
+  const std::vector<GroupModel> none;
+  EXPECT_THROW((void)Solver::solve(none, Watts{100.0}), SolverError);
+  const std::vector<GroupModel> one = {concave_group(
+      -0.01, 4.0, 0.0, Watts{50.0}, Watts{150.0}, 1)};
+  EXPECT_THROW((void)Solver::solve(one, Watts{0.0}), SolverError);
+  std::vector<GroupModel> bad = one;
+  bad[0].count = 0;
+  EXPECT_THROW((void)Solver::solve(bad, Watts{100.0}), SolverError);
+  bad = one;
+  bad[0].max_power = Watts{10.0};
+  EXPECT_THROW((void)Solver::solve(bad, Watts{100.0}), SolverError);
+}
+
+TEST(Solver, SingleGroupCapsAtSaturation) {
+  const std::vector<GroupModel> groups = {
+      concave_group(-0.001, 4.0, 0.0, Watts{50.0}, Watts{150.0}, 2)};
+  const Allocation a = Solver::solve(groups, Watts{1000.0});
+  // 2 servers x 150 W = 300 W of 1000 -> ratio 0.3.
+  EXPECT_NEAR(a.ratios[0], 0.3, 1e-6);
+}
+
+TEST(Solver, RatiosAreValid) {
+  const auto groups = xeon_i5_pair();
+  for (double supply : {300.0, 500.0, 700.0, 900.0, 1200.0, 2000.0}) {
+    const Allocation a = Solver::solve(groups, Watts{supply});
+    ASSERT_EQ(a.ratios.size(), 2u);
+    EXPECT_GE(a.ratios[0], -1e-9);
+    EXPECT_GE(a.ratios[1], -1e-9);
+    EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6) << "supply " << supply;
+  }
+}
+
+TEST(Solver, MatchesFineBruteForce) {
+  const auto groups = xeon_i5_pair();
+  for (double supply : {400.0, 700.0, 1000.0, 1400.0}) {
+    const Allocation fast = Solver::solve(groups, Watts{supply});
+    const Allocation brute =
+        Solver::solve_grid(groups, Watts{supply}, 0.001);
+    EXPECT_GE(fast.predicted_perf, brute.predicted_perf * 0.999)
+        << "supply " << supply;
+  }
+}
+
+TEST(Solver, BeatsOrMatchesUniformSplit) {
+  const auto groups = xeon_i5_pair();
+  for (double supply : {500.0, 800.0, 1100.0}) {
+    const Allocation a = Solver::solve(groups, Watts{supply});
+    const std::vector<double> uniform = {0.5, 0.5};
+    EXPECT_GE(a.predicted_perf,
+              Solver::evaluate(groups, uniform, Watts{supply}) - 1e-6);
+  }
+}
+
+TEST(Solver, StarvesInefficientGroupUnderScarcity) {
+  // With only 500 W, powering the 5 high-idle Xeons (88 W floor each) would
+  // leave nothing useful; all power should go to the i5 group.
+  const auto groups = xeon_i5_pair();
+  const Allocation a = Solver::solve(groups, Watts{500.0});
+  EXPECT_GT(a.ratios[1], 0.85);
+}
+
+TEST(Solver, UsesEverythingUnderAbundance) {
+  const auto groups = xeon_i5_pair();
+  // Supply beyond combined saturation: both groups saturate.
+  const Allocation a = Solver::solve(groups, Watts{5000.0});
+  const Watts sat0 = groups[0].saturation_power();
+  const Watts sat1 = groups[1].saturation_power();
+  EXPECT_NEAR(a.ratios[0] * 5000.0 / 5.0, sat0.value(), 2.0);
+  EXPECT_NEAR(a.ratios[1] * 5000.0 / 5.0, sat1.value(), 2.0);
+}
+
+TEST(Solver, ThreeGroups) {
+  std::vector<GroupModel> groups = xeon_i5_pair();
+  groups.push_back(
+      concave_group(-0.05, 7.0, -100.0, Watts{58.0}, Watts{79.0}, 5));
+  const Allocation a = Solver::solve(groups, Watts{900.0});
+  ASSERT_EQ(a.ratios.size(), 3u);
+  EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6);
+  const Allocation brute = Solver::solve_grid(groups, Watts{900.0}, 0.01);
+  EXPECT_GE(a.predicted_perf, brute.predicted_perf * 0.995);
+}
+
+TEST(Solver, GridGranularityValidation) {
+  const auto groups = xeon_i5_pair();
+  EXPECT_THROW((void)Solver::solve_grid(groups, Watts{500.0}, 0.0),
+               SolverError);
+  EXPECT_THROW((void)Solver::solve_grid(groups, Watts{500.0}, 0.9),
+               SolverError);
+}
+
+TEST(Solver, TenPercentManualGridIsCoarser) {
+  const auto groups = xeon_i5_pair();
+  const Allocation coarse = Solver::solve_grid(groups, Watts{700.0}, 0.10);
+  const Allocation fine = Solver::solve(groups, Watts{700.0});
+  EXPECT_LE(coarse.predicted_perf, fine.predicted_perf + 1e-6);
+}
+
+TEST(SolverAnalytic, MatchesGridOnInteriorProblem) {
+  // Generous supply so both groups sit in the interior of their ranges.
+  const std::vector<GroupModel> groups = {
+      concave_group(-0.01, 6.0, -100.0, Watts{20.0}, Watts{260.0}, 2),
+      concave_group(-0.02, 8.0, -120.0, Watts{20.0}, Watts{190.0}, 3),
+  };
+  const Allocation analytic = Solver::solve_analytic_2(groups, Watts{700.0});
+  const Allocation brute = Solver::solve_grid(groups, Watts{700.0}, 0.001);
+  EXPECT_NEAR(analytic.predicted_perf, brute.predicted_perf,
+              brute.predicted_perf * 0.002);
+}
+
+TEST(SolverAnalytic, RequiresTwoConcaveGroups) {
+  auto groups = xeon_i5_pair();
+  groups.push_back(groups[0]);
+  EXPECT_THROW((void)Solver::solve_analytic_2(groups, Watts{700.0}),
+               SolverError);
+  std::vector<GroupModel> convex = xeon_i5_pair();
+  convex[0].fit.a = 0.01;
+  EXPECT_THROW((void)Solver::solve_analytic_2(convex, Watts{700.0}),
+               SolverError);
+}
+
+TEST(Solver, EvaluateChecksSizes) {
+  const auto groups = xeon_i5_pair();
+  const std::vector<double> wrong = {1.0};
+  EXPECT_THROW((void)Solver::evaluate(groups, wrong, Watts{100.0}),
+               SolverError);
+}
+
+std::vector<GroupModel> five_groups() {
+  // All five CPU types of Table II, roughly SPECjbb-shaped fits.
+  return {
+      concave_group(-0.015, 7.0, -250.0, Watts{88.0}, Watts{178.0}, 5),
+      concave_group(-0.030, 9.0, -150.0, Watts{47.0}, Watts{96.0}, 5),
+      concave_group(-0.020, 6.0, -120.0, Watts{66.0}, Watts{112.0}, 5),
+      concave_group(-0.050, 7.0, -100.0, Watts{58.0}, Watts{79.0}, 5),
+      concave_group(-0.040, 11.0, -140.0, Watts{39.0}, Watts{88.0}, 5),
+  };
+}
+
+TEST(SolverN, DelegatesForSmallGroupCounts) {
+  const auto groups = xeon_i5_pair();
+  const Allocation direct = Solver::solve(groups, Watts{700.0});
+  const Allocation via_n = Solver::solve_n(groups, Watts{700.0});
+  EXPECT_DOUBLE_EQ(via_n.predicted_perf, direct.predicted_perf);
+}
+
+TEST(SolverN, FiveGroupsNearBruteForce) {
+  const auto groups = five_groups();
+  for (double supply : {1200.0, 2000.0, 3000.0}) {
+    const Allocation fast = Solver::solve_n(groups, Watts{supply});
+    const Allocation brute = Solver::solve_grid(groups, Watts{supply}, 0.05);
+    EXPECT_LE(fast.ratio_sum(), 1.0 + 1e-6);
+    for (double r : fast.ratios) EXPECT_GE(r, -1e-9);
+    EXPECT_GE(fast.predicted_perf, brute.predicted_perf * 0.97)
+        << "supply " << supply;
+  }
+}
+
+TEST(SolverN, BeatsUniformOnFiveGroups) {
+  const auto groups = five_groups();
+  const Watts supply{1500.0};
+  const std::vector<double> uniform(5, 0.2);
+  const Allocation a = Solver::solve_n(groups, supply);
+  EXPECT_GE(a.predicted_perf,
+            Solver::evaluate(groups, uniform, supply) - 1e-6);
+}
+
+TEST(SolverN, ScarcityActivatesOnlyAffordableGroups) {
+  const auto groups = five_groups();
+  // 450 W cannot wake the 5x88 W-floor Xeons; the solver must not strand
+  // power on sleeping groups.
+  const Allocation a = Solver::solve_n(groups, Watts{450.0});
+  EXPECT_GT(a.predicted_perf, 0.0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (a.ratios[g] < 1e-9) continue;
+    const double per_server =
+        a.ratios[g] * 450.0 / static_cast<double>(groups[g].count);
+    EXPECT_GE(per_server, groups[g].min_power.value() - 1e-6)
+        << "group " << g << " funded below its floor";
+  }
+}
+
+TEST(SolverN, ValidatesInputs) {
+  const std::vector<GroupModel> none;
+  EXPECT_THROW((void)Solver::solve_n(none, Watts{100.0}), SolverError);
+  auto groups = five_groups();
+  EXPECT_THROW((void)Solver::solve_n(groups, Watts{0.0}), SolverError);
+  groups[2].count = 0;
+  EXPECT_THROW((void)Solver::solve_n(groups, Watts{1000.0}), SolverError);
+}
+
+TEST(Solver, SurvivesConvexFitsFromNoise) {
+  // Measurement noise can flip a fit convex (a > 0).  The solver must stay
+  // valid (ratios in range) and still beat or match the uniform split on
+  // its own model.
+  const std::vector<GroupModel> groups = {
+      concave_group(+0.005, 2.0, 10.0, Watts{88.0}, Watts{178.0}, 5),
+      concave_group(-0.030, 9.0, -150.0, Watts{47.0}, Watts{96.0}, 5),
+  };
+  for (double supply : {500.0, 900.0, 1400.0}) {
+    const Allocation a = Solver::solve(groups, Watts{supply});
+    EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6);
+    for (double r : a.ratios) EXPECT_GE(r, -1e-9);
+    const std::vector<double> uniform = {0.5, 0.5};
+    EXPECT_GE(a.predicted_perf,
+              Solver::evaluate(groups, uniform, Watts{supply}) - 1e-6);
+  }
+}
+
+TEST(SolverGrid, SupportsManyGroups) {
+  const auto groups = five_groups();
+  const Allocation a = Solver::solve_grid(groups, Watts{2000.0}, 0.1);
+  ASSERT_EQ(a.ratios.size(), 5u);
+  EXPECT_LE(a.ratio_sum(), 1.0 + 1e-9);
+  EXPECT_GT(a.predicted_perf, 0.0);
+}
+
+// Property sweep: on random concave instances the fast solver must be within
+// 1% of a fine brute force.
+class SolverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverPropertyTest, NearOptimalOnRandomInstances) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int group_count = rng.uniform_int(2, 3);
+  std::vector<GroupModel> groups;
+  for (int g = 0; g < group_count; ++g) {
+    const double lo = rng.uniform(30.0, 90.0);
+    const double hi = lo + rng.uniform(30.0, 120.0);
+    const double a = -rng.uniform(0.001, 0.05);
+    // Slope positive across the range so the curve is increasing there.
+    const double b = rng.uniform(2.0, 12.0) - 2.0 * a * lo;
+    const double c = rng.uniform(-200.0, 0.0);
+    groups.push_back(concave_group(a, b, c, Watts{lo}, Watts{hi},
+                                   rng.uniform_int(1, 6)));
+  }
+  const double supply = rng.uniform(200.0, 2500.0);
+  const Allocation fast = Solver::solve(groups, Watts{supply});
+  const Allocation brute = Solver::solve_grid(
+      groups, Watts{supply}, group_count == 2 ? 0.001 : 0.005);
+  EXPECT_LE(fast.ratio_sum(), 1.0 + 1e-6);
+  EXPECT_GE(fast.predicted_perf,
+            brute.predicted_perf - std::max(1.0, brute.predicted_perf * 0.01))
+      << "groups=" << group_count << " supply=" << supply;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverPropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,131 @@
+// Trace statistics and the Output Decision instruction stream.
+#include <gtest/gtest.h>
+
+#include "core/decision_output.h"
+#include "core/enforcer.h"
+#include "server/combinations.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+#include "trace/statistics.h"
+#include "trace/wind.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(TraceStatistics, FlatTrace) {
+  const PowerTrace flat{Minutes{15.0}, std::vector<Watts>(96, Watts{500.0})};
+  const TraceStatistics s = analyze_trace(flat);
+  EXPECT_DOUBLE_EQ(s.mean.value(), 500.0);
+  EXPECT_DOUBLE_EQ(s.peak.value(), 500.0);
+  EXPECT_DOUBLE_EQ(s.load_factor, 1.0);
+  EXPECT_DOUBLE_EQ(s.variability, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_ramp.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.zero_fraction, 0.0);
+}
+
+TEST(TraceStatistics, EmptyThrows) {
+  EXPECT_THROW((void)analyze_trace(PowerTrace{}), TraceError);
+  EXPECT_THROW((void)diurnal_profile(PowerTrace{}), TraceError);
+}
+
+TEST(TraceStatistics, SolarCharacter) {
+  const TraceStatistics s = analyze_trace(high_solar_week(Watts{2500.0}, 3));
+  // Nights push the capacity factor well below 1 and zero_fraction ~ half.
+  EXPECT_LT(s.load_factor, 0.5);
+  EXPECT_GT(s.zero_fraction, 0.3);
+  EXPECT_LT(s.zero_fraction, 0.7);
+  // Solar is strongly persistent at 15-minute sampling.
+  EXPECT_GT(s.autocorrelation, 0.8);
+}
+
+TEST(TraceStatistics, LowTraceIsMoreVariable) {
+  const TraceStatistics high =
+      analyze_trace(high_solar_week(Watts{2500.0}, 3));
+  const TraceStatistics low = analyze_trace(low_solar_week(Watts{2500.0}, 3));
+  EXPECT_GT(low.variability, high.variability);
+  EXPECT_LT(low.load_factor, high.load_factor);
+}
+
+TEST(TraceStatistics, InsufficiencyFraction) {
+  const PowerTrace supply{Minutes{15.0},
+                          {Watts{100.0}, Watts{300.0}, Watts{500.0},
+                           Watts{100.0}}};
+  const PowerTrace demand{Minutes{15.0},
+                          {Watts{200.0}, Watts{200.0}, Watts{200.0},
+                           Watts{200.0}}};
+  EXPECT_DOUBLE_EQ(insufficiency_fraction(supply, demand), 0.5);
+  const PowerTrace mismatched{Minutes{30.0}, {Watts{1.0}, Watts{1.0}}};
+  EXPECT_THROW((void)insufficiency_fraction(supply, mismatched), TraceError);
+}
+
+TEST(TraceStatistics, DiurnalProfilePeaksAtNoon) {
+  const auto profile = diurnal_profile(high_solar_week(Watts{2500.0}, 3));
+  ASSERT_EQ(profile.size(), 24u);
+  EXPECT_DOUBLE_EQ(profile[2].value(), 0.0);   // 2am
+  std::size_t peak_hour = 0;
+  for (std::size_t h = 1; h < 24; ++h) {
+    if (profile[h] > profile[peak_hour]) peak_hour = h;
+  }
+  EXPECT_GE(peak_hour, 10u);
+  EXPECT_LE(peak_hour, 14u);
+}
+
+TEST(TraceStatistics, WindVsSolarZeroFraction) {
+  const TraceStatistics wind =
+      analyze_trace(generate_wind_trace(WindModel{}, 7, 9));
+  const TraceStatistics solar =
+      analyze_trace(high_solar_week(Watts{2000.0}, 9));
+  // Wind has no systematic nightly outage.
+  EXPECT_LT(wind.zero_fraction, solar.zero_fraction);
+}
+
+TEST(DecisionOutput, RendersInstructionsPerGroup) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation allocation{{0.6, 0.4}, 0.0, {}};
+  const auto instructions =
+      decision_output(rack, allocation, Watts{1000.0});
+  ASSERT_EQ(instructions.size(), 2u);
+  const FrequencyInstruction& xeon = instructions[0];
+  EXPECT_EQ(xeon.model, ServerModel::kXeonE5_2620);
+  EXPECT_EQ(xeon.server_count, 5);
+  EXPECT_DOUBLE_EQ(xeon.allocated_per_server.value(), 120.0);
+  EXPECT_GT(xeon.state, 0);
+  EXPECT_LE(xeon.state_power.value(), 120.0);
+  // The rendered string carries the essentials.
+  const std::string text = xeon.to_string();
+  EXPECT_NE(text.find("Xeon E5-2620"), std::string::npos);
+  EXPECT_NE(text.find("P"), std::string::npos);
+}
+
+TEST(DecisionOutput, SleepInstructionBelowFloor) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation allocation{{0.1, 0.9}, 0.0, {}};  // Xeons get 20 W each
+  const auto instructions =
+      decision_output(rack, allocation, Watts{1000.0});
+  EXPECT_EQ(instructions[0].state, DvfsLadder::kOffState);
+  EXPECT_NE(instructions[0].to_string().find("sleep"), std::string::npos);
+}
+
+TEST(DecisionOutput, MatchesEnforcedDraw) {
+  // The instruction's state power must equal what enforcement produces.
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation allocation{{0.55, 0.45}, 0.0, {}};
+  const Watts budget{900.0};
+  const auto instructions = decision_output(rack, allocation, budget);
+  Enforcer::apply_allocation(rack, allocation, budget);
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    EXPECT_NEAR(rack.group_draw(g).value(),
+                instructions[g].state_power.value() *
+                    instructions[g].server_count,
+                1e-9);
+  }
+}
+
+TEST(DecisionOutput, SizeMismatchThrows) {
+  const Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  const Allocation wrong{{1.0}, 0.0, {}};
+  EXPECT_THROW((void)decision_output(rack, wrong, Watts{500.0}), RackError);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,73 @@
+#include "util/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace greenhetero {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMaximum) {
+  const auto opt = golden_section_maximize(
+      [](double x) { return -(x - 3.0) * (x - 3.0) + 5.0; }, 0.0, 10.0);
+  EXPECT_NEAR(opt.x, 3.0, 1e-4);
+  EXPECT_NEAR(opt.value, 5.0, 1e-8);
+}
+
+TEST(GoldenSection, BoundaryMaximum) {
+  const auto opt =
+      golden_section_maximize([](double x) { return x; }, 0.0, 2.0);
+  EXPECT_NEAR(opt.x, 2.0, 1e-4);
+}
+
+TEST(GridRefine, FindsGlobalMaxOfMultimodal) {
+  // Two humps; the taller at x = 8.
+  const auto f = [](double x) {
+    return std::exp(-(x - 2.0) * (x - 2.0)) +
+           1.5 * std::exp(-(x - 8.0) * (x - 8.0));
+  };
+  const auto opt = grid_refine_maximize(f, 0.0, 10.0);
+  EXPECT_NEAR(opt.x, 8.0, 1e-3);
+}
+
+TEST(GridRefine, HandlesStepDiscontinuity) {
+  // A cliff like the server min-operate threshold: 0 below 0.4, then a
+  // decreasing payoff.  Optimum is exactly at the cliff.
+  const auto f = [](double x) { return x < 0.4 ? 0.0 : 2.0 - x; };
+  const auto opt = grid_refine_maximize(f, 0.0, 1.0, 128);
+  EXPECT_NEAR(opt.x, 0.4, 1e-2);
+  EXPECT_GE(opt.value, 1.59);
+}
+
+TEST(GridRefine, ConstantFunction) {
+  const auto opt = grid_refine_maximize([](double) { return 7.0; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(opt.value, 7.0);
+}
+
+TEST(GridRefine2D, FindsInteriorMaximum) {
+  const auto f = [](double x, double y) {
+    return -(x - 0.3) * (x - 0.3) - (y - 0.5) * (y - 0.5);
+  };
+  const auto opt = grid_refine_maximize_2d(f, 0.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(opt.x, 0.3, 1e-2);
+  EXPECT_NEAR(opt.y, 0.5, 1e-2);
+}
+
+TEST(GridRefine2D, RespectsSumCap) {
+  // Maximise x + y, capped at x + y <= 0.6.
+  const auto f = [](double x, double y) { return x + y; };
+  const auto opt =
+      grid_refine_maximize_2d(f, 0.0, 1.0, 0.0, 1.0, /*sum_cap=*/0.6);
+  EXPECT_LE(opt.x + opt.y, 0.6 + 1e-6);
+  EXPECT_NEAR(opt.value, 0.6, 1e-3);
+}
+
+TEST(GridRefine2D, BoundaryOptimum) {
+  const auto f = [](double x, double y) { return 2.0 * x - y; };
+  const auto opt = grid_refine_maximize_2d(f, 0.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(opt.x, 1.0, 1e-6);
+  EXPECT_NEAR(opt.y, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,123 @@
+#include "util/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(Polynomial, Evaluation) {
+  const Polynomial p{{1.0, 2.0, 3.0}};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_EQ(p.degree(), 2u);
+}
+
+TEST(Polynomial, Derivative) {
+  const Polynomial p{{1.0, 2.0, 3.0}};  // d/dx = 2 + 6x
+  EXPECT_DOUBLE_EQ(p.derivative_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.derivative_at(2.0), 14.0);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+  // y = 3 - 0.5 x + 0.25 x^2 sampled exactly.
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 - 0.5 * xi + 0.25 * xi * xi);
+  const Polynomial p = polyfit(x, y, 2);
+  ASSERT_EQ(p.coefficients.size(), 3u);
+  EXPECT_NEAR(p.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(p.coefficients[1], -0.5, 1e-9);
+  EXPECT_NEAR(p.coefficients[2], 0.25, 1e-9);
+}
+
+TEST(Polyfit, RecoversLine) {
+  const std::vector<double> x = {10.0, 20.0, 30.0};
+  const std::vector<double> y = {5.0, 7.0, 9.0};
+  const Polynomial p = polyfit(x, y, 1);
+  EXPECT_NEAR(p(25.0), 8.0, 1e-9);
+}
+
+TEST(Polyfit, HandlesLargeOffsets) {
+  // Centring keeps the normal equations stable around x ~ 1e5.
+  const std::vector<double> x = {100000.0, 100001.0, 100002.0, 100003.0};
+  std::vector<double> y;
+  for (double xi : x) {
+    const double d = xi - 100000.0;
+    y.push_back(1.0 + d + 2.0 * d * d);
+  }
+  const Polynomial p = polyfit(x, y, 2);
+  EXPECT_NEAR(p(100001.5), 1.0 + 1.5 + 2.0 * 2.25, 1e-4);
+}
+
+TEST(Polyfit, NoisyFitIsClose) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double xi = i * 0.2;
+    x.push_back(xi);
+    y.push_back(2.0 + 0.8 * xi - 0.1 * xi * xi + rng.gaussian(0.0, 0.05));
+  }
+  const Quadratic q = quadratic_fit(x, y);
+  EXPECT_NEAR(q.a, -0.1, 0.02);
+  EXPECT_NEAR(q.b, 0.8, 0.05);
+  EXPECT_NEAR(q.c, 2.0, 0.1);
+}
+
+TEST(Polyfit, TooFewSamplesThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)polyfit(x, y, 2), FitError);
+}
+
+TEST(Polyfit, MismatchedSizesThrow) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)polyfit(x, y, 1), FitError);
+}
+
+TEST(Polyfit, DegenerateXThrows) {
+  const std::vector<double> x = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)polyfit(x, y, 2), FitError);
+}
+
+TEST(FitRmse, ZeroForExactFit) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(1.0 + xi);
+  const Polynomial p = polyfit(x, y, 1);
+  EXPECT_NEAR(fit_rmse(p, x, y), 0.0, 1e-10);
+}
+
+TEST(Quadratic, Operations) {
+  const Quadratic q{-2.0, 8.0, 1.0};
+  EXPECT_DOUBLE_EQ(q(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.slope(1.0), 4.0);
+  EXPECT_TRUE(q.concave());
+  EXPECT_DOUBLE_EQ(q.vertex(), 2.0);
+  EXPECT_FALSE((Quadratic{1.0, 0.0, 0.0}).concave());
+}
+
+TEST(LinearSystem, SolvesSmallSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  auto x = solve_linear_system({{2.0, 1.0}, {1.0, -1.0}}, {5.0, 1.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LinearSystem, SingularThrows) {
+  EXPECT_THROW(
+      (void)solve_linear_system({{1.0, 1.0}, {2.0, 2.0}}, {1.0, 2.0}),
+      FitError);
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace greenhetero {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 1;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsOrderInsensitive) {
+  Rng parent(99);
+  // Consume some of the parent's stream, then fork: the fork must not
+  // depend on how much was consumed.
+  Rng consumed(99);
+  (void)consumed.uniform(0.0, 1.0);
+  (void)consumed.uniform(0.0, 1.0);
+  Rng f1 = parent.fork(7);
+  Rng f2 = consumed.fork(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(f1.uniform(0.0, 1.0), f2.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, ForkDependsOnSeedAndLabel) {
+  Rng a1 = Rng(1).fork(7);
+  Rng a2 = Rng(2).fork(7);
+  Rng b1 = Rng(1).fork(8);
+  const double v1 = a1.uniform(0.0, 1.0);
+  EXPECT_NE(v1, a2.uniform(0.0, 1.0));
+  EXPECT_NE(v1, b1.uniform(0.0, 1.0));
+}
+
+TEST(Logging, LevelsFilter) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  std::vector<std::string> captured;
+  auto prev = logger.set_sink([&](LogLevel, std::string_view msg) {
+    captured.emplace_back(msg);
+  });
+
+  logger.set_level(LogLevel::kWarn);
+  GH_DEBUG << "hidden";
+  GH_INFO << "hidden too";
+  GH_WARN << "visible " << 42;
+  GH_ERROR << "also visible";
+
+  logger.set_level(saved);
+  logger.set_sink(prev);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "visible 42");
+  EXPECT_EQ(captured[1], "also visible");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace greenhetero {
+namespace {
+
+TEST(Stats, SumMeanMinMax) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+}
+
+TEST(Stats, EmptyRangesThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)min_value(empty), std::invalid_argument);
+  EXPECT_THROW((void)max_value(empty), std::invalid_argument);
+  EXPECT_THROW((void)percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)geomean(empty), std::invalid_argument);
+}
+
+TEST(Stats, StdDev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_THROW((void)percentile(v, 120.0), std::invalid_argument);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-9);
+  EXPECT_THROW((void)geomean(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, Mse) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 4.0, 3.0};
+  EXPECT_NEAR(mse(a, b), 4.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)mse(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace greenhetero

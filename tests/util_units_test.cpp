@@ -1,0 +1,83 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace greenhetero {
+namespace {
+
+using namespace greenhetero::literals;
+
+TEST(Units, WattArithmetic) {
+  const Watts a{100.0};
+  const Watts b{50.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w{10.0};
+  w += Watts{5.0};
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= Watts{3.0};
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Watts{1.0}, Watts{2.0});
+  EXPECT_EQ(Watts{3.0}, Watts{3.0});
+  EXPECT_GE(WattHours{5.0}, WattHours{5.0});
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  // 100 W for 30 minutes = 50 Wh.
+  const WattHours e = Watts{100.0} * Minutes{30.0};
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+  EXPECT_DOUBLE_EQ((Minutes{30.0} * Watts{100.0}).value(), 50.0);
+}
+
+TEST(Units, EnergyDividedByTimeIsPower) {
+  const Watts p = WattHours{50.0} / Minutes{30.0};
+  EXPECT_DOUBLE_EQ(p.value(), 100.0);
+}
+
+TEST(Units, EnergyDividedByPowerIsTime) {
+  const Minutes t = WattHours{50.0} / Watts{100.0};
+  EXPECT_DOUBLE_EQ(t.value(), 30.0);
+}
+
+TEST(Units, MinutesToHours) {
+  EXPECT_DOUBLE_EQ(Minutes{90.0}.hours(), 1.5);
+}
+
+TEST(Units, MinMaxClamp) {
+  EXPECT_DOUBLE_EQ(min(Watts{1.0}, Watts{2.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(max(Watts{1.0}, Watts{2.0}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(clamp(Watts{5.0}, Watts{1.0}, Watts{3.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(clamp(Watts{0.0}, Watts{1.0}, Watts{3.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(Watts{2.0}, Watts{1.0}, Watts{3.0}).value(), 2.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((220.0_W).value(), 220.0);
+  EXPECT_DOUBLE_EQ((220_W).value(), 220.0);
+  EXPECT_DOUBLE_EQ((12000_Wh).value(), 12000.0);
+  EXPECT_DOUBLE_EQ((15_min).value(), 15.0);
+}
+
+TEST(Units, Streaming) {
+  std::ostringstream out;
+  out << Watts{12.5} << " " << WattHours{3.0} << " " << Minutes{15.0};
+  EXPECT_EQ(out.str(), "12.5W 3Wh 15min");
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,110 @@
+// Workload arrivals at runtime: the paper's Algorithm 1 takes the training-
+// run branch the first time a (server config, workload) pair shows up and
+// the solver branch on every later arrival.  These tests drive a schedule
+// of switches through the simulator and watch the controller do exactly
+// that.
+#include <gtest/gtest.h>
+
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+
+namespace greenhetero {
+namespace {
+
+SimConfig churn_config(std::vector<WorkloadSwitch> schedule,
+                       PolicyKind policy = PolicyKind::kGreenHetero) {
+  SimConfig cfg;
+  cfg.controller.policy = policy;
+  cfg.controller.seed = 17;
+  cfg.controller.profiling_noise = 0.01;
+  cfg.workload_schedule = std::move(schedule);
+  return cfg;
+}
+
+RackSimulator make_sim(SimConfig cfg) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  return RackSimulator{std::move(rack),
+                       make_fixed_budget_plant(Watts{800.0}, Minutes{3000.0}),
+                       std::move(cfg)};
+}
+
+TEST(WorkloadChurn, UnseenArrivalTriggersTrainingEpoch) {
+  // Switch to Streamcluster after one hour.
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{60.0}, Workload::kStreamcluster}}));
+  sim.pretrain();  // seeds SPECjbb only
+  const RunReport report = sim.run(Minutes{3.0 * 60.0});
+
+  ASSERT_EQ(report.epochs.size(), 12u);
+  // Epoch 4 (minute 60) must be the training run for the new workload.
+  EXPECT_FALSE(report.epochs[3].training);
+  EXPECT_TRUE(report.epochs[4].training);
+  EXPECT_FALSE(report.epochs[5].training);
+  // Both workloads now have records for both server types.
+  const PerfPowerDatabase& db = sim.controller().database();
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_TRUE(db.contains(
+      {ServerModel::kXeonE5_2620, Workload::kStreamcluster}));
+}
+
+TEST(WorkloadChurn, ReturningWorkloadNeedsNoRetraining) {
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{60.0}, Workload::kStreamcluster},
+       {Minutes{120.0}, Workload::kSpecJbb}}));
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{4.0 * 60.0});
+  // The switch back to SPECjbb at minute 120 reuses the existing records.
+  EXPECT_TRUE(report.epochs[4].training);   // Streamcluster arrival
+  EXPECT_FALSE(report.epochs[8].training);  // SPECjbb return
+}
+
+TEST(WorkloadChurn, SwitchAtTimeZeroReplacesInitialWorkload) {
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{0.0}, Workload::kMcf}}));
+  const RunReport report = sim.run(Minutes{60.0});
+  EXPECT_EQ(sim.rack().workload(), Workload::kMcf);
+  // No pretraining: epoch 0 trains Mcf directly.
+  EXPECT_TRUE(report.epochs[0].training);
+  EXPECT_TRUE(sim.controller().database().contains(
+      {ServerModel::kCoreI5_4460, Workload::kMcf}));
+}
+
+TEST(WorkloadChurn, RedundantSwitchIsHarmless) {
+  // Switching to the workload already running must not reset the servers.
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{30.0}, Workload::kSpecJbb}}));
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{2.0 * 60.0});
+  for (const auto& e : report.epochs) {
+    EXPECT_FALSE(e.training);
+  }
+  EXPECT_GT(report.mean_throughput(), 0.0);
+}
+
+TEST(WorkloadChurn, PerformanceRecoversAfterSwitch) {
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{60.0}, Workload::kVips}}));
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{4.0 * 60.0});
+  // After the training epoch, the solver serves the new workload at a
+  // steady level comparable to the last pre-switch epochs.
+  const double after = report.epochs.back().throughput;
+  EXPECT_GT(after, 0.0);
+  for (std::size_t e = 6; e < report.epochs.size(); ++e) {
+    EXPECT_FALSE(report.epochs[e].training);
+    EXPECT_GT(report.epochs[e].throughput, 0.0);
+  }
+}
+
+TEST(WorkloadChurn, UniformPolicyIgnoresTraining) {
+  // Database-free policies never take the training branch, even for churn.
+  RackSimulator sim = make_sim(churn_config(
+      {{Minutes{60.0}, Workload::kStreamcluster}}, PolicyKind::kUniform));
+  const RunReport report = sim.run(Minutes{3.0 * 60.0});
+  for (const auto& e : report.epochs) {
+    EXPECT_FALSE(e.training);
+  }
+}
+
+}  // namespace
+}  // namespace greenhetero

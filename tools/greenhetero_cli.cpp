@@ -1,0 +1,349 @@
+// greenhetero — command-line front end to the library.
+//
+//   greenhetero simulate  [--policy P] [--workload W] [--comb CombN]
+//                         [--days N] [--trace high|low] [--capacity W]
+//                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
+//                         [--seed S] [--csv FILE]
+//   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
+//   greenhetero solve     [--workload W] [--budget W] [--comb CombN]
+//   greenhetero traces    [--trace high|low|load|wind] [--days N]
+//                         [--capacity W] [--out FILE]
+//   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
+//                         [--mode static|proportional]
+//   greenhetero info      (servers, workloads, combinations)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/policies.h"
+#include "fleet/fleet.h"
+#include "power/carbon.h"
+#include "server/combinations.h"
+#include "sim/rack_simulator.h"
+#include "trace/load_pattern.h"
+#include "trace/solar.h"
+#include "trace/statistics.h"
+#include "trace/wind.h"
+
+namespace {
+
+using namespace greenhetero;
+
+struct Args {
+  std::map<std::string, std::string> options;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      std::exit(2);
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  for (PolicyKind kind : kAllPolicies) {
+    if (name == to_string(kind)) return kind;
+  }
+  std::fprintf(stderr, "unknown policy '%s' (try GreenHetero, Uniform, "
+               "Manual, GreenHetero-p, GreenHetero-a)\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<ServerGroup> parse_groups(const Args& args) {
+  const std::string comb = args.get("comb", "");
+  if (comb.empty()) return default_runtime_rack();
+  return combination_by_name(comb).groups;
+}
+
+Workload parse_workload(const Args& args) {
+  return workload_by_name(args.get("workload", "SPECjbb"));
+}
+
+int cmd_info() {
+  std::printf("Servers (Table II):\n");
+  for (const auto& s : all_server_specs()) {
+    std::printf("  %-16s %d sockets, %4d cores @ %.3f GHz, %3.0f-%3.0f W\n",
+                std::string(s.name).c_str(), s.sockets, s.cores,
+                s.frequency_ghz, s.idle_power.value(), s.peak_power.value());
+  }
+  std::printf("\nWorkloads (Table I):\n");
+  for (const auto& w : all_workload_specs()) {
+    std::printf("  %-24s %-11s %s\n", std::string(w.name).c_str(),
+                std::string(to_string(w.suite)).c_str(),
+                std::string(w.metric).c_str());
+  }
+  std::printf("\nCombinations (Table IV):\n");
+  for (const auto& c : table4_combinations()) {
+    std::printf("  %-8s", std::string(c.name).c_str());
+    for (const auto& g : c.groups) {
+      std::printf(" %dx %s,", g.count,
+                  std::string(server_spec(g.model).name).c_str());
+    }
+    std::printf("\b \n");
+  }
+  std::printf("\nPolicies (Table III): ");
+  for (PolicyKind kind : kAllPolicies) {
+    std::printf("%s ", std::string(to_string(kind)).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::vector<ServerGroup> groups = parse_groups(args);
+  const Workload workload = parse_workload(args);
+  const PolicyKind policy = parse_policy(args.get("policy", "GreenHetero"));
+  const int days = static_cast<int>(args.number("days", 1.0));
+  const Watts capacity{args.number("capacity", 2500.0)};
+  const auto seed = static_cast<std::uint64_t>(args.number("seed", 42.0));
+
+  Rack rack{groups, workload};
+  SimConfig cfg;
+  cfg.controller.policy = policy;
+  cfg.controller.seed = seed;
+  cfg.demand_trace =
+      generate_load_trace(LoadPatternModel{}, rack.peak_demand(),
+                          days + 1, seed);
+  GridSpec grid;
+  grid.budget = Watts{args.number("grid", 1000.0)};
+
+  const std::string trace_kind = args.get("trace", "high");
+  const PowerTrace solar =
+      trace_kind == "low"
+          ? generate_solar_trace(low_solar_model(capacity), days + 1, seed)
+          : generate_solar_trace(high_solar_model(capacity), days + 1, seed);
+
+  BatterySpec battery =
+      args.get("chemistry", "lead") == "li"
+          ? li_ion_spec(WattHours{args.number("battery-kwh", 12.0) * 1000.0})
+          : lead_acid_spec(
+                WattHours{args.number("battery-kwh", 12.0) * 1000.0});
+
+  RackSimulator sim{std::move(rack),
+                    RackPowerPlant{SolarArray{solar}, Battery{battery},
+                                   GridSupply{grid}},
+                    std::move(cfg)};
+  sim.pretrain();
+  const RunReport report = sim.run(Minutes{days * 24.0 * 60.0});
+
+  std::printf("policy %s, workload %s, %d day(s), %s trace\n",
+              std::string(to_string(policy)).c_str(),
+              std::string(workload_spec(workload).name).c_str(), days,
+              trace_kind.c_str());
+  std::printf("  mean throughput:  %.0f\n", report.mean_throughput());
+  std::printf("  EPU:              %.1f%%\n", report.overall_epu * 100.0);
+  std::printf("  renewable used:   %.1f kWh (%.0f%% of production)\n",
+              (report.ledger.renewable_to_load() +
+               report.ledger.renewable_to_battery()).value() / 1000.0,
+              report.ledger.renewable_utilization() * 100.0);
+  std::printf("  grid energy:      %.1f kWh  (cost $%.2f)\n",
+              report.grid_energy.value() / 1000.0, report.grid_cost);
+  std::printf("  battery cycles:   %.2f\n", report.battery_cycles);
+  const CarbonReport carbon = carbon_report(report.ledger);
+  std::printf("  CO2e:             %.1f kg (%.0f g/kWh; %.1f kg saved vs "
+              "all-grid)\n",
+              carbon.total_kg, carbon.effective_g_per_kwh, carbon.saved_kg);
+
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty()) {
+    report.to_csv().save(csv);
+    std::printf("  per-epoch trail written to %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_policies(const Args& args) {
+  const std::vector<ServerGroup> groups = parse_groups(args);
+  const Workload workload = parse_workload(args);
+  Rack probe{groups, workload};
+  const Watts budget{
+      args.number("budget", probe.peak_demand().value() * 0.55)};
+
+  std::printf("workload %s, green budget %.0f W\n\n",
+              std::string(workload_spec(workload).name).c_str(),
+              budget.value());
+  std::printf("%-16s %14s %8s\n", "policy", "throughput", "EPU");
+  for (PolicyKind policy : kAllPolicies) {
+    Rack rack{groups, workload};
+    SimConfig cfg;
+    cfg.controller.policy = policy;
+    cfg.controller.seed = 7;
+    RackSimulator sim{std::move(rack),
+                      make_fixed_budget_plant(budget, Minutes{10.0 * 60.0}),
+                      std::move(cfg)};
+    sim.pretrain();
+    const RunReport report = sim.run(Minutes{6.0 * 60.0});
+    std::printf("%-16s %14.0f %7.0f%%\n",
+                std::string(to_string(policy)).c_str(),
+                report.mean_throughput(), report.overall_epu * 100.0);
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  const std::vector<ServerGroup> groups = parse_groups(args);
+  const Workload workload = parse_workload(args);
+  Rack rack{groups, workload};
+  const Watts budget{
+      args.number("budget", rack.peak_demand().value() * 0.55)};
+
+  // Noise-free training database, then one Solver call.
+  PerfPowerDatabase db;
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    const PerfCurve& curve = rack.group_curve(g);
+    std::vector<ServerSample> samples;
+    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const Watts p = curve.idle_power() +
+                      (curve.peak_power() - curve.idle_power()) * f;
+      samples.push_back({p, curve.throughput_at(p)});
+    }
+    db.add_training_samples({rack.group(g).model, rack.group_workload(g)},
+                            samples);
+  }
+  const Allocation a =
+      make_policy(PolicyKind::kGreenHetero)->allocate(rack, db, budget);
+  std::printf("budget %.0f W across %d servers:\n", budget.value(),
+              rack.total_servers());
+  for (std::size_t g = 0; g < rack.group_count(); ++g) {
+    std::printf("  PAR %-16s %5.1f%%  (%.0f W, %.1f W/server)\n",
+                std::string(server_spec(rack.group(g).model).name).c_str(),
+                a.ratios[g] * 100.0, a.ratios[g] * budget.value(),
+                a.ratios[g] * budget.value() / rack.group(g).count);
+  }
+  std::printf("  battery charge share %.1f%%; predicted rack perf %.0f\n",
+              (1.0 - a.ratio_sum()) * 100.0, a.predicted_perf);
+  return 0;
+}
+
+int cmd_traces(const Args& args) {
+  const std::string kind = args.get("trace", "high");
+  const int days = static_cast<int>(args.number("days", 7.0));
+  const Watts capacity{args.number("capacity", 2500.0)};
+  const std::string out = args.get("out", "trace.csv");
+
+  PowerTrace trace = [&] {
+    if (kind == "low") {
+      return generate_solar_trace(low_solar_model(capacity), days, 3);
+    }
+    if (kind == "load") {
+      return generate_load_trace(LoadPatternModel{}, capacity, days, 5);
+    }
+    if (kind == "wind") {
+      WindModel model;
+      model.rated_power = capacity;
+      return generate_wind_trace(model, days, 3);
+    }
+    return generate_solar_trace(high_solar_model(capacity), days, 3);
+  }();
+  trace.save_csv(out);
+  const TraceStatistics stats = analyze_trace(trace);
+  std::printf("%s trace: %d day(s), %zu samples -> %s\n", kind.c_str(), days,
+              trace.size(), out.c_str());
+  std::printf("  mean %.0f W, peak %.0f W, load factor %.0f%%\n",
+              stats.mean.value(), stats.peak.value(),
+              stats.load_factor * 100.0);
+  std::printf("  variability (CV) %.2f, lag-1 autocorrelation %.2f\n",
+              stats.variability, stats.autocorrelation);
+  std::printf("  mean ramp %.0f W/sample (max %.0f W), zero output %.0f%% "
+              "of the time\n",
+              stats.mean_ramp.value(), stats.max_ramp.value(),
+              stats.zero_fraction * 100.0);
+  return 0;
+}
+
+int cmd_fleet(const Args& args) {
+  const int racks = static_cast<int>(args.number("racks", 3.0));
+  const double asymmetry = args.number("asymmetry", 0.5);
+  const Watts total_grid{args.number("grid", 800.0 * racks)};
+  const GridShareMode mode = args.get("mode", "proportional") == "static"
+                                 ? GridShareMode::kStatic
+                                 : GridShareMode::kDemandProportional;
+
+  std::vector<RackSimulator> sims;
+  for (int i = 0; i < racks; ++i) {
+    // Solar provisioning spread linearly around 1.8 kW by +/- asymmetry.
+    const double spread =
+        racks > 1 ? -1.0 + 2.0 * i / (racks - 1.0) : 0.0;
+    const Watts solar_capacity{1800.0 * (1.0 + asymmetry * spread)};
+    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+    SimConfig cfg;
+    cfg.controller.policy = PolicyKind::kGreenHetero;
+    cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
+    sims.emplace_back(
+        std::move(rack),
+        make_standard_plant(
+            generate_solar_trace(high_solar_model(solar_capacity), 2,
+                                 40 + static_cast<std::uint64_t>(i)),
+            GridSpec{}),
+        std::move(cfg));
+  }
+  Fleet fleet{std::move(sims), total_grid, mode};
+  fleet.pretrain();
+  const FleetReport report = fleet.run(Minutes{24.0 * 60.0});
+  std::printf("fleet of %d racks, %s grid sharing, %.0f W total grid\n",
+              racks, to_string(mode), total_grid.value());
+  std::printf("  total work:       %.0f\n", report.total_work);
+  std::printf("  grid energy:      %.1f kWh ($%.2f)\n",
+              report.grid_energy.value() / 1000.0, report.grid_cost);
+  std::printf("  peak grid draw:   %.0f W of %.0f W budget\n",
+              report.peak_grid_allocation.value(), total_grid.value());
+  for (std::size_t i = 0; i < report.racks.size(); ++i) {
+    std::printf("  rack %zu: work %.0f, EPU %.0f%%, battery %.2f cycles\n",
+                i, report.racks[i].total_work,
+                report.racks[i].overall_epu * 100.0,
+                report.racks[i].battery_cycles);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: greenhetero <simulate|fleet|policies|solve|traces|info> "
+               "[--option value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "info") return cmd_info();
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "policies") return cmd_policies(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "traces") return cmd_traces(args);
+    if (command == "fleet") return cmd_fleet(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
