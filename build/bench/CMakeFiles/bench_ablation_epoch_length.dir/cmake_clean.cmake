@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epoch_length.dir/bench_ablation_epoch_length.cpp.o"
+  "CMakeFiles/bench_ablation_epoch_length.dir/bench_ablation_epoch_length.cpp.o.d"
+  "bench_ablation_epoch_length"
+  "bench_ablation_epoch_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epoch_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

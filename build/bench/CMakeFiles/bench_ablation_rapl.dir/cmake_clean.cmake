@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rapl.dir/bench_ablation_rapl.cpp.o"
+  "CMakeFiles/bench_ablation_rapl.dir/bench_ablation_rapl.cpp.o.d"
+  "bench_ablation_rapl"
+  "bench_ablation_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rationing.dir/bench_ablation_rationing.cpp.o"
+  "CMakeFiles/bench_ablation_rationing.dir/bench_ablation_rationing.cpp.o.d"
+  "bench_ablation_rationing"
+  "bench_ablation_rationing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rationing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

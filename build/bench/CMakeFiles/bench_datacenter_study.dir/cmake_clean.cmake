@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datacenter_study.dir/bench_datacenter_study.cpp.o"
+  "CMakeFiles/bench_datacenter_study.dir/bench_datacenter_study.cpp.o.d"
+  "bench_datacenter_study"
+  "bench_datacenter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datacenter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_epu.dir/bench_fig10_epu.cpp.o"
+  "CMakeFiles/bench_fig10_epu.dir/bench_fig10_epu.cpp.o.d"
+  "bench_fig10_epu"
+  "bench_fig10_epu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

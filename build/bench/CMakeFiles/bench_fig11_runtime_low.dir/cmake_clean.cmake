@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_runtime_low.dir/bench_fig11_runtime_low.cpp.o"
+  "CMakeFiles/bench_fig11_runtime_low.dir/bench_fig11_runtime_low.cpp.o.d"
+  "bench_fig11_runtime_low"
+  "bench_fig11_runtime_low.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_runtime_low.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_runtime_high.dir/bench_fig8_runtime_high.cpp.o"
+  "CMakeFiles/bench_fig8_runtime_high.dir/bench_fig8_runtime_high.cpp.o.d"
+  "bench_fig8_runtime_high"
+  "bench_fig8_runtime_high.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_runtime_high.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modern_stack.dir/bench_modern_stack.cpp.o"
+  "CMakeFiles/bench_modern_stack.dir/bench_modern_stack.cpp.o.d"
+  "bench_modern_stack"
+  "bench_modern_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modern_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictor_micro.dir/bench_predictor_micro.cpp.o"
+  "CMakeFiles/bench_predictor_micro.dir/bench_predictor_micro.cpp.o.d"
+  "bench_predictor_micro"
+  "bench_predictor_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictor_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_servers.dir/bench_table2_servers.cpp.o"
+  "CMakeFiles/bench_table2_servers.dir/bench_table2_servers.cpp.o.d"
+  "bench_table2_servers"
+  "bench_table2_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

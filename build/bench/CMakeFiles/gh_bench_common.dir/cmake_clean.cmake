@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gh_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gh_bench_common.dir/bench_common.cpp.o.d"
+  "libgh_bench_common.a"
+  "libgh_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gh_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

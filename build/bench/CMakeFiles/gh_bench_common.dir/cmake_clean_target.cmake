@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgh_bench_common.a"
+)

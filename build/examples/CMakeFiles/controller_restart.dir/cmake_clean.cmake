@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_restart.dir/controller_restart.cpp.o"
+  "CMakeFiles/controller_restart.dir/controller_restart.cpp.o.d"
+  "controller_restart"
+  "controller_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

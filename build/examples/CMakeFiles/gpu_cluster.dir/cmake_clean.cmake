@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_cluster.dir/gpu_cluster.cpp.o"
+  "CMakeFiles/gpu_cluster.dir/gpu_cluster.cpp.o.d"
+  "gpu_cluster"
+  "gpu_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

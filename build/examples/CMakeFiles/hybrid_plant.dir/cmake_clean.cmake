@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_plant.dir/hybrid_plant.cpp.o"
+  "CMakeFiles/hybrid_plant.dir/hybrid_plant.cpp.o.d"
+  "hybrid_plant"
+  "hybrid_plant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_plant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

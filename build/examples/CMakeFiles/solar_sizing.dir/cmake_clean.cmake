@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_sizing.dir/solar_sizing.cpp.o"
+  "CMakeFiles/solar_sizing.dir/solar_sizing.cpp.o.d"
+  "solar_sizing"
+  "solar_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

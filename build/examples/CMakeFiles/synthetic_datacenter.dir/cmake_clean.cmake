@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_datacenter.dir/synthetic_datacenter.cpp.o"
+  "CMakeFiles/synthetic_datacenter.dir/synthetic_datacenter.cpp.o.d"
+  "synthetic_datacenter"
+  "synthetic_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_placement.dir/workload_placement.cpp.o"
+  "CMakeFiles/workload_placement.dir/workload_placement.cpp.o.d"
+  "workload_placement"
+  "workload_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/greenhetero.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/database.cpp" "src/CMakeFiles/greenhetero.dir/core/database.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/database.cpp.o.d"
+  "/root/repo/src/core/decision_output.cpp" "src/CMakeFiles/greenhetero.dir/core/decision_output.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/decision_output.cpp.o.d"
+  "/root/repo/src/core/enforcer.cpp" "src/CMakeFiles/greenhetero.dir/core/enforcer.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/enforcer.cpp.o.d"
+  "/root/repo/src/core/epu.cpp" "src/CMakeFiles/greenhetero.dir/core/epu.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/epu.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/greenhetero.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/CMakeFiles/greenhetero.dir/core/placement.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/placement.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/CMakeFiles/greenhetero.dir/core/policies.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/policies.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/greenhetero.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/greenhetero.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/solver.cpp.o.d"
+  "/root/repo/src/core/source_selector.cpp" "src/CMakeFiles/greenhetero.dir/core/source_selector.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/core/source_selector.cpp.o.d"
+  "/root/repo/src/fleet/fleet.cpp" "src/CMakeFiles/greenhetero.dir/fleet/fleet.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/fleet/fleet.cpp.o.d"
+  "/root/repo/src/power/battery.cpp" "src/CMakeFiles/greenhetero.dir/power/battery.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/battery.cpp.o.d"
+  "/root/repo/src/power/carbon.cpp" "src/CMakeFiles/greenhetero.dir/power/carbon.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/carbon.cpp.o.d"
+  "/root/repo/src/power/energy_ledger.cpp" "src/CMakeFiles/greenhetero.dir/power/energy_ledger.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/energy_ledger.cpp.o.d"
+  "/root/repo/src/power/grid.cpp" "src/CMakeFiles/greenhetero.dir/power/grid.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/grid.cpp.o.d"
+  "/root/repo/src/power/power_bus.cpp" "src/CMakeFiles/greenhetero.dir/power/power_bus.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/power_bus.cpp.o.d"
+  "/root/repo/src/power/solar_array.cpp" "src/CMakeFiles/greenhetero.dir/power/solar_array.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/power/solar_array.cpp.o.d"
+  "/root/repo/src/server/combinations.cpp" "src/CMakeFiles/greenhetero.dir/server/combinations.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/combinations.cpp.o.d"
+  "/root/repo/src/server/dvfs.cpp" "src/CMakeFiles/greenhetero.dir/server/dvfs.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/dvfs.cpp.o.d"
+  "/root/repo/src/server/perf_curve.cpp" "src/CMakeFiles/greenhetero.dir/server/perf_curve.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/perf_curve.cpp.o.d"
+  "/root/repo/src/server/power_cap.cpp" "src/CMakeFiles/greenhetero.dir/server/power_cap.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/power_cap.cpp.o.d"
+  "/root/repo/src/server/rack.cpp" "src/CMakeFiles/greenhetero.dir/server/rack.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/rack.cpp.o.d"
+  "/root/repo/src/server/server_sim.cpp" "src/CMakeFiles/greenhetero.dir/server/server_sim.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/server_sim.cpp.o.d"
+  "/root/repo/src/server/server_spec.cpp" "src/CMakeFiles/greenhetero.dir/server/server_spec.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/server/server_spec.cpp.o.d"
+  "/root/repo/src/sim/rack_simulator.cpp" "src/CMakeFiles/greenhetero.dir/sim/rack_simulator.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/sim/rack_simulator.cpp.o.d"
+  "/root/repo/src/sim/run_report.cpp" "src/CMakeFiles/greenhetero.dir/sim/run_report.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/sim/run_report.cpp.o.d"
+  "/root/repo/src/sim/sim_clock.cpp" "src/CMakeFiles/greenhetero.dir/sim/sim_clock.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/sim/sim_clock.cpp.o.d"
+  "/root/repo/src/trace/heterogeneity.cpp" "src/CMakeFiles/greenhetero.dir/trace/heterogeneity.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/heterogeneity.cpp.o.d"
+  "/root/repo/src/trace/load_pattern.cpp" "src/CMakeFiles/greenhetero.dir/trace/load_pattern.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/load_pattern.cpp.o.d"
+  "/root/repo/src/trace/solar.cpp" "src/CMakeFiles/greenhetero.dir/trace/solar.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/solar.cpp.o.d"
+  "/root/repo/src/trace/statistics.cpp" "src/CMakeFiles/greenhetero.dir/trace/statistics.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/statistics.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/greenhetero.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/wind.cpp" "src/CMakeFiles/greenhetero.dir/trace/wind.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/trace/wind.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/greenhetero.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/greenhetero.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/optimize.cpp" "src/CMakeFiles/greenhetero.dir/util/optimize.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/optimize.cpp.o.d"
+  "/root/repo/src/util/polyfit.cpp" "src/CMakeFiles/greenhetero.dir/util/polyfit.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/polyfit.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/greenhetero.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/greenhetero.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/CMakeFiles/greenhetero.dir/workload/catalog.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/workload/catalog.cpp.o.d"
+  "/root/repo/src/workload/queueing.cpp" "src/CMakeFiles/greenhetero.dir/workload/queueing.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/workload/queueing.cpp.o.d"
+  "/root/repo/src/workload/workload_spec.cpp" "src/CMakeFiles/greenhetero.dir/workload/workload_spec.cpp.o" "gcc" "src/CMakeFiles/greenhetero.dir/workload/workload_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

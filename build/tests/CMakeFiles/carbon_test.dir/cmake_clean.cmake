@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_test.dir/carbon_test.cpp.o"
+  "CMakeFiles/carbon_test.dir/carbon_test.cpp.o.d"
+  "carbon_test"
+  "carbon_test.pdb"
+  "carbon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

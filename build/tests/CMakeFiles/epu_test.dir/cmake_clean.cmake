@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epu_test.dir/epu_test.cpp.o"
+  "CMakeFiles/epu_test.dir/epu_test.cpp.o.d"
+  "epu_test"
+  "epu_test.pdb"
+  "epu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

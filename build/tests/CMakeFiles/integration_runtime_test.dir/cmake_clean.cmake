@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_runtime_test.dir/integration_runtime_test.cpp.o"
+  "CMakeFiles/integration_runtime_test.dir/integration_runtime_test.cpp.o.d"
+  "integration_runtime_test"
+  "integration_runtime_test.pdb"
+  "integration_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cap_test.dir/power_cap_test.cpp.o"
+  "CMakeFiles/power_cap_test.dir/power_cap_test.cpp.o.d"
+  "power_cap_test"
+  "power_cap_test.pdb"
+  "power_cap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_plant_test.dir/power_plant_test.cpp.o"
+  "CMakeFiles/power_plant_test.dir/power_plant_test.cpp.o.d"
+  "power_plant_test"
+  "power_plant_test.pdb"
+  "power_plant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_plant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_test.dir/rack_test.cpp.o"
+  "CMakeFiles/rack_test.dir/rack_test.cpp.o.d"
+  "rack_test"
+  "rack_test.pdb"
+  "rack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selector_enforcer_test.dir/selector_enforcer_test.cpp.o"
+  "CMakeFiles/selector_enforcer_test.dir/selector_enforcer_test.cpp.o.d"
+  "selector_enforcer_test"
+  "selector_enforcer_test.pdb"
+  "selector_enforcer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selector_enforcer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_policy_test.dir/subset_policy_test.cpp.o"
+  "CMakeFiles/subset_policy_test.dir/subset_policy_test.cpp.o.d"
+  "subset_policy_test"
+  "subset_policy_test.pdb"
+  "subset_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

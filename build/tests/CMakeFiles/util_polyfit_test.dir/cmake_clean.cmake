@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_polyfit_test.dir/util_polyfit_test.cpp.o"
+  "CMakeFiles/util_polyfit_test.dir/util_polyfit_test.cpp.o.d"
+  "util_polyfit_test"
+  "util_polyfit_test.pdb"
+  "util_polyfit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_polyfit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wind_test.dir/wind_test.cpp.o"
+  "CMakeFiles/wind_test.dir/wind_test.cpp.o.d"
+  "wind_test"
+  "wind_test.pdb"
+  "wind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_churn_test.dir/workload_churn_test.cpp.o"
+  "CMakeFiles/workload_churn_test.dir/workload_churn_test.cpp.o.d"
+  "workload_churn_test"
+  "workload_churn_test.pdb"
+  "workload_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greenhetero_cli.dir/greenhetero_cli.cpp.o"
+  "CMakeFiles/greenhetero_cli.dir/greenhetero_cli.cpp.o.d"
+  "greenhetero"
+  "greenhetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greenhetero_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

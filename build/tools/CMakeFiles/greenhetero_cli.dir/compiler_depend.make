@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for greenhetero_cli.
+# This may be replaced when dependencies are built.
