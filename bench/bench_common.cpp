@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 
 #include "sim/rack_simulator.h"
 
@@ -100,6 +103,54 @@ void print_row(const std::string& label, const std::vector<double>& values) {
     std::printf(" %8.2f", v);
   }
   std::printf("\n");
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::set(const std::string& key, double value) {
+  fields_.emplace_back(key, telemetry::TraceValue{value});
+}
+
+void BenchReport::set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, telemetry::TraceValue{value});
+}
+
+void BenchReport::set(const std::string& key,
+                      const std::vector<double>& values) {
+  fields_.emplace_back(key, telemetry::TraceValue{values});
+}
+
+std::string BenchReport::path() const {
+  const char* dir = std::getenv("GH_BENCH_OUT_DIR");
+  std::string result = dir != nullptr ? dir : ".";
+  result += "/BENCH_" + name_ + ".json";
+  return result;
+}
+
+void BenchReport::write() const {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string json = "{\"bench\":";
+  telemetry::append_json_escaped(json, name_);
+  for (const auto& [key, value] : fields_) {
+    json += ',';
+    telemetry::append_json_escaped(json, key);
+    json += ':';
+    value.append_json(json);
+  }
+  json += ",\"wall_seconds\":";
+  json += telemetry::format_number(wall);
+  json += "}\n";
+
+  const std::string out_path = path();
+  std::ofstream out(out_path);
+  if (!out) {
+    throw std::runtime_error("bench: cannot open report file: " + out_path);
+  }
+  out << json;
+  std::printf("bench report written to %s\n", out_path.c_str());
 }
 
 }  // namespace greenhetero::bench

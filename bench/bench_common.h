@@ -3,12 +3,15 @@
 // constant green budget and report steady-state throughput and EPU.
 #pragma once
 
+#include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/policies.h"
 #include "server/rack.h"
 #include "sim/run_report.h"
+#include "telemetry/tracing.h"
 #include "util/units.h"
 #include "workload/workload_spec.h"
 
@@ -75,5 +78,27 @@ inline constexpr double kShareSweepWatts[] = {55.0, 65.0, 75.0, 85.0};
 
 /// Pretty-print one normalised row: `label | v1 v2 ...` with 2 decimals.
 void print_row(const std::string& label, const std::vector<double>& values);
+
+/// Machine-readable bench output: collects key figures during a bench run
+/// and writes them as `BENCH_<name>.json` (one object; `wall_seconds` is
+/// stamped automatically at write time).  Output lands in $GH_BENCH_OUT_DIR
+/// when set, else the current directory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const std::vector<double>& values);
+
+  /// Path the report will be (or was) written to.
+  [[nodiscard]] std::string path() const;
+  void write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, telemetry::TraceValue>> fields_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace greenhetero::bench

@@ -16,8 +16,11 @@ int main() {
   std::printf("%-24s %8s %8s %8s %8s %8s  (absolute Uniform EPU)\n",
               "workload", "Uniform", "Manual", "GH-p", "GH-a", "GH");
 
+  BenchReport bench_report("fig10_epu");
   const auto groups = default_runtime_rack();
   std::vector<double> gh_gains;
+  std::vector<double> uniform_epus;
+  std::vector<double> gh_epus;
   double best_gain = 0.0;
   double worst_gain = 1e9;
   std::string best_name;
@@ -32,6 +35,8 @@ int main() {
     std::printf("  (%.2f)\n", base);
     const double gain = base > 0.0 ? results.back().epu / base : 0.0;
     gh_gains.push_back(gain);
+    uniform_epus.push_back(base);
+    gh_epus.push_back(results.back().epu);
     if (gain > best_gain) {
       best_gain = gain;
       best_name = workload_spec(w).name;
@@ -48,5 +53,14 @@ int main() {
               "Web-search 1.1x)\n",
               sum / gh_gains.size(), best_name.c_str(), best_gain,
               worst_name.c_str(), worst_gain);
+
+  bench_report.set("gh_vs_uniform_epu_gain_mean", sum / gh_gains.size());
+  bench_report.set("best_workload", best_name);
+  bench_report.set("best_gain", best_gain);
+  bench_report.set("worst_workload", worst_name);
+  bench_report.set("worst_gain", worst_gain);
+  bench_report.set("uniform_epu", uniform_epus);
+  bench_report.set("greenhetero_epu", gh_epus);
+  bench_report.write();
   return 0;
 }

@@ -1,10 +1,16 @@
 // Ablation A1 (google-benchmark): Solver backends — grid-refine (the
 // production path), exhaustive grids at several granularities, and the
 // analytic KKT fast path — timed on representative 2- and 3-group problems.
+//
+// A custom main runs the google-benchmark suite and then re-times the key
+// entry points with a plain steady_clock loop to emit the machine-readable
+// BENCH_solver_micro.json via BenchReport.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/solver.h"
 
 namespace {
@@ -104,4 +110,47 @@ void BM_SolveOptimalityGap(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveOptimalityGap)->Iterations(1);
 
+/// Mean ns per call of `fn`, hand-timed over enough iterations to smooth
+/// scheduler noise.
+template <typename Fn>
+double time_ns_per_op(Fn&& fn, int iterations = 2000) {
+  // Warm-up pass so lazy initialisation does not land in the measurement.
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    benchmark::DoNotOptimize(fn());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::nano>(elapsed).count() /
+         iterations;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  greenhetero::bench::BenchReport report("solver_micro");
+  const auto g2 = two_groups();
+  const auto g3 = three_groups();
+  const auto g5 = five_groups();
+  report.set("solve_2groups_ns", time_ns_per_op([&] {
+               return Solver::solve(g2, Watts{900.0});
+             }));
+  report.set("solve_3groups_ns", time_ns_per_op([&] {
+               return Solver::solve(g3, Watts{1500.0});
+             }));
+  report.set("solve_n_5groups_ns", time_ns_per_op([&] {
+               return Solver::solve_n(g5, Watts{2000.0});
+             }));
+  report.set("solve_analytic_2groups_ns", time_ns_per_op([&] {
+               return Solver::solve_analytic_2(g2, Watts{900.0});
+             }));
+  report.set("solve_grid_10pct_ns", time_ns_per_op([&] {
+               return Solver::solve_grid(g2, Watts{900.0}, 0.10);
+             }, 200));
+  report.write();
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/probe.h"
+#include "telemetry/telemetry.h"
 #include "util/logging.h"
 
 namespace greenhetero {
@@ -41,6 +43,7 @@ bool GreenHeteroController::needs_training(const Rack& rack) const {
 EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
                                             const RackPowerPlant& plant,
                                             Minutes now, Watts demand_hint) {
+  GH_PROBE("gh_plan_epoch_ns");
   EpochPlan plan;
   if (needs_training(rack)) {
     // Algorithm 1 lines 3-5: unseen pair -> training run under ample power.
@@ -49,27 +52,43 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
     plan.source.server_budget = rack.peak_demand();
     GH_INFO << "epoch @" << now.value() << "min: training run for workload '"
             << workload_spec(rack.workload()).name << "'";
+    telemetry::emit("controller_plan",
+                    {{"training", true},
+                     {"workload", workload_spec(rack.workload()).name},
+                     {"budget_w", plan.source.server_budget.value()}});
     return plan;
   }
 
-  plan.predicted_renewable =
-      supply_predictor_->ready()
-          ? Watts{std::max(0.0, supply_predictor_->predict())}
-          : plant.renewable_available(now);
-  plan.predicted_demand = demand_predictor_->ready()
-                              ? Watts{std::max(0.0, demand_predictor_->predict())}
-                              : demand_hint;
+  {
+    GH_PROBE("gh_predict_ns");
+    plan.predicted_renewable =
+        supply_predictor_->ready()
+            ? Watts{std::max(0.0, supply_predictor_->predict())}
+            : plant.renewable_available(now);
+    plan.predicted_demand =
+        demand_predictor_->ready()
+            ? Watts{std::max(0.0, demand_predictor_->predict())}
+            : demand_hint;
+  }
   // Never plan beyond what the servers can use.
   plan.predicted_demand = min(plan.predicted_demand, rack.peak_demand());
 
   plan.source = selector_.decide(plan.predicted_renewable,
                                  plan.predicted_demand, plant, config_.epoch);
   if (plan.source.server_budget.value() > 1e-6) {
+    GH_PROBE("gh_policy_allocate_ns");
     plan.allocation = policy_->allocate(rack, db_, plan.source.server_budget);
   }
   GH_DEBUG << "epoch @" << now.value() << "min: case "
            << to_string(plan.source.source_case) << ", budget "
            << plan.source.server_budget.value() << "W";
+  telemetry::emit("controller_plan",
+                  {{"training", false},
+                   {"case", to_string(plan.source.source_case)},
+                   {"predicted_renewable_w", plan.predicted_renewable.value()},
+                   {"predicted_demand_w", plan.predicted_demand.value()},
+                   {"budget_w", plan.source.server_budget.value()},
+                   {"ratios", plan.allocation.ratios}});
   return plan;
 }
 
@@ -106,6 +125,7 @@ void GreenHeteroController::record_training(
 void GreenHeteroController::finish_epoch(const Rack& rack,
                                          Watts observed_renewable,
                                          Watts observed_demand) {
+  GH_PROBE("gh_finish_epoch_ns");
   supply_history_.push_back(observed_renewable.value());
   demand_history_.push_back(observed_demand.value());
   // Holt-Winters needs more than one full season replayed to be ready, so
@@ -123,7 +143,9 @@ void GreenHeteroController::finish_epoch(const Rack& rack,
   ++epochs_seen_;
   maybe_retrain_holt();
 
+  int feedback_samples = 0;
   if (policy_->updates_database()) {
+    GH_PROBE("gh_db_update_ns");
     // Algorithm 1 lines 8-10: fold runtime feedback into the fits.
     for (std::size_t i = 0; i < rack.group_count(); ++i) {
       const ProfileKey key{rack.group(i).model, rack.group_workload(i)};
@@ -133,8 +155,13 @@ void GreenHeteroController::finish_epoch(const Rack& rack,
       const ServerSample sample = monitor_.sample_group(rack, i);
       if (sample.power.value() <= 0.0) continue;  // group asleep: no signal
       db_.add_runtime_sample(key, sample);
+      ++feedback_samples;
     }
   }
+  telemetry::emit("feedback",
+                  {{"observed_renewable_w", observed_renewable.value()},
+                   {"observed_demand_w", observed_demand.value()},
+                   {"db_samples", feedback_samples}});
 }
 
 int GreenHeteroController::season_period() const {
@@ -152,6 +179,10 @@ void GreenHeteroController::maybe_retrain_holt() {
   const bool due = epochs_seen_ % std::max(1, config_.holt_retrain_every) == 0;
   const bool first = epochs_seen_ == 3;
   if (!due && !first) return;
+  GH_PROBE("gh_holt_retrain_ns");
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics().counter("gh_predictor_retrains_total").increment();
+  }
   const HoltParams supply_params = train_holt(supply_history_);
   const HoltParams demand_params = train_holt(demand_history_);
   // Re-seed predictors with the trained parameters and replay the window so

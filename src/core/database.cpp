@@ -5,7 +5,22 @@
 #include <set>
 #include <string>
 
+#include "telemetry/probe.h"
+#include "telemetry/telemetry.h"
+
 namespace greenhetero {
+
+namespace {
+
+void count_db_event(const char* kind) {
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics()
+        .counter("gh_db_samples_total", {{"kind", kind}})
+        .increment();
+  }
+}
+
+}  // namespace
 
 double ProfileRecord::projected_perf(Watts p) const {
   if (p.value() < min_power.value()) return 0.0;
@@ -59,6 +74,7 @@ void PerfPowerDatabase::add_training_samples(
   record.pinned = record.powers.size();
   refit(record);
   records_[key] = std::move(record);
+  count_db_event("training");
 }
 
 void PerfPowerDatabase::add_runtime_sample(ProfileKey key,
@@ -68,6 +84,7 @@ void PerfPowerDatabase::add_runtime_sample(ProfileKey key,
     throw DatabaseError("database: runtime sample for unknown key");
   }
   ProfileRecord& record = it->second;
+  count_db_event("runtime");
 
   // Merge into a nearby existing *runtime* sample when one exists.
   const double range = record.max_power.value() - record.min_power.value();
@@ -159,6 +176,7 @@ PerfPowerDatabase PerfPowerDatabase::load(
 }
 
 void PerfPowerDatabase::refit(ProfileRecord& record) const {
+  GH_PROBE("gh_db_refit_ns");
   record.fit = quadratic_fit(record.powers, record.perfs);
   record.min_power = Watts{*std::min_element(record.powers.begin(),
                                              record.powers.end())};

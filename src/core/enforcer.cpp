@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace greenhetero {
 
 std::vector<Watts> Enforcer::apply_allocation(Rack& rack,
@@ -19,6 +21,15 @@ std::vector<Watts> Enforcer::apply_allocation(Rack& rack,
     rack.enforce_allocation_subset(group_power, allocation.active_counts);
   } else {
     rack.enforce_allocation(group_power);
+  }
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics().counter("gh_enforcements_total").increment();
+    std::vector<double> group_w;
+    group_w.reserve(group_power.size());
+    for (Watts w : group_power) group_w.push_back(w.value());
+    t->emit("enforce", {{"budget_w", budget.value()},
+                        {"group_w", std::move(group_w)},
+                        {"enforced_draw_w", rack.total_draw().value()}});
   }
   return group_power;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/probe.h"
+#include "telemetry/telemetry.h"
 #include "util/optimize.h"
 
 namespace greenhetero {
@@ -94,8 +96,29 @@ double Solver::evaluate(std::span<const GroupModel> groups,
   return perf;
 }
 
-Allocation Solver::solve(std::span<const GroupModel> groups,
-                         Watts total_supply) {
+namespace {
+
+/// Counter + trace event for one solver entry-point call (no-op outside a
+/// telemetry scope; benches hammering the backends directly stay clean).
+void report_solve(const char* backend, std::span<const GroupModel> groups,
+                  Watts total_supply, const Allocation& result) {
+  telemetry::Telemetry* t = telemetry::current();
+  if (t == nullptr) return;
+  t->metrics()
+      .counter("gh_solver_calls_total", {{"backend", backend}})
+      .increment();
+  t->emit("solve", {{"backend", backend},
+                    {"groups", groups.size()},
+                    {"supply_w", total_supply.value()},
+                    {"ratios", result.ratios},
+                    {"predicted_perf", result.predicted_perf}});
+}
+
+}  // namespace
+
+/// The grid-refine production backend behind Solver::solve.
+static Allocation solve_grid_refine(std::span<const GroupModel> groups,
+                                    Watts total_supply) {
   validate_inputs(groups, total_supply);
   const Watts total = total_supply;
 
@@ -126,7 +149,7 @@ Allocation Solver::solve(std::span<const GroupModel> groups,
     for (double k : kink_ratios(g1, total)) consider(1.0 - k);
     // Analytic interior candidate (fast path oracle).
     if (g0.fit.a < 0.0 && g1.fit.a < 0.0) {
-      const Allocation analytic = solve_analytic_2(groups, total);
+      const Allocation analytic = Solver::solve_analytic_2(groups, total);
       consider(analytic.ratios[0]);
     }
     const double r0 = opt.x;
@@ -159,6 +182,14 @@ Allocation Solver::solve(std::span<const GroupModel> groups,
   return Allocation{{opt.x, opt.y, r2}, opt.value, {}};
 }
 
+Allocation Solver::solve(std::span<const GroupModel> groups,
+                         Watts total_supply) {
+  GH_PROBE("gh_solver_solve_ns");
+  const Allocation result = solve_grid_refine(groups, total_supply);
+  report_solve("grid_refine", groups, total_supply, result);
+  return result;
+}
+
 double Solver::best_subset_perf(const GroupModel& group, Watts group_budget,
                                 int* active_out) {
   if (group.count <= 0) {
@@ -182,6 +213,7 @@ double Solver::best_subset_perf(const GroupModel& group, Watts group_budget,
 
 Allocation Solver::solve_subset(std::span<const GroupModel> groups,
                                 Watts total_supply) {
+  GH_PROBE("gh_solver_solve_subset_ns");
   validate_inputs(groups, total_supply);
   const Watts total = total_supply;
   const auto subset_perf = [&](std::size_t g, double ratio) {
@@ -253,6 +285,7 @@ Allocation Solver::solve_subset(std::span<const GroupModel> groups,
   for (std::size_t g = 0; g < groups.size(); ++g) {
     best.predicted_perf += subset_perf(g, best.ratios[g]);
   }
+  report_solve("subset", groups, total_supply, best);
   return best;
 }
 
@@ -264,6 +297,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
   if (groups.size() <= 3) {
     return solve(groups, total_supply);
   }
+  GH_PROBE("gh_solver_solve_n_ns");
   if (total_supply.value() <= 0.0) {
     throw SolverError("solver: total supply must be positive");
   }
@@ -365,11 +399,13 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
 
   Allocation result{std::move(ratios), 0.0, {}};
   result.predicted_perf = evaluate(groups, result.ratios, total);
+  report_solve("waterfill", groups, total_supply, result);
   return result;
 }
 
 Allocation Solver::solve_grid(std::span<const GroupModel> groups,
                               Watts total_supply, double granularity) {
+  GH_PROBE("gh_solver_solve_grid_ns");
   validate_inputs(groups, total_supply, /*max_groups=*/8);
   if (granularity <= 0.0 || granularity > 0.5) {
     throw SolverError("solver: granularity must be in (0, 0.5]");
@@ -400,6 +436,7 @@ Allocation Solver::solve_grid(std::span<const GroupModel> groups,
     }
   };
   enumerate(enumerate, 0, steps);
+  report_solve("grid", groups, total_supply, best);
   return best;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.h"
+
 namespace greenhetero {
 
 PowerSourceSelector::PowerSourceSelector(SelectorConfig config)
@@ -11,6 +13,31 @@ SourceDecision PowerSourceSelector::decide(Watts predicted_renewable,
                                            Watts predicted_demand,
                                            const RackPowerPlant& plant,
                                            Minutes dt) const {
+  const SourceDecision decision =
+      decide_impl(predicted_renewable, predicted_demand, plant, dt);
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics()
+        .counter("gh_source_decisions_total",
+                 {{"case", to_string(decision.source_case)}})
+        .increment();
+    t->emit("source_select",
+            {{"case", to_string(decision.source_case)},
+             {"predicted_renewable_w", predicted_renewable.value()},
+             {"predicted_demand_w", predicted_demand.value()},
+             {"server_budget_w", decision.server_budget.value()},
+             {"from_renewable_w", decision.from_renewable.value()},
+             {"from_battery_w", decision.from_battery.value()},
+             {"from_grid_w", decision.from_grid.value()},
+             {"charge_from_renewable", decision.charge_from_renewable},
+             {"charge_from_grid", decision.charge_from_grid}});
+  }
+  return decision;
+}
+
+SourceDecision PowerSourceSelector::decide_impl(Watts predicted_renewable,
+                                                Watts predicted_demand,
+                                                const RackPowerPlant& plant,
+                                                Minutes dt) const {
   SourceDecision decision;
   const Watts renewable = max(Watts{0.0}, predicted_renewable);
   const Watts demand = max(Watts{0.0}, predicted_demand);

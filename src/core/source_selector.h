@@ -58,6 +58,11 @@ class PowerSourceSelector {
                                       Minutes dt) const;
 
  private:
+  [[nodiscard]] SourceDecision decide_impl(Watts predicted_renewable,
+                                           Watts predicted_demand,
+                                           const RackPowerPlant& plant,
+                                           Minutes dt) const;
+
   SelectorConfig config_;
 };
 

@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <ostream>
 
 namespace greenhetero {
+
+// Inside Fleet's members the telemetry() accessor shadows the nested
+// namespace name; this alias keeps the free functions reachable.
+namespace tel = telemetry;
 
 const char* to_string(GridShareMode mode) {
   switch (mode) {
@@ -15,13 +21,12 @@ const char* to_string(GridShareMode mode) {
   return "?";
 }
 
-Fleet::Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
-             GridShareMode mode)
-    : racks_(std::move(racks)), total_budget_(total_grid_budget), mode_(mode) {
+Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
+    : racks_(std::move(racks)), config_(config) {
   if (racks_.empty()) {
     throw FleetError("fleet: needs at least one rack");
   }
-  if (total_budget_.value() < 0.0) {
+  if (config_.total_grid_budget.value() < 0.0) {
     throw FleetError("fleet: grid budget must be non-negative");
   }
   const double epoch = racks_.front().controller().config().epoch.value();
@@ -30,7 +35,19 @@ Fleet::Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
       throw FleetError("fleet: all racks must share one epoch length");
     }
   }
+  config_.telemetry.rack_id = -1;  // coordinator events
+  telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    racks_[i].telemetry().set_rack_id(static_cast<int>(i));
+  }
 }
+
+Fleet::Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
+             GridShareMode mode)
+    : Fleet(std::move(racks),
+            FleetConfig{.total_grid_budget = total_grid_budget,
+                        .mode = mode,
+                        .telemetry = {}}) {}
 
 RackSimulator& Fleet::rack(std::size_t i) {
   if (i >= racks_.size()) {
@@ -45,8 +62,8 @@ void Fleet::pretrain() {
 
 std::vector<Watts> Fleet::plan_grid_shares() const {
   const double n = static_cast<double>(racks_.size());
-  std::vector<Watts> shares(racks_.size(), total_budget_ / n);
-  if (mode_ == GridShareMode::kStatic) {
+  std::vector<Watts> shares(racks_.size(), config_.total_grid_budget / n);
+  if (config_.mode == GridShareMode::kStatic) {
     return shares;
   }
 
@@ -66,7 +83,7 @@ std::vector<Watts> Fleet::plan_grid_shares() const {
     return shares;  // nobody needs the grid: keep the even split
   }
   for (std::size_t i = 0; i < racks_.size(); ++i) {
-    shares[i] = total_budget_ * (deficits[i] / total_deficit);
+    shares[i] = config_.total_grid_budget * (deficits[i] / total_deficit);
   }
   return shares;
 }
@@ -88,6 +105,18 @@ FleetReport Fleet::run(Minutes duration) {
       report.racks[i].epochs.push_back(racks_[i].step_epoch());
     }
     report.peak_grid_allocation = max(report.peak_grid_allocation, allocated);
+    if (config_.telemetry.enabled) {
+      telemetry_->set_now(racks_.front().now() - epoch);
+      telemetry_->metrics().counter("gh_fleet_epochs_total").increment();
+      std::vector<double> share_w;
+      share_w.reserve(shares.size());
+      for (Watts w : shares) share_w.push_back(w.value());
+      telemetry_->emit("grid_share",
+                       {{"mode", to_string(config_.mode)},
+                        {"total_budget_w", config_.total_grid_budget.value()},
+                        {"allocated_w", allocated.value()},
+                        {"shares_w", std::move(share_w)}});
+    }
   }
 
   for (std::size_t i = 0; i < racks_.size(); ++i) {
@@ -98,11 +127,63 @@ FleetReport Fleet::run(Minutes duration) {
     r.battery_cycles = racks_[i].plant().battery().equivalent_cycles();
     r.grid_cost = racks_[i].plant().grid().total_cost();
     r.grid_energy = racks_[i].plant().grid().total_energy();
+    r.metrics = racks_[i].metrics_snapshot();
     report.total_work += r.total_work;
     report.grid_energy += r.grid_energy;
     report.grid_cost += r.grid_cost;
   }
+  report.metrics = telemetry_->metrics().snapshot();
   return report;
+}
+
+MetricsSnapshot Fleet::metrics_snapshot() const {
+  MetricsSnapshot merged = telemetry_->metrics().snapshot();
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    MetricsSnapshot rack = racks_[i].metrics_snapshot();
+    for (tel::SnapshotEntry& entry : rack.entries) {
+      entry.labels.emplace_back("rack", std::to_string(i));
+      merged.entries.push_back(std::move(entry));
+    }
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const tel::SnapshotEntry& a, const tel::SnapshotEntry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return merged;
+}
+
+void Fleet::write_trace_jsonl(std::ostream& out) const {
+  // Gather (time, rack, event pointer) and stable-sort so events within one
+  // rack keep their emission order.
+  std::vector<const tel::TraceEvent*> events;
+  for (const tel::TraceEvent& e : telemetry_->trace().events()) {
+    events.push_back(&e);
+  }
+  for (const RackSimulator& rack : racks_) {
+    for (const tel::TraceEvent& e : rack.telemetry().trace().events()) {
+      events.push_back(&e);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const tel::TraceEvent* a, const tel::TraceEvent* b) {
+                     if (a->sim_minutes != b->sim_minutes) {
+                       return a->sim_minutes < b->sim_minutes;
+                     }
+                     return a->rack_id < b->rack_id;
+                   });
+  for (const tel::TraceEvent* e : events) {
+    out << e->to_json() << '\n';
+  }
+}
+
+void Fleet::save_trace_jsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw FleetError("fleet: cannot open trace output file: " +
+                     path.string());
+  }
+  write_trace_jsonl(out);
 }
 
 }  // namespace greenhetero

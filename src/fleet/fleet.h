@@ -17,6 +17,9 @@
 #pragma once
 
 #include <cstddef>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -34,6 +37,14 @@ enum class GridShareMode { kStatic, kDemandProportional };
 
 [[nodiscard]] const char* to_string(GridShareMode mode);
 
+struct FleetConfig {
+  Watts total_grid_budget{0.0};
+  GridShareMode mode = GridShareMode::kStatic;
+  /// Coordinator-level telemetry (the coordinator stamps its events with
+  /// rack id -1; each rack's own telemetry is configured via its SimConfig).
+  TelemetryConfig telemetry;
+};
+
 struct FleetReport {
   std::vector<RunReport> racks;
   double total_work = 0.0;
@@ -42,18 +53,23 @@ struct FleetReport {
   /// Highest simultaneous fleet grid draw planned in any epoch (the number
   /// demand charges are billed on).
   Watts peak_grid_allocation{0.0};
+  /// Coordinator-level metrics (grid-share decisions; empty when disabled).
+  MetricsSnapshot metrics;
 };
 
 class Fleet {
  public:
   /// Takes ownership of the rack simulators.  Every simulator must use the
   /// same epoch length (lockstep requires it).
+  Fleet(std::vector<RackSimulator> racks, FleetConfig config);
   Fleet(std::vector<RackSimulator> racks, Watts total_grid_budget,
         GridShareMode mode);
 
   [[nodiscard]] std::size_t size() const { return racks_.size(); }
-  [[nodiscard]] Watts total_grid_budget() const { return total_budget_; }
-  [[nodiscard]] GridShareMode mode() const { return mode_; }
+  [[nodiscard]] Watts total_grid_budget() const {
+    return config_.total_grid_budget;
+  }
+  [[nodiscard]] GridShareMode mode() const { return config_.mode; }
   [[nodiscard]] RackSimulator& rack(std::size_t i);
 
   /// Pretrain every rack's database (no plant interaction).
@@ -66,10 +82,23 @@ class Fleet {
   /// The share each rack would receive right now (exposed for tests).
   [[nodiscard]] std::vector<Watts> plan_grid_shares() const;
 
+  /// Coordinator-level telemetry context (rack id -1).
+  [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
+
+  /// Fleet-wide metrics: the coordinator's own series plus every rack's,
+  /// the latter tagged with a "rack" label; re-sorted by (name, labels).
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
+
+  /// Merged trace across the coordinator and every rack, ordered by
+  /// (sim time, rack id) — one JSON object per line.
+  void write_trace_jsonl(std::ostream& out) const;
+  void save_trace_jsonl(const std::filesystem::path& path) const;
+
  private:
   std::vector<RackSimulator> racks_;
-  Watts total_budget_;
-  GridShareMode mode_;
+  FleetConfig config_;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace greenhetero

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/probe.h"
 #include "util/logging.h"
 
 namespace greenhetero {
+
+// Inside RackSimulator's members the telemetry() accessor shadows the
+// nested namespace name; this alias keeps the free functions reachable.
+namespace tel = telemetry;
 
 BatterySpec paper_battery_spec() {
   BatterySpec spec;
@@ -68,6 +73,7 @@ RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
     : rack_(std::move(rack)),
       plant_(std::move(plant)),
       config_(std::move(config)),
+      telemetry_(std::make_unique<Telemetry>(config_.telemetry)),
       controller_(config_.controller),
       clock_(config_.controller.epoch, config_.substep) {
   if (config_.rapl_enforcement) {
@@ -102,6 +108,9 @@ Watts RackSimulator::demand_at(Minutes t) const {
 
 void RackSimulator::pretrain() {
   if (!controller_.policy().needs_database()) return;
+  const TelemetryScope scope(config_.telemetry.enabled ? telemetry_.get()
+                                                       : nullptr);
+  GH_PROBE("gh_pretrain_ns");
   const std::vector<double> sweep = controller_.training_sweep();
   for (std::size_t g = 0; g < rack_.group_count(); ++g) {
     const ProfileKey key{rack_.group(g).model, rack_.group_workload(g)};
@@ -155,7 +164,11 @@ void RackSimulator::apply_workload_schedule(Minutes now) {
 }
 
 EpochRecord RackSimulator::step_epoch() {
+  const TelemetryScope scope(config_.telemetry.enabled ? telemetry_.get()
+                                                       : nullptr);
+  GH_PROBE("gh_step_epoch_ns");
   const Minutes epoch_start = clock_.now();
+  telemetry_->set_now(epoch_start);
   apply_workload_schedule(epoch_start);
   const Watts demand_hint = demand_at(epoch_start);
   const EpochPlan plan =
@@ -174,7 +187,40 @@ EpochRecord RackSimulator::step_epoch() {
   } else {
     run_normal_epoch(plan, demand_hint, record);
   }
+  record_epoch_telemetry(record);
   return record;
+}
+
+/// The authoritative per-epoch trace event: emitted after the epoch has run,
+/// so it carries the plan (case, prediction, PAR) *and* the outcome (actual
+/// renewable, throughput, EPU, shortfall) side by side.
+void RackSimulator::record_epoch_telemetry(const EpochRecord& record) {
+  Telemetry* t = tel::current();
+  if (t == nullptr) return;
+  tel::MetricsRegistry& m = t->metrics();
+  m.counter("gh_epochs_total", {{"case", std::string(to_string(record.source_case))}})
+      .increment();
+  if (record.training) m.counter("gh_training_epochs_total").increment();
+  m.counter("gh_substeps_total")
+      .increment(static_cast<double>(clock_.substeps_per_epoch()));
+  if (!record.training) {
+    m.histogram("gh_renewable_prediction_error_w", tel::watt_buckets())
+        .observe(std::fabs(record.predicted_renewable.value() -
+                           record.actual_renewable.value()));
+  }
+  m.gauge("gh_battery_soc").set(record.battery_soc);
+  t->emit("epoch_plan",
+          {{"training", record.training},
+           {"case", to_string(record.source_case)},
+           {"predicted_renewable_w", record.predicted_renewable.value()},
+           {"actual_renewable_w", record.actual_renewable.value()},
+           {"budget_w", record.budget.value()},
+           {"ratios", record.ratios},
+           {"throughput", record.throughput},
+           {"epu", record.epu},
+           {"battery_soc", record.battery_soc},
+           {"grid_w", record.grid_power.value()},
+           {"shortfall_w", record.shortfall.value()}});
 }
 
 void RackSimulator::set_grid_budget(Watts budget) {
@@ -195,6 +241,7 @@ RunReport RackSimulator::run(Minutes duration) {
   report.battery_cycles = plant_.battery().equivalent_cycles();
   report.grid_cost = plant_.grid().total_cost();
   report.grid_energy = plant_.grid().total_energy();
+  report.metrics = telemetry_->metrics().snapshot();
   return report;
 }
 
@@ -214,6 +261,7 @@ void RackSimulator::run_training_epoch(const EpochPlan& plan,
   decision.server_budget = plan.source.server_budget;
 
   EpochStats stats;
+  GH_PROBE("gh_substep_loop_ns");
   const auto substeps = clock_.substeps_per_epoch();
   for (std::size_t s = 0; s < substeps; ++s) {
     const double elapsed =
@@ -305,6 +353,7 @@ void RackSimulator::run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
   }
 
   EpochStats stats;
+  GH_PROBE("gh_substep_loop_ns");
   const auto substeps = clock_.substeps_per_epoch();
   for (std::size_t s = 0; s < substeps; ++s) {
     execute_substep(plan.source, group_power, stats);
@@ -349,6 +398,9 @@ PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
     step = Enforcer::plan_step(decision, renewable, draw, plant_, dt);
     GH_DEBUG << "substep @" << now.value() << "min: degraded allocation by "
              << factor;
+    if (Telemetry* t = tel::current()) {
+      t->metrics().counter("gh_degraded_substeps_total").increment();
+    }
   }
 
   // EPU bookkeeping: green power offered to the servers this step, computed

@@ -13,6 +13,7 @@
 // and 10.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "core/controller.h"
@@ -24,6 +25,7 @@
 #include "server/rack.h"
 #include "sim/run_report.h"
 #include "sim/sim_clock.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace.h"
 
 namespace greenhetero {
@@ -65,6 +67,8 @@ struct SimConfig {
   /// capping loop instead (one control update per substep), so state
   /// changes lag the decision like real hardware capping does.
   bool rapl_enforcement = false;
+  /// Metrics + trace configuration for this simulator's Telemetry instance.
+  TelemetryConfig telemetry;
 };
 
 class RackSimulator {
@@ -102,12 +106,22 @@ class RackSimulator {
   [[nodiscard]] double overall_epu() const { return run_epu_.epu(); }
   [[nodiscard]] Minutes now() const { return clock_.now(); }
 
+  /// This simulator's telemetry context (metrics registry + trace ring).
+  [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
+  /// Snapshot of all metrics accumulated so far.
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const {
+    return telemetry_->metrics().snapshot();
+  }
+
  private:
   struct EpochStats;  // defined in the .cpp
 
   void run_training_epoch(const EpochPlan& plan, EpochRecord& record);
   void run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
                         EpochRecord& record);
+  /// Emit the authoritative epoch_plan trace event + epoch counters.
+  void record_epoch_telemetry(const EpochRecord& record);
   /// One substep: cover the rack draw, degrade on shortfall, execute flows.
   PowerFlows execute_substep(const SourceDecision& decision,
                              std::vector<Watts>& group_power,
@@ -121,6 +135,9 @@ class RackSimulator {
   Rack rack_;
   RackPowerPlant plant_;
   SimConfig config_;
+  /// unique_ptr: the registry is non-copyable and the fleet stores
+  /// simulators in a vector, so the context must stay movable.
+  std::unique_ptr<Telemetry> telemetry_;
   GreenHeteroController controller_;
   SimClock clock_;
   EnergyLedger ledger_;

@@ -8,6 +8,7 @@
 
 #include "power/energy_ledger.h"
 #include "power/power_bus.h"
+#include "telemetry/metrics.h"
 #include "util/csv.h"
 #include "util/units.h"
 
@@ -38,6 +39,9 @@ struct RunReport {
   double battery_cycles = 0.0;  ///< equivalent DoD-deep cycles consumed
   double grid_cost = 0.0;       ///< $ (energy + demand charge)
   WattHours grid_energy{0.0};
+  /// Metrics accumulated by the simulator's telemetry over this run (empty
+  /// when telemetry is disabled).
+  telemetry::MetricsSnapshot metrics;
 
   /// Mean rack throughput over non-training epochs.
   [[nodiscard]] double mean_throughput() const;

@@ -1,0 +1,321 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/tracing.h"
+
+namespace greenhetero::telemetry {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0.0 ? "+Inf" : "-Inf";
+  const double rounded = std::nearbyint(value);
+  if (rounded == value && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw TelemetryError("histogram: needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw TelemetryError("histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+std::span<const double> latency_buckets_ns() {
+  static const std::array<double, 23> kBuckets = [] {
+    std::array<double, 23> b{};
+    double edge = 1000.0;  // 1 us
+    for (double& v : b) {
+      v = edge;
+      edge *= 2.0;
+    }
+    return b;
+  }();
+  return kBuckets;
+}
+
+std::span<const double> watt_buckets() {
+  static constexpr std::array<double, 12> kBuckets = {
+      1.0,   2.0,   5.0,    10.0,   20.0,   50.0,
+      100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+  return kBuckets;
+}
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_label_set(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+const SnapshotEntry* MetricsSnapshot::find(std::string_view name,
+                                           const Labels& labels) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  std::string_view last_name;
+  for (const SnapshotEntry& e : entries) {
+    if (e.name != last_name) {
+      out += "# TYPE ";
+      out += e.name;
+      out += ' ';
+      out += to_string(e.kind);
+      out += '\n';
+      last_name = e.name;
+    }
+    if (e.kind == MetricKind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+        cumulative += e.buckets[b];
+        out += e.name;
+        out += "_bucket";
+        Labels with_le = e.labels;
+        with_le.emplace_back(
+            "le", b < e.bounds.size() ? format_number(e.bounds[b]) : "+Inf");
+        append_label_set(out, with_le);
+        out += ' ';
+        out += format_number(static_cast<double>(cumulative));
+        out += '\n';
+      }
+      out += e.name;
+      out += "_sum";
+      append_label_set(out, e.labels);
+      out += ' ';
+      out += format_number(e.sum);
+      out += '\n';
+      out += e.name;
+      out += "_count";
+      append_label_set(out, e.labels);
+      out += ' ';
+      out += format_number(static_cast<double>(e.count));
+      out += '\n';
+    } else {
+      out += e.name;
+      append_label_set(out, e.labels);
+      out += ' ';
+      out += format_number(e.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  bool first_entry = true;
+  for (const SnapshotEntry& e : entries) {
+    if (!first_entry) out += ',';
+    first_entry = false;
+    out += "{\"name\":";
+    append_json_escaped(out, e.name);
+    out += ",\"kind\":";
+    append_json_escaped(out, to_string(e.kind));
+    if (!e.labels.empty()) {
+      out += ",\"labels\":{";
+      bool first = true;
+      for (const auto& [key, value] : e.labels) {
+        if (!first) out += ',';
+        first = false;
+        append_json_escaped(out, key);
+        out += ':';
+        append_json_escaped(out, value);
+      }
+      out += '}';
+    }
+    if (e.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + format_number(static_cast<double>(e.count));
+      out += ",\"sum\":" + format_number(e.sum);
+      out += ",\"bounds\":[";
+      for (std::size_t b = 0; b < e.bounds.size(); ++b) {
+        if (b > 0) out += ',';
+        out += format_number(e.bounds[b]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+        if (b > 0) out += ',';
+        out += format_number(static_cast<double>(e.buckets[b]));
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":" + format_number(e.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint32_t MetricsRegistry::intern(std::string_view s) {
+  const auto it = intern_table_.find(s);
+  if (it != intern_table_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(interned_.size());
+  interned_.emplace_back(s);
+  intern_table_.emplace(interned_.back(), id);
+  return id;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  SeriesKey key{intern(name), {}};
+  for (const auto& [k, v] : labels) {
+    key.second.push_back(intern(k));
+    key.second.push_back(intern(v));
+  }
+  auto [it, inserted] = series_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.kind = MetricKind::kCounter;
+  } else if (it->second.kind != MetricKind::kCounter) {
+    throw TelemetryError("metric '" + std::string(name) +
+                         "' already registered with a different kind");
+  }
+  return it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  SeriesKey key{intern(name), {}};
+  for (const auto& [k, v] : labels) {
+    key.second.push_back(intern(k));
+    key.second.push_back(intern(v));
+  }
+  auto [it, inserted] = series_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.kind = MetricKind::kGauge;
+  } else if (it->second.kind != MetricKind::kGauge) {
+    throw TelemetryError("metric '" + std::string(name) +
+                         "' already registered with a different kind");
+  }
+  return it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds,
+                                      const Labels& labels) {
+  SeriesKey key{intern(name), {}};
+  for (const auto& [k, v] : labels) {
+    key.second.push_back(intern(k));
+    key.second.push_back(intern(v));
+  }
+  auto [it, inserted] = series_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.kind = MetricKind::kHistogram;
+    it->second.histogram.emplace_back(upper_bounds);
+  } else if (it->second.kind != MetricKind::kHistogram) {
+    throw TelemetryError("metric '" + std::string(name) +
+                         "' already registered with a different kind");
+  } else {
+    const std::vector<double>& have = it->second.histogram.front().upper_bounds();
+    if (!std::equal(have.begin(), have.end(), upper_bounds.begin(),
+                    upper_bounds.end())) {
+      throw TelemetryError("histogram '" + std::string(name) +
+                           "' re-registered with different bucket bounds");
+    }
+  }
+  return it->second.histogram.front();
+}
+
+Histogram& MetricsRegistry::latency(std::string_view name,
+                                    const Labels& labels) {
+  return histogram(name, latency_buckets_ns(), labels);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(series_.size());
+  for (const auto& [key, series] : series_) {
+    SnapshotEntry entry;
+    entry.name = interned_[key.first];
+    for (std::size_t i = 0; i + 1 < key.second.size(); i += 2) {
+      entry.labels.emplace_back(interned_[key.second[i]],
+                                interned_[key.second[i + 1]]);
+    }
+    entry.kind = series.kind;
+    switch (series.kind) {
+      case MetricKind::kCounter:
+        entry.value = series.counter.value();
+        break;
+      case MetricKind::kGauge:
+        entry.value = series.gauge.value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = series.histogram.front();
+        entry.bounds = h.upper_bounds();
+        entry.buckets = h.bucket_counts();
+        entry.count = h.count();
+        entry.sum = h.sum();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(entry));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [key, series] : series_) {
+    series.counter.reset();
+    series.gauge.reset();
+    for (Histogram& h : series.histogram) h.reset();
+  }
+}
+
+}  // namespace greenhetero::telemetry

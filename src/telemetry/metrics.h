@@ -1,0 +1,170 @@
+// Metrics registry (counters, gauges, histograms).
+//
+// The runtime surface the control loop reports into: every subsystem grabs a
+// series by (name, labels) and bumps it.  Names and label strings are
+// interned once, so steady-state updates are a map lookup and a double add —
+// cheap enough for per-epoch paths (per-substep paths should batch).
+//
+// Histograms use *fixed, deterministic* bucket bounds chosen at registration
+// (no adaptive resizing), so two runs of the same scenario always export the
+// same bucket layout and snapshots diff cleanly.  Snapshots can be exported
+// as Prometheus text or JSON; `reset()` zeroes values but keeps the interned
+// registrations.
+//
+// Like the Logger, the registry is deliberately not thread-safe: the
+// simulator is single-threaded and each rack owns its own Telemetry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace greenhetero::telemetry {
+
+class TelemetryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// key=value pairs attached to one metric series (e.g. {{"case", "B"}}).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Deterministic double formatting shared by every exporter: integers print
+/// without a fraction, everything else as shortest round-trippable decimal.
+[[nodiscard]] std::string format_number(double value);
+
+class Counter {
+ public:
+  void increment(double delta = 1.0) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram (cumulative export, Prometheus-style).  The bounds
+/// are upper edges; an implicit +Inf bucket catches the overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double value);
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts; size = upper_bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  ///< sorted, strictly increasing
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default bounds for wall-clock probes: 1 us to ~4 s in powers of two
+/// (nanoseconds).  Fixed so latency exports are comparable across runs.
+[[nodiscard]] std::span<const double> latency_buckets_ns();
+
+/// Default bounds for power prediction errors (watts, decade steps).
+[[nodiscard]] std::span<const double> watt_buckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind);
+
+/// One exported series, value(s) frozen at snapshot time.
+struct SnapshotEntry {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counter / gauge
+  // Histogram payload (empty otherwise).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<SnapshotEntry> entries;  ///< sorted by (name, labels)
+
+  [[nodiscard]] const SnapshotEntry* find(std::string_view name,
+                                          const Labels& labels = {}) const;
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string to_prometheus() const;
+  /// One JSON object per series under a top-level "metrics" array.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Fetch-or-create.  A series keeps its identity for the registry's
+  /// lifetime; re-requesting with a different kind (or different histogram
+  /// bounds) throws TelemetryError.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds,
+                       const Labels& labels = {});
+  /// Wall-clock probe histogram (latency_buckets_ns bounds).
+  Histogram& latency(std::string_view name, const Labels& labels = {});
+
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  /// Distinct strings interned so far (names + label keys/values) — exposed
+  /// so tests can pin the interning behaviour.
+  [[nodiscard]] std::size_t interned_strings() const {
+    return intern_table_.size();
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every series; registrations (and interned strings) survive.
+  void reset();
+
+ private:
+  struct Series {
+    MetricKind kind = MetricKind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    std::vector<Histogram> histogram;  ///< 0 or 1 entry (keeps Series movable)
+  };
+  /// (interned name id, interned label ids) — cheap ordered map key.
+  using SeriesKey = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
+
+  [[nodiscard]] std::uint32_t intern(std::string_view s);
+
+  std::vector<std::string> interned_;  ///< id -> string (stable storage)
+  std::map<std::string, std::uint32_t, std::less<>> intern_table_;
+  std::map<SeriesKey, Series> series_;
+};
+
+}  // namespace greenhetero::telemetry

@@ -1,0 +1,33 @@
+#include "telemetry/telemetry.h"
+
+namespace greenhetero::telemetry {
+
+namespace {
+thread_local Telemetry* g_current = nullptr;
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config), trace_(config.trace_capacity) {}
+
+void Telemetry::emit(std::string phase, TraceFields fields) {
+  TraceEvent event;
+  event.sim_minutes = now_.value();
+  event.rack_id = config_.rack_id;
+  event.phase = std::move(phase);
+  event.fields = std::move(fields);
+  trace_.push(std::move(event));
+}
+
+Telemetry* current() { return g_current; }
+
+TelemetryScope::TelemetryScope(Telemetry* telemetry) : previous_(g_current) {
+  g_current = telemetry;
+}
+
+TelemetryScope::~TelemetryScope() { g_current = previous_; }
+
+void emit(std::string phase, TraceFields fields) {
+  if (Telemetry* t = g_current) t->emit(std::move(phase), std::move(fields));
+}
+
+}  // namespace greenhetero::telemetry

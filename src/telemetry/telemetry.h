@@ -1,0 +1,96 @@
+// Telemetry context: one metrics registry plus one trace ring, with an
+// ambient (scoped) current-context pointer so deep call sites — the Solver,
+// the source selector, the database — can report without threading a handle
+// through every signature.
+//
+// Ownership: each RackSimulator owns a Telemetry (configured through
+// SimConfig::telemetry); the Fleet owns one more for coordinator-level
+// events.  The simulator installs a TelemetryScope around each epoch, so
+// library code called outside a simulation (unit tests, the solve CLI
+// command) simply sees no context and skips reporting.
+//
+// Timestamps are *simulation* minutes: the owner calls set_now() as the sim
+// clock advances and emit() stamps events with it.  Wall time never enters
+// the trace (goldens stay byte-stable); wall time only lands in latency
+// histograms via the GH_PROBE timing probes (probe.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
+#include "util/units.h"
+
+namespace greenhetero::telemetry {
+
+struct TelemetryConfig {
+  /// Master switch: when false the owner installs no scope and every
+  /// telemetry call in library code is a no-op.
+  bool enabled = true;
+  /// Trace ring capacity in events (~6 events/epoch; the default holds a
+  /// month of 15-minute epochs).
+  std::size_t trace_capacity = 1 << 15;
+  /// Stamped on every event; the fleet coordinator overrides it per rack.
+  int rack_id = 0;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+
+  [[nodiscard]] const TelemetryConfig& config() const { return config_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TraceRing& trace() { return trace_; }
+  [[nodiscard]] const TraceRing& trace() const { return trace_; }
+
+  [[nodiscard]] int rack_id() const { return config_.rack_id; }
+  void set_rack_id(int id) { config_.rack_id = id; }
+
+  /// Current simulation time used to stamp events.
+  void set_now(Minutes now) { now_ = now; }
+  [[nodiscard]] Minutes now() const { return now_; }
+
+  /// Append a trace event stamped with now() and rack_id().
+  void emit(std::string phase, TraceFields fields);
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  TraceRing trace_;
+  Minutes now_{0.0};
+};
+
+/// The ambient context, or nullptr outside any TelemetryScope.
+[[nodiscard]] Telemetry* current();
+
+/// RAII installer for the ambient context.  Nestable; installing nullptr
+/// masks any outer context (callees see telemetry disabled).
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry* telemetry);
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry* previous_;
+};
+
+/// emit() on the ambient context; no-op without one.
+void emit(std::string phase, TraceFields fields);
+
+}  // namespace greenhetero::telemetry
+
+namespace greenhetero {
+
+// Lifted into the parent namespace so classes with a `telemetry()` accessor
+// (which shadows the nested namespace name in class scope) can still name
+// the types.
+using telemetry::MetricsSnapshot;
+using telemetry::Telemetry;
+using telemetry::TelemetryConfig;
+using telemetry::TelemetryScope;
+
+}  // namespace greenhetero

@@ -1,0 +1,138 @@
+#include "telemetry/tracing.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+#include "util/logging.h"
+
+namespace greenhetero::telemetry {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void TraceValue::append_json(std::string& out) const {
+  switch (kind_) {
+    case Kind::kDouble:
+      out += format_number(number_);
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(integer_));
+      out += buf;
+      break;
+    }
+    case Kind::kBool:
+      out += boolean_ ? "true" : "false";
+      break;
+    case Kind::kString:
+      append_json_escaped(out, string_);
+      break;
+    case Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += format_number(array_[i]);
+      }
+      out += ']';
+      break;
+  }
+}
+
+std::string TraceEvent::to_json() const {
+  std::string out = "{\"t\":";
+  out += format_number(sim_minutes);
+  out += ",\"rack\":";
+  out += format_number(static_cast<double>(rack_id));
+  out += ",\"phase\":";
+  append_json_escaped(out, phase);
+  for (const auto& [key, value] : fields) {
+    out += ',';
+    append_json_escaped(out, key);
+    out += ':';
+    value.append_json(out);
+  }
+  out += '}';
+  return out;
+}
+
+const TraceValue* TraceEvent::field(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("trace ring: capacity must be positive");
+  }
+}
+
+void TraceRing::push(TraceEvent event) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+    if (!warned_) {
+      warned_ = true;
+      GH_WARN << "trace ring full (capacity " << capacity_
+              << "): oldest events are being dropped";
+    }
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRing::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& event : events_) {
+    out << event.to_json() << '\n';
+  }
+}
+
+void TraceRing::save_jsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace ring: cannot open '" + path.string() +
+                             "' for writing");
+  }
+  write_jsonl(out);
+}
+
+void TraceRing::clear() {
+  events_.clear();
+  dropped_ = 0;
+  warned_ = false;
+}
+
+}  // namespace greenhetero::telemetry

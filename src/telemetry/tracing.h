@@ -1,0 +1,99 @@
+// Structured epoch tracing.
+//
+// TraceEvent is one decision record: sim-clock timestamp (minutes), rack id,
+// a phase name ("epoch_plan", "source_select", ...) and a key/value payload.
+// Events are buffered in a fixed-capacity ring (oldest evicted, drops
+// counted) and export as one JSON object per line (JSONL).
+//
+// Events are keyed on the *simulation* clock and never carry wall time, so a
+// trace is a pure function of (scenario, seed): two runs of the same
+// configuration are byte-identical and goldens stay diffable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace greenhetero::telemetry {
+
+/// One payload value: double, integer, boolean, string or double array.
+class TraceValue {
+ public:
+  TraceValue(double v) : kind_(Kind::kDouble), number_(v) {}
+  TraceValue(int v) : kind_(Kind::kInt), integer_(v) {}
+  TraceValue(std::int64_t v) : kind_(Kind::kInt), integer_(v) {}
+  TraceValue(std::size_t v)
+      : kind_(Kind::kInt), integer_(static_cast<std::int64_t>(v)) {}
+  TraceValue(bool v) : kind_(Kind::kBool), boolean_(v) {}
+  TraceValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  TraceValue(std::string_view v) : kind_(Kind::kString), string_(v) {}
+  TraceValue(const char* v) : kind_(Kind::kString), string_(v) {}
+  TraceValue(std::vector<double> v)
+      : kind_(Kind::kArray), array_(std::move(v)) {}
+
+  void append_json(std::string& out) const;
+
+  [[nodiscard]] double as_double() const { return number_; }
+  [[nodiscard]] std::int64_t as_int() const { return integer_; }
+  [[nodiscard]] bool as_bool() const { return boolean_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<double>& as_array() const { return array_; }
+
+ private:
+  enum class Kind { kDouble, kInt, kBool, kString, kArray };
+  Kind kind_;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  bool boolean_ = false;
+  std::string string_;
+  std::vector<double> array_;
+};
+
+using TraceFields = std::vector<std::pair<std::string, TraceValue>>;
+
+struct TraceEvent {
+  double sim_minutes = 0.0;
+  int rack_id = 0;
+  std::string phase;
+  TraceFields fields;
+
+  /// Single-line JSON object: {"t":..,"rack":..,"phase":..,<fields>}.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] const TraceValue* field(std::string_view key) const;
+};
+
+/// Fixed-capacity ring buffer of trace events.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void push(TraceEvent event);
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events evicted because the ring was full (warned once per ring).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  /// Oldest to newest.
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+
+  void write_jsonl(std::ostream& out) const;
+  void save_jsonl(const std::filesystem::path& path) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  bool warned_ = false;
+};
+
+/// JSON string escaping shared with the metrics exporters.
+void append_json_escaped(std::string& out, std::string_view s);
+
+}  // namespace greenhetero::telemetry

@@ -49,4 +49,25 @@ void Logger::log(LogLevel level, std::string_view message) {
   }
 }
 
+ScopedLogCapture::ScopedLogCapture(LogLevel capture_level)
+    : previous_level_(Logger::instance().level()) {
+  Logger::instance().set_level(capture_level);
+  previous_sink_ = Logger::instance().set_sink(
+      [this](LogLevel level, std::string_view message) {
+        entries_.push_back({level, std::string(message)});
+      });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  Logger::instance().set_sink(std::move(previous_sink_));
+  Logger::instance().set_level(previous_level_);
+}
+
+bool ScopedLogCapture::contains(std::string_view needle) const {
+  for (const Entry& entry : entries_) {
+    if (entry.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
 }  // namespace greenhetero

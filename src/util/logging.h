@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace greenhetero {
 
@@ -39,6 +41,31 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+};
+
+/// RAII log capture for tests: redirects the global sink (and optionally
+/// lowers the level) for its lifetime, restoring both on destruction.
+class ScopedLogCapture {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string message;
+  };
+
+  explicit ScopedLogCapture(LogLevel capture_level = LogLevel::kDebug);
+  ~ScopedLogCapture();
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  /// True when any captured message contains `needle`.
+  [[nodiscard]] bool contains(std::string_view needle) const;
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+  Logger::Sink previous_sink_;
+  LogLevel previous_level_;
 };
 
 namespace detail {

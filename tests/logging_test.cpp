@@ -1,0 +1,75 @@
+// Logger and ScopedLogCapture behaviour.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace greenhetero {
+namespace {
+
+TEST(ScopedLogCapture, CapturesAtRequestedLevel) {
+  ScopedLogCapture capture(LogLevel::kInfo);
+  GH_DEBUG << "below threshold";
+  GH_INFO << "kept";
+  GH_WARN << "kept too";
+
+  ASSERT_EQ(capture.entries().size(), 2u);
+  EXPECT_EQ(capture.entries()[0].level, LogLevel::kInfo);
+  EXPECT_EQ(capture.entries()[0].message, "kept");
+  EXPECT_EQ(capture.entries()[1].level, LogLevel::kWarn);
+  EXPECT_TRUE(capture.contains("kept too"));
+  EXPECT_FALSE(capture.contains("below threshold"));
+}
+
+TEST(ScopedLogCapture, RestoresLevelAndSinkOnDestruction) {
+  Logger& logger = Logger::instance();
+  const LogLevel before = logger.level();
+
+  std::vector<std::string> outer;
+  auto previous = logger.set_sink(
+      [&outer](LogLevel, std::string_view msg) { outer.emplace_back(msg); });
+  {
+    ScopedLogCapture capture(LogLevel::kDebug);
+    GH_ERROR << "inner only";
+    EXPECT_TRUE(capture.contains("inner only"));
+    EXPECT_TRUE(outer.empty());
+  }
+  GH_ERROR << "outer again";
+  EXPECT_EQ(logger.level(), before);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer[0], "outer again");
+  logger.set_sink(std::move(previous));
+}
+
+TEST(ScopedLogCapture, NestsAndClears) {
+  ScopedLogCapture outer(LogLevel::kDebug);
+  GH_WARN << "for outer";
+  {
+    ScopedLogCapture inner(LogLevel::kDebug);
+    GH_WARN << "for inner";
+    EXPECT_TRUE(inner.contains("for inner"));
+    EXPECT_FALSE(inner.contains("for outer"));
+    inner.clear();
+    EXPECT_TRUE(inner.entries().empty());
+  }
+  GH_WARN << "for outer again";
+  EXPECT_TRUE(outer.contains("for outer"));
+  EXPECT_FALSE(outer.contains("for inner"));
+  EXPECT_TRUE(outer.contains("for outer again"));
+}
+
+TEST(Logger, DisabledLineDoesNotEvaluateStream) {
+  ScopedLogCapture capture(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "payload";
+  };
+  GH_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  GH_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_TRUE(capture.contains("payload"));
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -1,0 +1,289 @@
+// Telemetry subsystem: metrics registry semantics, exporters, trace ring
+// and the ambient context scope.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/metrics.h"
+#include "telemetry/probe.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/tracing.h"
+#include "util/logging.h"
+
+namespace greenhetero::telemetry {
+namespace {
+
+TEST(FormatNumber, IntegersAndDecimalsAndSpecials) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(42.0), "42");
+  EXPECT_EQ(format_number(-7.0), "-7");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(1.25), "1.25");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(format_number(std::nan("")), "NaN");
+}
+
+TEST(Counter, AccumulatesAndResets) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("epochs");
+  c.increment();
+  c.increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Re-fetch returns the same series.
+  EXPECT_DOUBLE_EQ(registry.counter("epochs").value(), 3.5);
+  registry.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(Gauge, HoldsLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("soc");
+  g.set(0.7);
+  g.set(0.4);
+  EXPECT_DOUBLE_EQ(registry.gauge("soc").value(), 0.4);
+}
+
+TEST(Histogram, BucketsValuesAgainstUpperBounds) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h{bounds};
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive upper edges)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +Inf overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  const double unsorted[] = {10.0, 1.0};
+  const double duplicate[] = {1.0, 1.0};
+  EXPECT_THROW(Histogram{std::span<const double>{}}, TelemetryError);
+  EXPECT_THROW(Histogram{unsorted}, TelemetryError);
+  EXPECT_THROW(Histogram{duplicate}, TelemetryError);
+}
+
+TEST(Registry, LabelsSplitSeriesAndInterningIsShared) {
+  MetricsRegistry registry;
+  registry.counter("epochs", {{"case", "A"}}).increment();
+  registry.counter("epochs", {{"case", "B"}}).increment(2.0);
+  EXPECT_EQ(registry.series_count(), 2u);
+  // "epochs", "case", "A", "B" — repeated strings are interned once.
+  EXPECT_EQ(registry.interned_strings(), 4u);
+  registry.counter("epochs", {{"case", "A"}}).increment();
+  EXPECT_EQ(registry.series_count(), 2u);
+  EXPECT_EQ(registry.interned_strings(), 4u);
+  EXPECT_DOUBLE_EQ(registry.counter("epochs", {{"case", "A"}}).value(), 2.0);
+}
+
+TEST(Registry, KindConflictThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), TelemetryError);
+  EXPECT_THROW(registry.latency("x"), TelemetryError);
+  // Same name with different labels is a different series: allowed.
+  EXPECT_NO_THROW(registry.gauge("x", {{"k", "v"}}));
+}
+
+TEST(Registry, HistogramBoundsConflictThrows) {
+  MetricsRegistry registry;
+  const double a[] = {1.0, 2.0};
+  const double b[] = {1.0, 3.0};
+  registry.histogram("h", a);
+  EXPECT_NO_THROW(registry.histogram("h", a));
+  EXPECT_THROW(registry.histogram("h", b), TelemetryError);
+}
+
+TEST(Registry, SnapshotIsSortedAndFindable) {
+  MetricsRegistry registry;
+  registry.counter("zeta").increment(3.0);
+  registry.gauge("alpha").set(1.5);
+  registry.counter("mid", {{"case", "B"}}).increment();
+  registry.counter("mid", {{"case", "A"}}).increment();
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.entries.size(), 4u);
+  EXPECT_EQ(snap.entries[0].name, "alpha");
+  EXPECT_EQ(snap.entries[1].name, "mid");
+  EXPECT_EQ(snap.entries[1].labels, (Labels{{"case", "A"}}));
+  EXPECT_EQ(snap.entries[2].labels, (Labels{{"case", "B"}}));
+  EXPECT_EQ(snap.entries[3].name, "zeta");
+
+  const SnapshotEntry* found = snap.find("mid", {{"case", "B"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value, 1.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(Registry, PrometheusExport) {
+  MetricsRegistry registry;
+  registry.counter("gh_epochs_total", {{"case", "A"}}).increment(3.0);
+  const double bounds[] = {1.0, 10.0};
+  Histogram& h = registry.histogram("gh_err", bounds);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  const std::string text = registry.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# TYPE gh_epochs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("gh_epochs_total{case=\"A\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gh_err histogram"), std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(text.find("gh_err_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("gh_err_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("gh_err_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("gh_err_sum 55.5"), std::string::npos);
+  EXPECT_NE(text.find("gh_err_count 3"), std::string::npos);
+}
+
+TEST(Registry, JsonExport) {
+  MetricsRegistry registry;
+  registry.gauge("soc", {{"rack", "0"}}).set(0.25);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_EQ(json,
+            "{\"metrics\":[{\"name\":\"soc\",\"kind\":\"gauge\","
+            "\"labels\":{\"rack\":\"0\"},\"value\":0.25}]}");
+}
+
+TEST(TraceEvent, JsonShapeAndEscaping) {
+  TraceEvent event;
+  event.sim_minutes = 15.0;
+  event.rack_id = 2;
+  event.phase = "epoch_plan";
+  event.fields = {{"case", "A"},
+                  {"budget_w", 750.5},
+                  {"training", false},
+                  {"count", std::size_t{3}},
+                  {"ratios", std::vector<double>{0.5, 0.25}},
+                  {"note", "line\nbreak \"quoted\""}};
+  EXPECT_EQ(event.to_json(),
+            "{\"t\":15,\"rack\":2,\"phase\":\"epoch_plan\",\"case\":\"A\","
+            "\"budget_w\":750.5,\"training\":false,\"count\":3,"
+            "\"ratios\":[0.5,0.25],"
+            "\"note\":\"line\\nbreak \\\"quoted\\\"\"}");
+  ASSERT_NE(event.field("budget_w"), nullptr);
+  EXPECT_DOUBLE_EQ(event.field("budget_w")->as_double(), 750.5);
+  EXPECT_EQ(event.field("nope"), nullptr);
+}
+
+TEST(TraceRing, EvictsOldestAndWarnsOnce) {
+  ScopedLogCapture capture(LogLevel::kWarn);
+  TraceRing ring{2};
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent event;
+    event.sim_minutes = i;
+    event.phase = "p";
+    ring.push(std::move(event));
+  }
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  EXPECT_DOUBLE_EQ(ring.events().front().sim_minutes, 3.0);
+  EXPECT_DOUBLE_EQ(ring.events().back().sim_minutes, 4.0);
+  // The full-ring warning fires once, not per evicted event.
+  std::size_t warnings = 0;
+  for (const auto& entry : capture.entries()) {
+    if (entry.message.find("trace ring full") != std::string::npos) {
+      ++warnings;
+    }
+  }
+  EXPECT_EQ(warnings, 1u);
+
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceRing, WritesJsonl) {
+  TraceRing ring{8};
+  for (int i = 0; i < 2; ++i) {
+    TraceEvent event;
+    event.sim_minutes = 15.0 * i;
+    event.phase = "tick";
+    ring.push(std::move(event));
+  }
+  std::ostringstream out;
+  ring.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"t\":0,\"rack\":0,\"phase\":\"tick\"}\n"
+            "{\"t\":15,\"rack\":0,\"phase\":\"tick\"}\n");
+}
+
+TEST(TraceRing, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRing{0}, std::invalid_argument);
+}
+
+TEST(Scope, AmbientContextInstallsNestsAndMasks) {
+  EXPECT_EQ(current(), nullptr);
+  emit("ignored", {});  // no context: a safe no-op
+
+  Telemetry outer_ctx;
+  {
+    TelemetryScope outer(&outer_ctx);
+    EXPECT_EQ(current(), &outer_ctx);
+    outer_ctx.set_now(Minutes{30.0});
+    emit("seen", {{"v", 1}});
+
+    Telemetry inner_ctx;
+    {
+      TelemetryScope inner(&inner_ctx);
+      EXPECT_EQ(current(), &inner_ctx);
+    }
+    EXPECT_EQ(current(), &outer_ctx);
+    {
+      // nullptr masks the outer context: callees see telemetry disabled.
+      TelemetryScope masked(nullptr);
+      EXPECT_EQ(current(), nullptr);
+      emit("masked", {});
+    }
+    EXPECT_EQ(current(), &outer_ctx);
+  }
+  EXPECT_EQ(current(), nullptr);
+
+  ASSERT_EQ(outer_ctx.trace().size(), 1u);
+  const TraceEvent& event = outer_ctx.trace().events().front();
+  EXPECT_EQ(event.phase, "seen");
+  EXPECT_DOUBLE_EQ(event.sim_minutes, 30.0);
+}
+
+TEST(Scope, EmitStampsRackId) {
+  TelemetryConfig config;
+  config.rack_id = 7;
+  Telemetry t{config};
+  t.emit("tick", {});
+  EXPECT_EQ(t.trace().events().front().rack_id, 7);
+  t.set_rack_id(9);
+  t.emit("tock", {});
+  EXPECT_EQ(t.trace().events().back().rack_id, 9);
+}
+
+#if GH_TELEMETRY_ENABLED
+TEST(Probe, RecordsIntoLatencyHistogramOfAmbientContext) {
+  Telemetry ctx;
+  {
+    TelemetryScope scope(&ctx);
+    { GH_PROBE("probe_test_ns"); }
+    { GH_PROBE("probe_test_ns"); }
+  }
+  const MetricsSnapshot snap = ctx.metrics().snapshot();
+  const SnapshotEntry* entry = snap.find("probe_test_ns");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kHistogram);
+  EXPECT_EQ(entry->count, 2u);
+  EXPECT_GT(entry->sum, 0.0);
+}
+
+TEST(Probe, NoopWithoutContext) {
+  // Must not crash or allocate a registry when no scope is installed.
+  GH_PROBE("unscoped_probe_ns");
+  SUCCEED();
+}
+#endif  // GH_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace greenhetero::telemetry

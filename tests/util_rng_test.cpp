@@ -91,25 +91,16 @@ TEST(Rng, ForkDependsOnSeedAndLabel) {
 }
 
 TEST(Logging, LevelsFilter) {
-  Logger& logger = Logger::instance();
-  const LogLevel saved = logger.level();
-  std::vector<std::string> captured;
-  auto prev = logger.set_sink([&](LogLevel, std::string_view msg) {
-    captured.emplace_back(msg);
-  });
+  ScopedLogCapture capture(LogLevel::kWarn);
 
-  logger.set_level(LogLevel::kWarn);
   GH_DEBUG << "hidden";
   GH_INFO << "hidden too";
   GH_WARN << "visible " << 42;
   GH_ERROR << "also visible";
 
-  logger.set_level(saved);
-  logger.set_sink(prev);
-
-  ASSERT_EQ(captured.size(), 2u);
-  EXPECT_EQ(captured[0], "visible 42");
-  EXPECT_EQ(captured[1], "also visible");
+  ASSERT_EQ(capture.entries().size(), 2u);
+  EXPECT_EQ(capture.entries()[0].message, "visible 42");
+  EXPECT_EQ(capture.entries()[1].message, "also visible");
 }
 
 TEST(Logging, LevelNames) {

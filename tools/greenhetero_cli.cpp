@@ -4,17 +4,24 @@
 //                         [--days N] [--trace high|low] [--capacity W]
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
 //                         [--seed S] [--csv FILE]
+//                         [--trace-out FILE.jsonl] [--metrics-out FILE]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
 //   greenhetero solve     [--workload W] [--budget W] [--comb CombN]
 //   greenhetero traces    [--trace high|low|load|wind] [--days N]
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
 //                         [--mode static|proportional]
+//                         [--trace-out FILE.jsonl] [--metrics-out FILE]
 //   greenhetero info      (servers, workloads, combinations)
+//
+// --metrics-out picks its format by extension: ".json" exports JSON,
+// anything else Prometheus text exposition.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "core/policies.h"
@@ -60,6 +67,16 @@ Args parse_args(int argc, char** argv, int first) {
     args.options[key] = argv[++i];
   }
   return args;
+}
+
+void write_metrics(const MetricsSnapshot& snapshot, const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open metrics output file: " + path);
+  }
+  out << (json ? snapshot.to_json() : snapshot.to_prometheus());
 }
 
 PolicyKind parse_policy(const std::string& name) {
@@ -170,6 +187,18 @@ int cmd_simulate(const Args& args) {
   if (!csv.empty()) {
     report.to_csv().save(csv);
     std::printf("  per-epoch trail written to %s\n", csv.c_str());
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    sim.telemetry().trace().save_jsonl(trace_out);
+    std::printf("  trace (%zu events) written to %s\n",
+                sim.telemetry().trace().size(), trace_out.c_str());
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    write_metrics(report.metrics, metrics_out);
+    std::printf("  metrics (%zu series) written to %s\n",
+                report.metrics.entries.size(), metrics_out.c_str());
   }
   return 0;
 }
@@ -314,6 +343,18 @@ int cmd_fleet(const Args& args) {
                 i, report.racks[i].total_work,
                 report.racks[i].overall_epu * 100.0,
                 report.racks[i].battery_cycles);
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    fleet.save_trace_jsonl(trace_out);
+    std::printf("  merged trace written to %s\n", trace_out.c_str());
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const MetricsSnapshot merged = fleet.metrics_snapshot();
+    write_metrics(merged, metrics_out);
+    std::printf("  metrics (%zu series) written to %s\n",
+                merged.entries.size(), metrics_out.c_str());
   }
   return 0;
 }
