@@ -15,7 +15,8 @@ GreenHeteroController::GreenHeteroController(ControllerConfig config)
       monitor_(config.profiling_noise, Rng(config.seed).fork(0xA11CE)),
       selector_(config.selector),
       supply_predictor_(make_predictor(config.predictor, season_period())),
-      demand_predictor_(make_predictor(config.predictor, season_period())) {
+      demand_predictor_(make_predictor(config.predictor, season_period())),
+      health_(config.health) {
   if (config_.epoch.value() <= 0.0) {
     throw std::invalid_argument("controller: epoch must be positive");
   }
@@ -75,10 +76,45 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
 
   plan.source = selector_.decide(plan.predicted_renewable,
                                  plan.predicted_demand, plant, config_.epoch);
+  last_solver_failed_ = false;
   if (plan.source.server_budget.value() > 1e-6) {
-    GH_PROBE("gh_policy_allocate_ns");
-    plan.allocation = policy_->allocate(rack, db_, plan.source.server_budget);
+    if (health_.safe_mode()) {
+      // Safe mode: feedback is implausible, so the solver's inputs cannot
+      // be trusted — hold the last-known-good split instead of chasing
+      // poisoned fits.
+      plan.allocation = safe_allocation(rack);
+      plan.safe_mode = true;
+      if (telemetry::Telemetry* t = telemetry::current()) {
+        t->metrics().counter("gh_safe_mode_epochs_total").increment();
+      }
+    } else {
+      GH_PROBE("gh_policy_allocate_ns");
+      try {
+        plan.allocation =
+            policy_->allocate(rack, db_, plan.source.server_budget);
+      } catch (const SolverError& e) {
+        last_solver_failed_ = true;
+        plan.allocation = safe_allocation(rack);
+        plan.safe_mode = true;
+        GH_WARN << "solver failed (" << e.what()
+                << "); using safe allocation";
+        if (telemetry::Telemetry* t = telemetry::current()) {
+          t->metrics().counter("gh_solver_failures_total").increment();
+        }
+      } catch (const DatabaseError& e) {
+        last_solver_failed_ = true;
+        plan.allocation = safe_allocation(rack);
+        plan.safe_mode = true;
+        GH_WARN << "database lookup failed (" << e.what()
+                << "); using safe allocation";
+        if (telemetry::Telemetry* t = telemetry::current()) {
+          t->metrics().counter("gh_solver_failures_total").increment();
+        }
+      }
+    }
   }
+  last_budget_ = plan.source.server_budget;
+  last_allocation_ = plan.allocation;
   GH_DEBUG << "epoch @" << now.value() << "min: case "
            << to_string(plan.source.source_case) << ", budget "
            << plan.source.server_budget.value() << "W";
@@ -123,11 +159,10 @@ void GreenHeteroController::record_training(
 }
 
 void GreenHeteroController::finish_epoch(const Rack& rack,
-                                         Watts observed_renewable,
-                                         Watts observed_demand) {
+                                         const EpochFeedback& feedback) {
   GH_PROBE("gh_finish_epoch_ns");
-  supply_history_.push_back(observed_renewable.value());
-  demand_history_.push_back(observed_demand.value());
+  supply_history_.push_back(feedback.observed_renewable.value());
+  demand_history_.push_back(feedback.observed_demand.value());
   // Holt-Winters needs more than one full season replayed to be ready, so
   // its window is stretched to two days.
   auto window = static_cast<std::size_t>(config_.holt_training_window);
@@ -138,12 +173,28 @@ void GreenHeteroController::finish_epoch(const Rack& rack,
     supply_history_.erase(supply_history_.begin());
     demand_history_.erase(demand_history_.begin());
   }
-  supply_predictor_->observe(observed_renewable.value());
-  demand_predictor_->observe(observed_demand.value());
+  supply_predictor_->observe(feedback.observed_renewable.value());
+  demand_predictor_->observe(feedback.observed_demand.value());
   ++epochs_seen_;
   maybe_retrain_holt();
 
+  // Plausibility checks run against the plan this feedback answers.  The
+  // divergence check is suppressed when the epoch saw real shortfall —
+  // mid-epoch degradation legitimately pulls the draw below the plan.
+  const bool evaluate = feedback.evaluate_health &&
+                        health_.config().enabled &&
+                        last_budget_.value() > 1e-6;
+  const bool check_divergence =
+      evaluate &&
+      feedback.shortfall.value() <= 0.02 * last_budget_.value() &&
+      last_allocation_.ratios.size() == rack.group_count();
+
+  std::size_t expected_awake = 0;
+  std::size_t zero_awake = 0;
+  std::size_t divergent = 0;
+  const bool quarantined = health_.quarantine();
   int feedback_samples = 0;
+  int quarantined_samples = 0;
   if (policy_->updates_database()) {
     GH_PROBE("gh_db_update_ns");
     // Algorithm 1 lines 8-10: fold runtime feedback into the fits.
@@ -153,15 +204,109 @@ void GreenHeteroController::finish_epoch(const Rack& rack,
       // group unrecorded; feedback without a baseline fit is meaningless.
       if (!db_.contains(key)) continue;
       const ServerSample sample = monitor_.sample_group(rack, i);
+      if (check_divergence) {
+        // How much power did the plan give each server of this group?
+        const double active =
+            i < last_allocation_.active_counts.size() &&
+                    last_allocation_.active_counts[i] > 0
+                ? static_cast<double>(last_allocation_.active_counts[i])
+                : static_cast<double>(rack.group(i).count);
+        const Watts per_server{last_allocation_.ratios[i] *
+                               last_budget_.value() / active};
+        // Groups allocated below the idle floor sleep by design — only the
+        // ones that should be awake carry a plausibility signal.
+        if (per_server.value() >= db_.record(key).min_power.value()) {
+          ++expected_awake;
+          if (sample.power.value() <= 0.0) {
+            ++zero_awake;
+            ++divergent;
+          } else if (sample.power.value() <
+                     health_.config().divergence_ratio * per_server.value()) {
+            ++divergent;
+          }
+        }
+      }
       if (sample.power.value() <= 0.0) continue;  // group asleep: no signal
+      if (quarantined) {
+        // Degraded feedback would poison the fits; hold it back until the
+        // state machine recovers.
+        ++quarantined_samples;
+        continue;
+      }
       db_.add_runtime_sample(key, sample);
       ++feedback_samples;
     }
   }
+
+  if (evaluate) {
+    HealthSignals signals;
+    signals.stale_samples = expected_awake > 0 && zero_awake == expected_awake;
+    signals.divergent_samples = divergent > 0 && !signals.stale_samples;
+    signals.solver_failed = last_solver_failed_;
+    signals.excess_shortfall =
+        feedback.shortfall.value() >
+        health_.config().shortfall_fraction * last_budget_.value();
+    if (!signals.bad() && health_.state() == HealthState::kNormal &&
+        !last_allocation_.ratios.empty()) {
+      last_good_allocation_ = last_allocation_;
+    }
+    if (auto transition = health_.observe_epoch(signals)) {
+      const bool degrading = transition->to == HealthState::kDegraded ||
+                             transition->to == HealthState::kSafe;
+      GH_WARN << "health: " << to_string(transition->from) << " -> "
+              << to_string(transition->to) << " (" << signals.reason() << ")";
+      telemetry::emit(degrading ? "degrade" : "recover",
+                      {{"from", to_string(transition->from)},
+                       {"to", to_string(transition->to)},
+                       {"reason", signals.reason()}});
+      if (telemetry::Telemetry* t = telemetry::current()) {
+        t->metrics()
+            .counter("gh_health_transitions_total",
+                     {{"to", to_string(transition->to)}})
+            .increment();
+      }
+    }
+    if (health_.state() != HealthState::kNormal) {
+      if (telemetry::Telemetry* t = telemetry::current()) {
+        t->metrics()
+            .gauge("gh_health_state")
+            .set(static_cast<double>(health_.state()));
+        if (quarantined_samples > 0) {
+          t->metrics()
+              .counter("gh_db_quarantined_total")
+              .increment(quarantined_samples);
+        }
+      }
+    }
+  }
+
   telemetry::emit("feedback",
-                  {{"observed_renewable_w", observed_renewable.value()},
-                   {"observed_demand_w", observed_demand.value()},
+                  {{"observed_renewable_w", feedback.observed_renewable.value()},
+                   {"observed_demand_w", feedback.observed_demand.value()},
                    {"db_samples", feedback_samples}});
+}
+
+void GreenHeteroController::finish_epoch(const Rack& rack,
+                                         Watts observed_renewable,
+                                         Watts observed_demand) {
+  EpochFeedback feedback;
+  feedback.observed_renewable = observed_renewable;
+  feedback.observed_demand = observed_demand;
+  finish_epoch(rack, feedback);
+}
+
+Allocation GreenHeteroController::safe_allocation(const Rack& rack) const {
+  if (last_good_allocation_.ratios.size() == rack.group_count()) {
+    return last_good_allocation_;
+  }
+  // No known-good plan yet: fall back to a Uniform split by server count.
+  Allocation alloc;
+  const auto total = static_cast<double>(rack.total_servers());
+  alloc.ratios.reserve(rack.group_count());
+  for (std::size_t i = 0; i < rack.group_count(); ++i) {
+    alloc.ratios.push_back(static_cast<double>(rack.group(i).count) / total);
+  }
+  return alloc;
 }
 
 int GreenHeteroController::season_period() const {

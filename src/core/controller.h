@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/health.h"
 #include "core/monitor.h"
 #include "core/policies.h"
 #include "core/predictor.h"
@@ -50,6 +51,9 @@ struct ControllerConfig {
   /// window has at least 3 points).
   int holt_retrain_every = 24;
   SelectorConfig selector;
+  /// Graceful degradation: feedback plausibility thresholds and the
+  /// safe-mode state machine's hysteresis.
+  HealthConfig health;
 };
 
 /// What the controller decided for one epoch.
@@ -59,6 +63,21 @@ struct EpochPlan {
   Allocation allocation;       ///< empty for training epochs
   Watts predicted_renewable{0.0};
   Watts predicted_demand{0.0};
+  /// True when the allocation came from the safe-mode fallback (last-known-
+  /// good ratios or a Uniform split) instead of the solver.
+  bool safe_mode = false;
+};
+
+/// Everything the simulator observed over one epoch, fed back at its end.
+struct EpochFeedback {
+  Watts observed_renewable{0.0};
+  Watts observed_demand{0.0};
+  /// Epoch-mean unmet planned load (sources under-delivered the plan).
+  Watts shortfall{0.0};
+  /// True for normal runtime epochs: evaluate the health signals and step
+  /// the degradation state machine.  Training epochs (and legacy callers)
+  /// leave it false — their feedback carries no plausibility information.
+  bool evaluate_health = false;
 };
 
 class GreenHeteroController {
@@ -95,10 +114,18 @@ class GreenHeteroController {
   void record_training(ProfileKey key, std::span<const ServerSample> samples);
 
   /// Epoch-end bookkeeping: feed the predictors with the epoch's observed
-  /// renewable/demand averages and, when the policy updates the database,
-  /// fold in one runtime feedback sample per group.
+  /// renewable/demand averages, evaluate feedback plausibility (stale or
+  /// divergent samples, solver failure, persistent shortfall) against the
+  /// last plan, step the health state machine, and — unless feedback is
+  /// quarantined — fold one runtime sample per group into the database.
+  void finish_epoch(const Rack& rack, const EpochFeedback& feedback);
+
+  /// Legacy form: predictor/database feedback only, no health evaluation.
   void finish_epoch(const Rack& rack, Watts observed_renewable,
                     Watts observed_demand);
+
+  /// The degradation state machine (normal → degraded → safe → recovering).
+  [[nodiscard]] const HealthTracker& health() const { return health_; }
 
   /// Direct database access for benches that pre-train out of band.
   [[nodiscard]] PerfPowerDatabase& mutable_database() { return db_; }
@@ -107,6 +134,10 @@ class GreenHeteroController {
   void maybe_retrain_holt();
 
   [[nodiscard]] int season_period() const;
+
+  /// Safe-mode allocation: last-known-good ratios when they still fit the
+  /// rack, otherwise a Uniform split (count_i / total_servers).
+  [[nodiscard]] Allocation safe_allocation(const Rack& rack) const;
 
   ControllerConfig config_;
   std::unique_ptr<AllocationPolicy> policy_;
@@ -118,6 +149,14 @@ class GreenHeteroController {
   std::vector<double> supply_history_;
   std::vector<double> demand_history_;
   int epochs_seen_ = 0;
+
+  HealthTracker health_;
+  /// The most recent plan, for epoch-end plausibility checks.
+  Watts last_budget_{0.0};
+  Allocation last_allocation_;
+  bool last_solver_failed_ = false;
+  /// Snapshot of the last allocation observed under healthy feedback.
+  Allocation last_good_allocation_;
 };
 
 }  // namespace greenhetero

@@ -1,0 +1,91 @@
+// Controller health tracking and the graceful-degradation state machine.
+//
+// Every epoch the controller distils its feedback into HealthSignals —
+// stale samples (every awake group's meter reads zero), enforced-vs-drawn
+// divergence, solver failure, persistent supply shortfall — and feeds them
+// to the HealthTracker:
+//
+//     normal ──bad──► degraded ──bad×safe_after──► safe
+//        ▲               │  ▲                        │
+//        │             good │bad                   good
+//        │               ▼  │                        ▼
+//        └─good×recover_after── recovering ◄─────────┘
+//
+// While degraded or worse the controller *quarantines* feedback (poisoned
+// samples never merge into the PerfPowerDatabase); in safe mode it stops
+// trusting the solver's inputs entirely and falls back to the last-known-
+// good allocation (then a Uniform split).  Hysteresis on both edges keeps
+// one noisy epoch from flapping the mode.
+#pragma once
+
+#include <optional>
+
+namespace greenhetero {
+
+enum class HealthState { kNormal, kDegraded, kSafe, kRecovering };
+
+[[nodiscard]] const char* to_string(HealthState state);
+
+struct HealthConfig {
+  /// Master switch; disabled keeps the tracker pinned to kNormal.
+  bool enabled = true;
+  /// A group sample below this fraction of its allocated per-server power
+  /// counts as divergent (normal DVFS quantisation stays well above it).
+  double divergence_ratio = 0.5;
+  /// Epoch-mean shortfall above this fraction of the planned budget counts
+  /// as a bad epoch (transient prediction error stays below it).
+  double shortfall_fraction = 0.25;
+  /// Consecutive bad epochs (while degraded) before entering safe mode.
+  int safe_after = 3;
+  /// Consecutive good epochs (while recovering) before returning to normal.
+  int recover_after = 3;
+};
+
+/// One epoch's distilled health evidence.
+struct HealthSignals {
+  bool stale_samples = false;      ///< all awake groups read zero power
+  bool divergent_samples = false;  ///< draw far below enforced allocation
+  bool solver_failed = false;      ///< allocation threw SolverError
+  bool excess_shortfall = false;   ///< sources persistently under the plan
+
+  [[nodiscard]] bool bad() const {
+    return stale_samples || divergent_samples || solver_failed ||
+           excess_shortfall;
+  }
+  /// Dominant reason for telemetry, "ok" when none.
+  [[nodiscard]] const char* reason() const;
+};
+
+class HealthTracker {
+ public:
+  explicit HealthTracker(HealthConfig config = {});
+
+  [[nodiscard]] const HealthConfig& config() const { return config_; }
+  [[nodiscard]] HealthState state() const { return state_; }
+  /// Feedback is quarantined in every state but normal.
+  [[nodiscard]] bool quarantine() const {
+    return state_ != HealthState::kNormal;
+  }
+  [[nodiscard]] bool safe_mode() const {
+    return state_ == HealthState::kSafe;
+  }
+  [[nodiscard]] int consecutive_bad() const { return consecutive_bad_; }
+  [[nodiscard]] int consecutive_good() const { return consecutive_good_; }
+
+  struct Transition {
+    HealthState from;
+    HealthState to;
+  };
+
+  /// Feed one epoch's signals; returns the transition when the state
+  /// changed.  Training epochs should not be fed (no meaningful feedback).
+  std::optional<Transition> observe_epoch(const HealthSignals& signals);
+
+ private:
+  HealthConfig config_;
+  HealthState state_ = HealthState::kNormal;
+  int consecutive_bad_ = 0;
+  int consecutive_good_ = 0;
+};
+
+}  // namespace greenhetero

@@ -114,6 +114,43 @@ void report_solve(const char* backend, std::span<const GroupModel> groups,
                     {"predicted_perf", result.predicted_perf}});
 }
 
+/// Output sanity guard: a numerical backend must never hand the Enforcer a
+/// non-finite or out-of-range allocation.  Non-finite or negative ratios
+/// become 0, an over-committed sum is renormalised, and the performance
+/// estimate is recomputed after a repair.  (A ratio beyond a group's
+/// saturation cap is wasteful but valid — enforcement clamps it — so it is
+/// not treated as a defect.)  Repairs count into gh_solver_repairs_total;
+/// the healthy backends never trip this, so the metric stays absent (and
+/// the pass free) in clean runs.
+void sanitize_allocation(std::span<const GroupModel> groups, Watts total,
+                         bool recompute_perf, Allocation& result) {
+  int repairs = 0;
+  for (double& r : result.ratios) {
+    if (!std::isfinite(r) || r < 0.0) {
+      r = 0.0;
+      ++repairs;
+    }
+  }
+  const double sum = result.ratio_sum();
+  if (sum > 1.0 + 1e-9) {
+    for (double& r : result.ratios) r /= sum;
+    ++repairs;
+  }
+  if (!std::isfinite(result.predicted_perf)) {
+    result.predicted_perf = 0.0;
+    ++repairs;
+  }
+  if (repairs == 0) return;
+  if (recompute_perf && result.ratios.size() == groups.size()) {
+    // A poisoned fit can re-introduce NaN through evaluate; clamp once more.
+    result.predicted_perf = Solver::evaluate(groups, result.ratios, total);
+    if (!std::isfinite(result.predicted_perf)) result.predicted_perf = 0.0;
+  }
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics().counter("gh_solver_repairs_total").increment(repairs);
+  }
+}
+
 }  // namespace
 
 /// The grid-refine production backend behind Solver::solve.
@@ -185,7 +222,8 @@ static Allocation solve_grid_refine(std::span<const GroupModel> groups,
 Allocation Solver::solve(std::span<const GroupModel> groups,
                          Watts total_supply) {
   GH_PROBE("gh_solver_solve_ns");
-  const Allocation result = solve_grid_refine(groups, total_supply);
+  Allocation result = solve_grid_refine(groups, total_supply);
+  sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, result);
   report_solve("grid_refine", groups, total_supply, result);
   return result;
 }
@@ -285,6 +323,9 @@ Allocation Solver::solve_subset(std::span<const GroupModel> groups,
   for (std::size_t g = 0; g < groups.size(); ++g) {
     best.predicted_perf += subset_perf(g, best.ratios[g]);
   }
+  // Subset performance is computed against activation counts, so a repair
+  // must not overwrite it with the whole-group estimate.
+  sanitize_allocation(groups, total_supply, /*recompute_perf=*/false, best);
   report_solve("subset", groups, total_supply, best);
   return best;
 }
@@ -399,6 +440,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
 
   Allocation result{std::move(ratios), 0.0, {}};
   result.predicted_perf = evaluate(groups, result.ratios, total);
+  sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, result);
   report_solve("waterfill", groups, total_supply, result);
   return result;
 }
@@ -436,6 +478,7 @@ Allocation Solver::solve_grid(std::span<const GroupModel> groups,
     }
   };
   enumerate(enumerate, 0, steps);
+  sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, best);
   report_solve("grid", groups, total_supply, best);
   return best;
 }

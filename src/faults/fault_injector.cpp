@@ -1,0 +1,47 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+
+namespace greenhetero {
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  actions_.reserve(plan.size() * 2);
+  for (const FaultEvent& e : plan.events()) {
+    FaultAction begin;
+    begin.at = e.at;
+    begin.kind = e.kind;
+    begin.begin = true;
+    begin.target = e.target;
+    begin.value = e.value;
+    actions_.push_back(begin);
+    // A recovery event is itself an edge; everything else with a window
+    // gets a matching end action.  Duration 0 means open-ended.
+    if (e.kind != FaultKind::kServerRecover && e.duration.value() > 0.0) {
+      FaultAction end = begin;
+      end.at = e.at + e.duration;
+      end.begin = false;
+      actions_.push_back(end);
+    }
+  }
+  // When a window's end coincides with another fault's begin, clear the old
+  // fault first so the new one is not immediately undone.
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     if (a.at.value() != b.at.value()) {
+                       return a.at.value() < b.at.value();
+                     }
+                     return !a.begin && b.begin;
+                   });
+}
+
+std::vector<FaultAction> FaultInjector::take_due(Minutes now) {
+  std::vector<FaultAction> due;
+  while (next_ < actions_.size() &&
+         actions_[next_].at.value() <= now.value() + 1e-9) {
+    due.push_back(actions_[next_]);
+    ++next_;
+  }
+  return due;
+}
+
+}  // namespace greenhetero

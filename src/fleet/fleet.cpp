@@ -21,13 +21,18 @@ const char* to_string(GridShareMode mode) {
   return "?";
 }
 
+void FleetConfig::validate() const {
+  if (!std::isfinite(total_grid_budget.value()) ||
+      total_grid_budget.value() < 0.0) {
+    throw FleetError("fleet: grid budget must be finite and non-negative");
+  }
+}
+
 Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
     : racks_(std::move(racks)), config_(config) {
+  config_.validate();
   if (racks_.empty()) {
     throw FleetError("fleet: needs at least one rack");
-  }
-  if (config_.total_grid_budget.value() < 0.0) {
-    throw FleetError("fleet: grid budget must be non-negative");
   }
   const double epoch = racks_.front().controller().config().epoch.value();
   for (const RackSimulator& r : racks_) {

@@ -43,6 +43,11 @@ struct FleetConfig {
   /// Coordinator-level telemetry (the coordinator stamps its events with
   /// rack id -1; each rack's own telemetry is configured via its SimConfig).
   TelemetryConfig telemetry;
+
+  /// Fail fast on out-of-range knobs (negative or non-finite grid budget).
+  /// Throws FleetError; rack-dependent invariants (matching epoch lengths)
+  /// are checked by the Fleet constructor.
+  void validate() const;
 };
 
 struct FleetReport {

@@ -71,9 +71,20 @@ Battery::Battery(BatterySpec spec) : spec_(spec), stored_(spec.capacity) {
 }
 
 WattHours Battery::effective_capacity() const {
-  const double fade = spec_.capacity_fade_per_cycle * equivalent_cycles();
+  const double fade =
+      spec_.capacity_fade_per_cycle * equivalent_cycles() + fault_derate_;
   const WattHours faded = spec_.capacity * std::max(0.0, 1.0 - fade);
   return max(faded, spec_.floor_energy());
+}
+
+void Battery::set_fault_derate(double fraction) {
+  if (fraction < 0.0 || fraction > 0.9) {
+    throw BatteryError("battery: fault derate must be in [0, 0.9]");
+  }
+  fault_derate_ = fraction;
+  // Energy held in the failed cells is gone (the conservation ledger meters
+  // only terminal flows, so this does not unbalance the books).
+  stored_ = min(stored_, effective_capacity());
 }
 
 Watts Battery::drain_rate(Watts power) const {

@@ -96,6 +96,13 @@ class Battery {
   /// floor from self-discharge alone.
   void stand(Minutes dt);
 
+  /// Fault injection: an additional `fraction` of nameplate capacity is
+  /// unavailable (cell failure) on top of ageing fade; stored energy above
+  /// the derated capacity is clamped away.  0 clears the fault; throws
+  /// BatteryError outside [0, 0.9].
+  void set_fault_derate(double fraction);
+  [[nodiscard]] double fault_derate() const { return fault_derate_; }
+
   /// Cycle wear: total discharged energy divided by the energy of one
   /// DoD-deep cycle.
   [[nodiscard]] double equivalent_cycles() const;
@@ -109,6 +116,7 @@ class Battery {
  private:
   BatterySpec spec_;
   WattHours stored_;
+  double fault_derate_ = 0.0;
   WattHours discharged_{0.0};
   WattHours charged_in_{0.0};
 };

@@ -16,7 +16,7 @@ void GridSupply::set_budget(Watts budget) {
 }
 
 Watts GridSupply::available(Watts already_drawn) const {
-  const double remaining = spec_.budget.value() - already_drawn.value();
+  const double remaining = budget().value() - already_drawn.value();
   return Watts{remaining > 0.0 ? remaining : 0.0};
 }
 
@@ -24,7 +24,7 @@ WattHours GridSupply::draw(Watts power, Minutes dt, double hour_of_day) {
   if (power.value() < 0.0) {
     throw GridError("grid: draw must be non-negative");
   }
-  if (power.value() > spec_.budget.value() + 1e-6) {
+  if (power.value() > budget().value() + 1e-6) {
     throw GridError("grid: draw exceeds budget");
   }
   const WattHours energy = power * dt;

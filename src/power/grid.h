@@ -40,11 +40,20 @@ class GridSupply {
   explicit GridSupply(GridSpec spec);
 
   [[nodiscard]] const GridSpec& spec() const { return spec_; }
-  [[nodiscard]] Watts budget() const { return spec_.budget; }
+  /// The effective budget; zero while an outage fault is active.
+  [[nodiscard]] Watts budget() const {
+    return outage_ ? Watts{0.0} : spec_.budget;
+  }
 
   /// Change the budget (fleet-coordinated reallocation); throws GridError
-  /// on negative budgets.
+  /// on negative budgets.  During an outage the new budget is remembered
+  /// and takes effect once the feed returns.
   void set_budget(Watts budget);
+
+  /// Fault injection: utility feed down — the budget reads zero until the
+  /// outage clears.
+  void set_outage(bool outage) { outage_ = outage; }
+  [[nodiscard]] bool in_outage() const { return outage_; }
 
   /// Power still available this step given `already_drawn` within the step.
   [[nodiscard]] Watts available(Watts already_drawn) const;
@@ -62,6 +71,7 @@ class GridSupply {
 
  private:
   GridSpec spec_;
+  bool outage_ = false;
   WattHours energy_{0.0};
   WattHours peak_energy_{0.0};  ///< share billed at the peak tariff
   Watts peak_{0.0};

@@ -85,6 +85,13 @@ class RackPowerPlant {
   /// datacenter-level budget between racks every epoch).
   void set_grid_budget(Watts budget) { grid_.set_budget(budget); }
 
+  /// Fault-injection pass-throughs (driven by the simulator's injector).
+  void set_solar_outage(bool outage) { solar_.set_outage(outage); }
+  void set_grid_outage(bool outage) { grid_.set_outage(outage); }
+  void set_battery_fault_derate(double fraction) {
+    battery_.set_fault_derate(fraction);
+  }
+
   /// Validate and apply one step's flows at elapsed time `t` for `dt`.
   /// The plan's `renewable_curtailed` is recomputed here as the residual of
   /// availability; all other fields must satisfy the plant's limits or a

@@ -8,7 +8,10 @@ SolarArray::SolarArray(PowerTrace production) : trace_(std::move(production)) {
   }
 }
 
-Watts SolarArray::available(Minutes t) const { return trace_.at(t); }
+Watts SolarArray::available(Minutes t) const {
+  if (outage_) return Watts{0.0};
+  return trace_.at(t);
+}
 
 void SolarArray::account_step(Minutes t, Watts used, Minutes dt) {
   const Watts avail = available(t);

@@ -17,6 +17,11 @@ class SolarArray {
   /// Power the array produces at elapsed time `t` from simulation start.
   [[nodiscard]] Watts available(Minutes t) const;
 
+  /// Fault injection: while in outage (inverter trip, feed disconnect) the
+  /// array produces nothing, regardless of the trace.
+  void set_outage(bool outage) { outage_ = outage; }
+  [[nodiscard]] bool in_outage() const { return outage_; }
+
   /// Record that `used` of the `available(t)` watts were consumed (load +
   /// battery charging) over a step of `dt`; the remainder is curtailed.
   /// Throws TraceError if `used` exceeds availability.
@@ -30,6 +35,7 @@ class SolarArray {
 
  private:
   PowerTrace trace_;
+  bool outage_ = false;
   WattHours produced_{0.0};
   WattHours used_{0.0};
 };

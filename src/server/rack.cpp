@@ -157,6 +157,28 @@ void Rack::set_group_state(std::size_t i, int state) {
   }
 }
 
+void Rack::set_group_online(std::size_t i, bool online) {
+  for (ServerSim& server : group_servers(i)) {
+    server.set_online(online);
+  }
+}
+
+bool Rack::group_online(std::size_t i) const {
+  return group_representative(i).online();
+}
+
+void Rack::set_group_stuck_state(std::size_t i, std::optional<int> state) {
+  for (ServerSim& server : group_servers(i)) {
+    server.set_stuck_state(state);
+  }
+}
+
+void Rack::set_group_actuation_offset(std::size_t i, Watts offset) {
+  for (ServerSim& server : group_servers(i)) {
+    server.set_actuation_offset(offset);
+  }
+}
+
 void Rack::run_full_speed() {
   for (ServerSim& server : servers_) server.run_full_speed();
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -92,6 +93,17 @@ class Rack {
   /// Training-run behaviour: all servers at full speed.
   void run_full_speed();
   void power_off();
+
+  /// Fault injection: crash (`online == false`) or recover every server of
+  /// group i.  Recovered servers stay asleep until the next enforcement.
+  void set_group_online(std::size_t i, bool online);
+  [[nodiscard]] bool group_online(std::size_t i) const;
+  /// Fault injection: latch group i's DVFS actuation at `state` (nullopt
+  /// clears the fault).
+  void set_group_stuck_state(std::size_t i, std::optional<int> state);
+  /// Fault injection: shift group i's enforced budgets by `offset` watts
+  /// per server.
+  void set_group_actuation_offset(std::size_t i, Watts offset);
 
   [[nodiscard]] Watts total_draw() const;
   [[nodiscard]] double total_throughput() const;

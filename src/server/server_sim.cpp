@@ -1,5 +1,7 @@
 #include "server/server_sim.h"
 
+#include <algorithm>
+
 namespace greenhetero {
 
 namespace {
@@ -20,13 +22,41 @@ void ServerSim::set_curve(PerfCurve curve) {
 }
 
 int ServerSim::enforce_budget(Watts budget) {
-  state_ = ladder_.state_for_budget(budget);
+  if (!online_) {
+    state_ = DvfsLadder::kOffState;
+  } else if (stuck_) {
+    state_ = *stuck_;
+  } else {
+    state_ = ladder_.state_for_budget(budget + actuation_offset_);
+  }
   return state_;
 }
 
-void ServerSim::run_full_speed() { state_ = ladder_.operating_states(); }
+void ServerSim::run_full_speed() {
+  if (!online_) {
+    state_ = DvfsLadder::kOffState;
+  } else if (stuck_) {
+    state_ = *stuck_;
+  } else {
+    state_ = ladder_.operating_states();
+  }
+}
 
 void ServerSim::power_off() { state_ = DvfsLadder::kOffState; }
+
+void ServerSim::set_online(bool online) {
+  online_ = online;
+  if (!online_) state_ = DvfsLadder::kOffState;
+}
+
+void ServerSim::set_stuck_state(std::optional<int> state) {
+  if (state) {
+    stuck_ = std::clamp(*state, 0, ladder_.operating_states());
+    if (online_) state_ = *stuck_;
+  } else {
+    stuck_.reset();
+  }
+}
 
 Watts ServerSim::draw() const { return ladder_.state_power(state_); }
 

@@ -39,6 +39,24 @@ class ServerSim {
 
   void power_off();
 
+  /// Fault injection: an offline (crashed) server draws nothing and ignores
+  /// enforcement until it comes back; recovery leaves it asleep until the
+  /// next enforcement.
+  void set_online(bool online);
+  [[nodiscard]] bool online() const { return online_; }
+
+  /// Fault injection: DVFS actuation latched at `state` (clamped to the
+  /// ladder) — enforcement and full-speed requests land there regardless of
+  /// the commanded budget.  nullopt clears the fault.
+  void set_stuck_state(std::optional<int> state);
+  [[nodiscard]] std::optional<int> stuck_state() const { return stuck_; }
+
+  /// Fault injection: actuation miscalibration — every enforced budget is
+  /// shifted by `offset` watts before the ladder lookup, so the server
+  /// draws more (positive) or less (negative) than commanded.
+  void set_actuation_offset(Watts offset) { actuation_offset_ = offset; }
+  [[nodiscard]] Watts actuation_offset() const { return actuation_offset_; }
+
   [[nodiscard]] int state() const { return state_; }
   /// Wall power currently drawn.
   [[nodiscard]] Watts draw() const;
@@ -58,6 +76,9 @@ class ServerSim {
   PerfCurve curve_;
   DvfsLadder ladder_;
   int state_ = DvfsLadder::kOffState;
+  bool online_ = true;
+  std::optional<int> stuck_;
+  Watts actuation_offset_{0.0};
   WattHours energy_{0.0};
   double work_ = 0.0;
 };

@@ -44,6 +44,43 @@ RackPowerPlant make_fixed_budget_plant(Watts budget, Minutes duration) {
                         GridSupply{grid}};
 }
 
+void SimConfig::validate() const {
+  if (substep.value() <= 0.0) {
+    throw std::invalid_argument("sim config: substep must be positive");
+  }
+  if (substep.value() > controller.epoch.value() + 1e-9) {
+    throw std::invalid_argument(
+        "sim config: substep must not exceed the epoch length");
+  }
+  for (std::size_t i = 0; i < workload_schedule.size(); ++i) {
+    if (workload_schedule[i].at.value() < 0.0) {
+      throw std::invalid_argument(
+          "sim config: workload switch times must be non-negative");
+    }
+    if (i > 0 && workload_schedule[i].at.value() <
+                     workload_schedule[i - 1].at.value()) {
+      throw std::invalid_argument(
+          "sim config: workload schedule must be sorted by time");
+    }
+  }
+  if (controller.profiling_noise < 0.0 || controller.profiling_noise > 1.0) {
+    throw std::invalid_argument(
+        "sim config: profiling noise must be in [0, 1]");
+  }
+  if (controller.monitor_dropout < 0.0 || controller.monitor_dropout > 1.0) {
+    throw std::invalid_argument(
+        "sim config: monitor dropout must be in [0, 1]");
+  }
+  if (controller.holt_training_window < 3) {
+    throw std::invalid_argument(
+        "sim config: Holt training window must be at least 3 epochs");
+  }
+  if (controller.holt_retrain_every < 1) {
+    throw std::invalid_argument(
+        "sim config: Holt retrain cadence must be at least 1 epoch");
+  }
+}
+
 struct RackSimulator::EpochStats {
   double renewable_sum = 0.0;
   double throughput_sum = 0.0;
@@ -76,6 +113,22 @@ RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
       telemetry_(std::make_unique<Telemetry>(config_.telemetry)),
       controller_(config_.controller),
       clock_(config_.controller.epoch, config_.substep) {
+  config_.validate();
+  base_dropout_ = config_.controller.monitor_dropout;
+  if (!config_.faults.empty()) {
+    for (const FaultEvent& event : config_.faults.events()) {
+      const bool group_scoped = event.kind == FaultKind::kServerCrash ||
+                                event.kind == FaultKind::kServerRecover ||
+                                event.kind == FaultKind::kDvfsStuck ||
+                                event.kind == FaultKind::kDvfsOffset;
+      if (group_scoped && event.target >= 0 &&
+          static_cast<std::size_t>(event.target) >= rack_.group_count()) {
+        throw std::invalid_argument(
+            "sim config: fault plan targets a group the rack does not have");
+      }
+    }
+    injector_.emplace(config_.faults);
+  }
   if (config_.rapl_enforcement) {
     if (config_.controller.policy == PolicyKind::kGreenHeteroS) {
       // The feedback caps act per group; they cannot express waking only a
@@ -163,12 +216,93 @@ void RackSimulator::apply_workload_schedule(Minutes now) {
   }
 }
 
+void RackSimulator::apply_due_faults(Minutes now) {
+  if (!injector_) return;
+  for (const FaultAction& action : injector_->take_due(now)) {
+    apply_fault_action(action, now);
+  }
+}
+
+void RackSimulator::apply_fault_action(const FaultAction& action,
+                                       Minutes now) {
+  const bool all_groups = action.target < 0;
+  const auto first = all_groups ? std::size_t{0}
+                                : static_cast<std::size_t>(action.target);
+  const auto last = all_groups ? rack_.group_count() : first + 1;
+  switch (action.kind) {
+    case FaultKind::kServerCrash:
+      for (std::size_t i = first; i < last; ++i) {
+        rack_.set_group_online(i, !action.begin);
+      }
+      break;
+    case FaultKind::kServerRecover:
+      for (std::size_t i = first; i < last; ++i) {
+        rack_.set_group_online(i, true);
+      }
+      break;
+    case FaultKind::kDvfsStuck:
+      for (std::size_t i = first; i < last; ++i) {
+        rack_.set_group_stuck_state(
+            i, action.begin
+                   ? std::optional<int>{static_cast<int>(action.value)}
+                   : std::nullopt);
+      }
+      break;
+    case FaultKind::kDvfsOffset:
+      for (std::size_t i = first; i < last; ++i) {
+        rack_.set_group_actuation_offset(
+            i, Watts{action.begin ? action.value : 0.0});
+      }
+      break;
+    case FaultKind::kSolarDropout:
+      plant_.set_solar_outage(action.begin);
+      break;
+    case FaultKind::kSolarStuck:
+      // Sensor fault: latch what the meter reads right now and keep
+      // reporting it; the physical array is unaffected.
+      if (action.begin) {
+        solar_sensor_stuck_ = plant_.renewable_available(now);
+      } else {
+        solar_sensor_stuck_.reset();
+      }
+      break;
+    case FaultKind::kGridOutage:
+      plant_.set_grid_outage(action.begin);
+      break;
+    case FaultKind::kBatteryDerate:
+      plant_.set_battery_fault_derate(action.begin ? action.value : 0.0);
+      break;
+    case FaultKind::kMonitorDropout:
+      controller_.monitor().set_dropout_rate(action.begin ? action.value
+                                                          : base_dropout_);
+      break;
+  }
+  GH_WARN << "fault @" << now.value() << "min: " << to_string(action.kind)
+          << (action.begin ? " begins" : " ends");
+  if (Telemetry* t = tel::current()) {
+    const Minutes stamp = t->now();
+    t->set_now(now);
+    t->emit("fault_inject", {{"kind", to_string(action.kind)},
+                             {"phase", action.begin ? "begin" : "end"},
+                             {"target", action.target},
+                             {"value", action.value}});
+    t->set_now(stamp);
+    if (action.begin) {
+      t->metrics()
+          .counter("gh_faults_injected_total",
+                   {{"kind", to_string(action.kind)}})
+          .increment();
+    }
+  }
+}
+
 EpochRecord RackSimulator::step_epoch() {
   const TelemetryScope scope(config_.telemetry.enabled ? telemetry_.get()
                                                        : nullptr);
   GH_PROBE("gh_step_epoch_ns");
   const Minutes epoch_start = clock_.now();
   telemetry_->set_now(epoch_start);
+  apply_due_faults(epoch_start);
   apply_workload_schedule(epoch_start);
   const Watts demand_hint = demand_at(epoch_start);
   const EpochPlan plan =
@@ -368,7 +502,15 @@ void RackSimulator::run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
   record.battery_charge = Watts{stats.mean(stats.charge_sum)};
   record.grid_power = Watts{stats.mean(stats.grid_sum)};
   record.shortfall = Watts{stats.mean(stats.shortfall_sum)};
-  controller_.finish_epoch(rack_, record.actual_renewable, demand_hint);
+  EpochFeedback feedback;
+  // A stuck sensor lies to the controller (and through it to the Holt
+  // predictor); the record keeps the ground truth.
+  feedback.observed_renewable =
+      solar_sensor_stuck_ ? *solar_sensor_stuck_ : record.actual_renewable;
+  feedback.observed_demand = demand_hint;
+  feedback.shortfall = record.shortfall;
+  feedback.evaluate_health = true;
+  controller_.finish_epoch(rack_, feedback);
 }
 
 PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
@@ -376,6 +518,7 @@ PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
                                           EpochStats& stats) {
   const Minutes now = clock_.now();
   const Minutes dt = clock_.substep_length();
+  apply_due_faults(now);
   const Watts renewable = plant_.renewable_available(now);
 
   if (config_.rapl_enforcement && !group_power.empty()) {

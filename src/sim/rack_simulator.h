@@ -19,6 +19,8 @@
 #include "core/controller.h"
 #include "core/enforcer.h"
 #include "core/epu.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "server/power_cap.h"
 #include "power/energy_ledger.h"
 #include "power/power_bus.h"
@@ -69,6 +71,14 @@ struct SimConfig {
   bool rapl_enforcement = false;
   /// Metrics + trace configuration for this simulator's Telemetry instance.
   TelemetryConfig telemetry;
+  /// Deterministic fault schedule replayed against this rack (empty = no
+  /// faults and exactly the fault-free behaviour, bit for bit).
+  FaultPlan faults;
+
+  /// Fail fast on configurations the engine cannot honour: non-positive
+  /// substep, substep longer than the epoch, an unsorted workload schedule,
+  /// out-of-range controller knobs.  Throws std::invalid_argument.
+  void validate() const;
 };
 
 class RackSimulator {
@@ -128,6 +138,9 @@ class RackSimulator {
                              EpochStats& stats);
   [[nodiscard]] Watts demand_at(Minutes t) const;
   void apply_workload_schedule(Minutes now);
+  /// Replay every fault action due at `now` (no-op without a fault plan).
+  void apply_due_faults(Minutes now);
+  void apply_fault_action(const FaultAction& action, Minutes now);
 
   /// RAPL mode: apply per-group caps through the feedback controllers.
   void enforce_with_rapl(std::span<const Watts> group_power);
@@ -144,6 +157,14 @@ class RackSimulator {
   EpuMeter run_epu_;
   std::size_t next_switch_ = 0;
   std::vector<PowerCapController> rapl_;  ///< one per group (RAPL mode)
+  /// Engaged only when the plan is non-empty, so fault-free runs take no
+  /// extra work (and stay byte-identical to pre-fault builds).
+  std::optional<FaultInjector> injector_;
+  /// Monitor dropout rate to restore when a monitor_dropout fault clears.
+  double base_dropout_ = 0.0;
+  /// While a solar *sensor* is stuck, the value it keeps reporting (the
+  /// physical array is unaffected; only the controller's feedback lies).
+  std::optional<Watts> solar_sensor_stuck_;
 };
 
 }  // namespace greenhetero

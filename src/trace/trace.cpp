@@ -109,14 +109,26 @@ PowerTrace PowerTrace::load_csv(const std::filesystem::path& path) {
   if (interval <= 0.0) {
     throw TraceError("trace csv: non-increasing timestamps");
   }
-  for (std::size_t i = 2; i < minutes.size(); ++i) {
-    if (std::fabs((minutes[i] - minutes[i - 1]) - interval) > 1e-6) {
-      throw TraceError("trace csv: irregular sampling interval");
+  for (std::size_t i = 1; i < minutes.size(); ++i) {
+    if (minutes[i] <= minutes[i - 1]) {
+      throw TraceError("trace csv: row " + std::to_string(i + 1) +
+                       ": timestamp " + std::to_string(minutes[i]) +
+                       " does not increase");
+    }
+    if (i >= 2 && std::fabs((minutes[i] - minutes[i - 1]) - interval) > 1e-6) {
+      throw TraceError("trace csv: row " + std::to_string(i + 1) +
+                       ": irregular sampling interval");
     }
   }
   std::vector<Watts> samples;
   samples.reserve(watts.size());
-  for (double w : watts) samples.emplace_back(w);
+  for (std::size_t i = 0; i < watts.size(); ++i) {
+    if (watts[i] < 0.0) {
+      throw TraceError("trace csv: row " + std::to_string(i + 1) +
+                       ": negative power " + std::to_string(watts[i]));
+    }
+    samples.emplace_back(watts[i]);
+  }
   return PowerTrace{Minutes{interval}, std::move(samples)};
 }
 

@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -104,6 +105,11 @@ double CsvTable::number(std::size_t row, std::size_t col) const {
   auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc{} || ptr != end) {
     throw CsvError("csv: cell '" + text + "' is not numeric");
+  }
+  // from_chars happily parses "nan" and "inf"; no consumer of these tables
+  // can do anything sensible with either.
+  if (!std::isfinite(value)) {
+    throw CsvError("csv: cell '" + text + "' is not a finite number");
   }
   return value;
 }

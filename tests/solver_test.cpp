@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <span>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace greenhetero {
@@ -288,6 +292,47 @@ TEST_P(SolverPropertyTest, NearOptimalOnRandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverPropertyTest,
                          ::testing::Range(0, 40));
+
+TEST(SolverSanity, PoisonedFitIsRepairedAndCounted) {
+  // A NaN-coefficient fit (a poisoned database record) drives the backend's
+  // objective to NaN everywhere; the output guard must still hand back a
+  // finite allocation and count the repair.
+  GroupModel poisoned;
+  poisoned.fit = Quadratic{std::numeric_limits<double>::quiet_NaN(), 1.0, 0.0};
+  poisoned.min_power = Watts{50.0};
+  poisoned.max_power = Watts{150.0};
+  poisoned.count = 4;
+
+  telemetry::Telemetry context;
+  const telemetry::TelemetryScope scope(&context);
+  const Allocation result =
+      Solver::solve(std::span<const GroupModel>{&poisoned, 1}, Watts{400.0});
+  for (double r : result.ratios) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+  }
+  EXPECT_TRUE(std::isfinite(result.predicted_perf));
+  const auto* repairs =
+      context.metrics().snapshot().find("gh_solver_repairs_total");
+  ASSERT_NE(repairs, nullptr);
+  EXPECT_GE(repairs->value, 1.0);
+}
+
+TEST(SolverSanity, HealthyInstancesNeverTripTheRepairCounter) {
+  telemetry::Telemetry context;
+  const telemetry::TelemetryScope scope(&context);
+  Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    const double lo = rng.uniform(30.0, 90.0);
+    const double hi = lo + rng.uniform(30.0, 120.0);
+    std::vector<GroupModel> groups(
+        static_cast<std::size_t>(rng.uniform_int(1, 3)),
+        concave_group(-0.01, 5.0, -50.0, Watts{lo}, Watts{hi}, 4));
+    (void)Solver::solve(groups, Watts{rng.uniform(200.0, 2000.0)});
+  }
+  EXPECT_EQ(context.metrics().snapshot().find("gh_solver_repairs_total"),
+            nullptr);
+}
 
 }  // namespace
 }  // namespace greenhetero

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
+#include "util/csv.h"
 #include "trace/heterogeneity.h"
 #include "trace/load_pattern.h"
 #include "trace/solar.h"
@@ -74,6 +76,32 @@ TEST(PowerTrace, CsvRoundTrip) {
   ASSERT_EQ(back.size(), t.size());
   EXPECT_DOUBLE_EQ(back.interval().value(), 15.0);
   EXPECT_DOUBLE_EQ(back.sample(2).value(), 200.0);
+  std::filesystem::remove(path);
+}
+
+TEST(PowerTrace, CsvLoadRejectsCorruptRows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "greenhetero_bad_trace.csv";
+  const auto write = [&](const char* body) {
+    std::ofstream out(path);
+    out << body;
+  };
+
+  write("minute,watts\n0,100\n15,nan\n30,120\n");
+  EXPECT_THROW((void)PowerTrace::load_csv(path), CsvError);
+
+  write("minute,watts\n0,100\n15,-5\n30,120\n");
+  EXPECT_THROW((void)PowerTrace::load_csv(path), TraceError);
+
+  write("minute,watts\n0,100\n30,110\n15,120\n");
+  EXPECT_THROW((void)PowerTrace::load_csv(path), TraceError);
+
+  write("minute,watts\n0,100\n15,110\n37,120\n");
+  EXPECT_THROW((void)PowerTrace::load_csv(path), TraceError);
+
+  write("minute,watts\n0,100\n");
+  EXPECT_THROW((void)PowerTrace::load_csv(path), TraceError);
+
   std::filesystem::remove(path);
 }
 

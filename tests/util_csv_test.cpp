@@ -94,5 +94,13 @@ TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(CsvTable::load("/nonexistent/path.csv"), CsvError);
 }
 
+TEST(Csv, NonFiniteCellsAreRejected) {
+  const CsvTable t = CsvTable::parse("a\nnan\ninf\n-inf\n1.5\n");
+  EXPECT_THROW((void)t.number(0, 0), CsvError);
+  EXPECT_THROW((void)t.number(1, 0), CsvError);
+  EXPECT_THROW((void)t.number(2, 0), CsvError);
+  EXPECT_DOUBLE_EQ(t.number(3, 0), 1.5);
+}
+
 }  // namespace
 }  // namespace greenhetero

@@ -3,14 +3,14 @@
 //   greenhetero simulate  [--policy P] [--workload W] [--comb CombN]
 //                         [--days N] [--trace high|low] [--capacity W]
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
-//                         [--seed S] [--csv FILE]
+//                         [--seed S] [--csv FILE] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--metrics-out FILE]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
 //   greenhetero solve     [--workload W] [--budget W] [--comb CombN]
 //   greenhetero traces    [--trace high|low|load|wind] [--days N]
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
-//                         [--mode static|proportional]
+//                         [--mode static|proportional] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--metrics-out FILE]
 //   greenhetero info      (servers, workloads, combinations)
 //
@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/policies.h"
+#include "faults/fault_plan.h"
 #include "fleet/fleet.h"
 #include "power/carbon.h"
 #include "server/combinations.h"
@@ -140,6 +141,12 @@ int cmd_simulate(const Args& args) {
   SimConfig cfg;
   cfg.controller.policy = policy;
   cfg.controller.seed = seed;
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) {
+    cfg.faults = FaultPlan::load_csv(faults);
+    std::printf("fault plan: %zu event(s) from %s\n", cfg.faults.size(),
+                faults.c_str());
+  }
   cfg.demand_trace =
       generate_load_trace(LoadPatternModel{}, rack.peak_demand(),
                           days + 1, seed);
@@ -310,6 +317,14 @@ int cmd_fleet(const Args& args) {
                                  ? GridShareMode::kStatic
                                  : GridShareMode::kDemandProportional;
 
+  FaultPlan fault_plan;
+  const std::string faults = args.get("faults", "");
+  if (!faults.empty()) {
+    fault_plan = FaultPlan::load_csv(faults);
+    std::printf("fault plan: %zu event(s) from %s (every rack)\n",
+                fault_plan.size(), faults.c_str());
+  }
+
   std::vector<RackSimulator> sims;
   for (int i = 0; i < racks; ++i) {
     // Solar provisioning spread linearly around 1.8 kW by +/- asymmetry.
@@ -320,6 +335,7 @@ int cmd_fleet(const Args& args) {
     SimConfig cfg;
     cfg.controller.policy = PolicyKind::kGreenHetero;
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
+    cfg.faults = fault_plan;
     sims.emplace_back(
         std::move(rack),
         make_standard_plant(
