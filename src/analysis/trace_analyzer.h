@@ -1,0 +1,132 @@
+// Offline trace analytics behind `greenhetero analyze`.
+//
+// Consumes the JSONL traces the telemetry layer writes (schema v2: a header
+// line, then one event object per line) and produces three views:
+//
+//  - an EPU loss breakdown: per-bucket epoch-mean watts and supply shares
+//    from "loss_ledger" events when the run recorded them (--ledger), with
+//    a coarser summary derived from the always-present "epoch_plan" events
+//    otherwise;
+//  - a fault timeline: every "fault_inject" / "degrade" / "recover" event,
+//    correlated with the fault-bucket watts (or, without a ledger, the
+//    shortfall) of the epoch it landed in;
+//  - per-phase control-loop latency percentiles from "span" events
+//    (--spans runs only).
+//
+// diff() compares two analyses — typically a fresh run against a committed
+// baseline — and reports per-bucket share deltas plus the EPU delta;
+// exceeds_threshold() is the CI gate's exit-code policy.
+//
+// Loading is strict: a missing or unknown-version schema header is an
+// AnalyzerError, not a guess (satellite: analyze rejects traces newer than
+// the binary understands).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace greenhetero::analysis {
+
+class AnalyzerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed trace: schema version from the header plus every event object
+/// in file order.
+struct TraceData {
+  int schema_version = 0;
+  std::vector<json::Value> events;
+};
+
+/// Parse a JSONL trace file.  Throws AnalyzerError on I/O failure, a
+/// missing/foreign header line, an unsupported schema version, or a line
+/// that does not parse as a JSON object.
+[[nodiscard]] TraceData load_trace(const std::filesystem::path& path);
+
+/// One loss bucket's epoch-mean watts and share of mean supply.
+struct BucketStat {
+  std::string name;
+  double mean_w = 0.0;
+  double share = 0.0;
+};
+
+struct EpuBreakdown {
+  /// True when "loss_ledger" events were present (full attribution);
+  /// false when only the "epoch_plan" fallback summary is available.
+  bool from_ledger = false;
+  std::size_t epochs = 0;
+  double mean_supply_w = 0.0;   ///< ledger only
+  double mean_useful_w = 0.0;   ///< ledger only
+  double epu = 0.0;             ///< ledger: useful/supply; else mean epoch EPU
+  std::vector<BucketStat> buckets;  ///< ledger only, enum order
+  double mean_shortfall_w = 0.0;
+  double mean_grid_w = 0.0;
+};
+
+/// One fault-timeline entry, in trace order.
+struct FaultEntry {
+  double t_min = 0.0;
+  int rack_id = 0;
+  std::string label;  ///< e.g. "server_crash begins", "degrade normal->safe"
+  /// Fault-bucket watts of the epoch the event landed in (ledger runs), or
+  /// that epoch's shortfall (fallback); NaN when no epoch record matched.
+  double correlated_w = 0.0;
+  bool correlated_is_fault_bucket = false;
+};
+
+/// Exact-sample latency percentiles for one span name.
+struct PhaseLatency {
+  std::string name;
+  std::size_t count = 0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+struct TraceAnalysis {
+  int schema_version = 0;
+  std::size_t event_count = 0;
+  EpuBreakdown epu;
+  std::vector<FaultEntry> faults;
+  std::vector<PhaseLatency> latencies;  ///< sorted by name
+};
+
+[[nodiscard]] TraceAnalysis analyze(const TraceData& trace);
+
+/// Human-readable report (the `greenhetero analyze` output).
+void print_report(std::ostream& out, const TraceAnalysis& analysis);
+
+/// Per-bucket comparison of two analyses ("other" vs. "base").
+struct BucketDelta {
+  std::string name;
+  double base_share = 0.0;
+  double other_share = 0.0;
+  [[nodiscard]] double delta() const { return other_share - base_share; }
+};
+
+struct DiffResult {
+  double base_epu = 0.0;
+  double other_epu = 0.0;
+  std::vector<BucketDelta> buckets;
+  [[nodiscard]] double epu_delta() const { return other_epu - base_epu; }
+};
+
+[[nodiscard]] DiffResult diff(const TraceAnalysis& base,
+                              const TraceAnalysis& other);
+
+void print_diff(std::ostream& out, const DiffResult& result,
+                double threshold);
+
+/// CI gate: true when |EPU delta| or any bucket-share delta exceeds
+/// `threshold` (both dimensionless fractions).
+[[nodiscard]] bool exceeds_threshold(const DiffResult& result,
+                                     double threshold);
+
+}  // namespace greenhetero::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/probe.h"
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 #include "util/logging.h"
 
@@ -45,6 +46,7 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
                                             const RackPowerPlant& plant,
                                             Minutes now, Watts demand_hint) {
   GH_PROBE("gh_plan_epoch_ns");
+  GH_SPAN("plan");
   EpochPlan plan;
   if (needs_training(rack)) {
     // Algorithm 1 lines 3-5: unseen pair -> training run under ample power.
@@ -62,6 +64,7 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
 
   {
     GH_PROBE("gh_predict_ns");
+    GH_SPAN("predict");
     plan.predicted_renewable =
         supply_predictor_->ready()
             ? Watts{std::max(0.0, supply_predictor_->predict())}
@@ -74,8 +77,11 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
   // Never plan beyond what the servers can use.
   plan.predicted_demand = min(plan.predicted_demand, rack.peak_demand());
 
-  plan.source = selector_.decide(plan.predicted_renewable,
-                                 plan.predicted_demand, plant, config_.epoch);
+  {
+    GH_SPAN("select_source");
+    plan.source = selector_.decide(plan.predicted_renewable,
+                                   plan.predicted_demand, plant, config_.epoch);
+  }
   last_solver_failed_ = false;
   if (plan.source.server_budget.value() > 1e-6) {
     if (health_.safe_mode()) {
@@ -89,6 +95,7 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
       }
     } else {
       GH_PROBE("gh_policy_allocate_ns");
+      GH_SPAN("solve");
       try {
         plan.allocation =
             policy_->allocate(rack, db_, plan.source.server_budget);
@@ -115,6 +122,15 @@ EpochPlan GreenHeteroController::plan_epoch(const Rack& rack,
   }
   last_budget_ = plan.source.server_budget;
   last_allocation_ = plan.allocation;
+  // The prediction layer owns the forecast, so it posts the plan the loss
+  // ledger judges prediction error against: the renewable forecast and the
+  // green share of the server budget (budget minus planned grid supply).
+  if (telemetry::LossLedger* ledger = telemetry::loss_ledger()) {
+    ledger->set_plan(
+        plan.predicted_renewable.value(),
+        std::max(0.0,
+                 (plan.source.server_budget - plan.source.from_grid).value()));
+  }
   GH_DEBUG << "epoch @" << now.value() << "min: case "
            << to_string(plan.source.source_case) << ", budget "
            << plan.source.server_budget.value() << "W";
@@ -161,6 +177,7 @@ void GreenHeteroController::record_training(
 void GreenHeteroController::finish_epoch(const Rack& rack,
                                          const EpochFeedback& feedback) {
   GH_PROBE("gh_finish_epoch_ns");
+  GH_SPAN("feedback");
   supply_history_.push_back(feedback.observed_renewable.value());
   demand_history_.push_back(feedback.observed_demand.value());
   // Holt-Winters needs more than one full season replayed to be ready, so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/span.h"
 #include "telemetry/telemetry.h"
 
 namespace greenhetero {
@@ -9,6 +10,7 @@ namespace greenhetero {
 std::vector<Watts> Enforcer::apply_allocation(Rack& rack,
                                               const Allocation& allocation,
                                               Watts budget) {
+  GH_SPAN("enforce");
   if (allocation.ratios.size() != rack.group_count()) {
     throw RackError("enforcer: allocation size must match rack groups");
   }
@@ -83,6 +85,39 @@ StepPlan Enforcer::plan_step(const SourceDecision& decision,
       max(Watts{0.0},
           renewable - flows.renewable_to_load - flows.renewable_to_battery);
   return plan;
+}
+
+telemetry::StepGaps Enforcer::attribute_gaps(
+    const Rack& rack, std::span<const Watts> group_power) {
+  telemetry::StepGaps gaps;
+  const std::size_t n = std::min(rack.group_count(), group_power.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double budget = group_power[i].value();
+    const double gap = budget - rack.group_draw(i).value();
+    if (gap <= 0.0) continue;
+    const ServerSim& rep = rack.group_representative(i);
+    if (!rack.group_online(i) || rep.stuck_state().has_value() ||
+        rep.actuation_offset().value() != 0.0) {
+      gaps.fault_w += gap;
+      continue;
+    }
+    const auto count = static_cast<double>(rack.group(i).count);
+    const PerfCurve& curve = rack.group_curve(i);
+    const double per_server = budget / count;
+    if (per_server < curve.idle_power().value()) {
+      gaps.idle_floor_w += gap;
+      continue;
+    }
+    const double clamp =
+        std::min(gap, std::max(0.0, budget - curve.peak_power().value() * count));
+    gaps.solver_clamp_w += clamp;
+    // The ladder owns the quantization estimate; anything the clamp and the
+    // ladder cannot explain (e.g. RAPL enforcement lag) stays unclaimed.
+    const double quantized =
+        rep.ladder().quantization_gap(Watts{per_server}).value() * count;
+    gaps.dvfs_quantization_w += std::min(gap - clamp, quantized);
+  }
+  return gaps;
 }
 
 }  // namespace greenhetero

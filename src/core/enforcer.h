@@ -19,6 +19,7 @@
 #include "core/source_selector.h"
 #include "power/power_bus.h"
 #include "server/rack.h"
+#include "telemetry/ledger.h"
 #include "util/units.h"
 
 namespace greenhetero {
@@ -46,6 +47,16 @@ class Enforcer {
                                           Watts load_draw,
                                           const RackPowerPlant& plant,
                                           Minutes dt);
+
+  /// Loss attribution: classify each group's budget-vs-draw gap into the
+  /// EPU ledger's candidate causes.  A faulted group (offline, DVFS stuck,
+  /// actuation offset) claims its whole gap; a group budgeted below its
+  /// per-server idle floor sleeps by design (idle-floor); the part of an
+  /// allocation beyond the group's peak is the solver's clamp; what the
+  /// DVFS ladder then rounds away is quantization.  These are *candidates*
+  /// — the ledger only charges them against power actually curtailed.
+  [[nodiscard]] static telemetry::StepGaps attribute_gaps(
+      const Rack& rack, std::span<const Watts> group_power);
 };
 
 }  // namespace greenhetero

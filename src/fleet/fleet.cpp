@@ -159,6 +159,7 @@ MetricsSnapshot Fleet::metrics_snapshot() const {
 }
 
 void Fleet::write_trace_jsonl(std::ostream& out) const {
+  out << tel::trace_header_json() << '\n';
   // Gather (time, rack, event pointer) and stable-sort so events within one
   // rack keep their emission order.
   std::vector<const tel::TraceEvent*> events;
@@ -189,6 +190,28 @@ void Fleet::save_trace_jsonl(const std::filesystem::path& path) const {
                      path.string());
   }
   write_trace_jsonl(out);
+}
+
+void Fleet::write_chrome_spans(std::ostream& out) const {
+  std::vector<tel::SpanRecord> merged;
+  for (const tel::SpanRecord& s : telemetry_->spans().records()) {
+    merged.push_back(s);
+  }
+  for (const RackSimulator& rack : racks_) {
+    for (const tel::SpanRecord& s : rack.telemetry().spans().records()) {
+      merged.push_back(s);
+    }
+  }
+  tel::write_chrome_trace(out, merged);
+}
+
+void Fleet::save_chrome_spans(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw FleetError("fleet: cannot open spans output file: " +
+                     path.string());
+  }
+  write_chrome_spans(out);
 }
 
 }  // namespace greenhetero

@@ -96,9 +96,15 @@ class Fleet {
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
 
   /// Merged trace across the coordinator and every rack, ordered by
-  /// (sim time, rack id) — one JSON object per line.
+  /// (sim time, rack id) — a schema header line, then one JSON object per
+  /// line.
   void write_trace_jsonl(std::ostream& out) const;
   void save_trace_jsonl(const std::filesystem::path& path) const;
+
+  /// Merged control-loop spans from every rack (and the coordinator) as one
+  /// Chrome trace_event JSON file; each rack renders as its own process row.
+  void write_chrome_spans(std::ostream& out) const;
+  void save_chrome_spans(const std::filesystem::path& path) const;
 
  private:
   std::vector<RackSimulator> racks_;

@@ -41,6 +41,18 @@ class EnergyLedger {
     return grid_to_load_ + grid_to_bat_;
   }
 
+  [[nodiscard]] WattHours battery_charge_energy() const {
+    return ren_to_bat_ + grid_to_bat_;
+  }
+  /// Energy-domain counterpart of the EPU ledger's battery_round_trip
+  /// bucket: the share of all charging energy the given round-trip
+  /// efficiency destroys.  Tests cross-check the per-epoch watt ledger
+  /// against this run-level integral.
+  [[nodiscard]] WattHours battery_round_trip_loss(
+      double round_trip_efficiency) const {
+    return battery_charge_energy() * (1.0 - round_trip_efficiency);
+  }
+
   /// Fraction of produced renewable energy that reached the load or battery.
   [[nodiscard]] double renewable_utilization() const;
 

@@ -91,6 +91,13 @@ class RackPowerPlant {
   void set_battery_fault_derate(double fraction) {
     battery_.set_fault_derate(fraction);
   }
+  /// True while any supply-side fault is active (solar/grid outage, battery
+  /// derate) — the EPU ledger then books shortfall as fault-induced rather
+  /// than a grid-budget-cap effect.
+  [[nodiscard]] bool source_fault_active() const {
+    return solar_.in_outage() || grid_.in_outage() ||
+           battery_.fault_derate() > 0.0;
+  }
 
   /// Validate and apply one step's flows at elapsed time `t` for `dt`.
   /// The plan's `renewable_curtailed` is recomputed here as the residual of

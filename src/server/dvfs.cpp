@@ -42,6 +42,12 @@ int DvfsLadder::state_for_budget(Watts budget) const {
   return std::min(state, operating_states_);
 }
 
+Watts DvfsLadder::quantization_gap(Watts budget) const {
+  const int state = state_for_budget(budget);
+  if (state == kOffState) return Watts{0.0};
+  return max(Watts{0.0}, budget - state_power(state));
+}
+
 double DvfsLadder::frequency_fraction(int state) const {
   if (state <= 1) return 0.0;
   return static_cast<double>(state - 1) /

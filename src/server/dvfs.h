@@ -43,6 +43,13 @@ class DvfsLadder {
   /// for the lowest operating state, 1 for the top state.
   [[nodiscard]] double frequency_fraction(int state) const;
 
+  /// Watts of `budget` lost to state quantization: the gap between the
+  /// budget and the draw of the state enforcement would pick.  Zero when the
+  /// budget lands exactly on a state, and zero below the idle floor — that
+  /// whole budget is the idle-floor loss bucket's business, not
+  /// quantization's.
+  [[nodiscard]] Watts quantization_gap(Watts budget) const;
+
  private:
   Watts idle_power_;
   Watts peak_power_;

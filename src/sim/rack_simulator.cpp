@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "telemetry/probe.h"
+#include "telemetry/span.h"
 #include "util/logging.h"
 
 namespace greenhetero {
@@ -300,10 +301,16 @@ EpochRecord RackSimulator::step_epoch() {
   const TelemetryScope scope(config_.telemetry.enabled ? telemetry_.get()
                                                        : nullptr);
   GH_PROBE("gh_step_epoch_ns");
+  GH_SPAN("epoch");
   const Minutes epoch_start = clock_.now();
   telemetry_->set_now(epoch_start);
   apply_due_faults(epoch_start);
   apply_workload_schedule(epoch_start);
+  // Open the loss ledger after the workload switch (peak_demand must be
+  // current) and before plan_epoch (the controller posts the plan).
+  if (tel::LossLedger* loss = tel::loss_ledger()) {
+    loss->begin_epoch(epoch_start.value(), rack_.peak_demand().value());
+  }
   const Watts demand_hint = demand_at(epoch_start);
   const EpochPlan plan =
       controller_.plan_epoch(rack_, plant_, epoch_start, demand_hint);
@@ -355,6 +362,22 @@ void RackSimulator::record_epoch_telemetry(const EpochRecord& record) {
            {"battery_soc", record.battery_soc},
            {"grid_w", record.grid_power.value()},
            {"shortfall_w", record.shortfall.value()}});
+  tel::LossLedger* loss = tel::loss_ledger();
+  if (loss != nullptr && loss->epoch_open()) {
+    const tel::EpochLossRecord epoch = loss->end_epoch();
+    m.counter("gh_loss_epochs_total").increment();
+    m.gauge("gh_loss_invariant_error_w").set(epoch.invariant_error_w());
+    tel::TraceFields fields{{"supply_w", epoch.supply_w},
+                            {"useful_w", epoch.useful_w},
+                            {"epu", epoch.epu()}};
+    for (tel::LossBucket b : tel::all_loss_buckets()) {
+      const double watts = epoch.bucket(b);
+      m.gauge("gh_loss_w", {{"bucket", std::string(tel::to_string(b))}})
+          .set(watts);
+      fields.emplace_back(std::string(tel::to_string(b)) + "_w", watts);
+    }
+    t->emit("loss_ledger", std::move(fields));
+  }
 }
 
 void RackSimulator::set_grid_budget(Watts budget) {
@@ -393,39 +416,49 @@ void RackSimulator::run_training_epoch(const EpochPlan& plan,
   decision.from_battery = plant_.battery_discharge_available(clock_.substep_length());
   decision.from_grid = plant_.grid_budget();
   decision.server_budget = plan.source.server_budget;
+  // The controller skips planning for training epochs, so the simulator
+  // posts the ledger plan itself: no forecast, and the green share is the
+  // budget minus the grid standing by underneath it.
+  if (tel::LossLedger* loss = tel::loss_ledger()) {
+    loss->set_plan(
+        0.0, std::max(0.0, (decision.server_budget - decision.from_grid).value()));
+  }
 
   EpochStats stats;
   GH_PROBE("gh_substep_loop_ns");
-  const auto substeps = clock_.substeps_per_epoch();
-  for (std::size_t s = 0; s < substeps; ++s) {
-    const double elapsed =
-        static_cast<double>(s) * clock_.substep_length().value();
-    std::vector<Watts> budgets(rack_.group_count());
-    const bool in_training = elapsed < cc.training_duration.value();
-    const auto sample_idx = std::min(
-        sweep.size() - 1,
-        static_cast<std::size_t>(elapsed /
-                                 cc.training_sample_interval.value()));
-    const double fraction = in_training ? sweep[sample_idx] : 1.0;
-    for (std::size_t i = 0; i < rack_.group_count(); ++i) {
-      const PerfCurve& curve = rack_.group_curve(i);
-      const Watts per_server =
-          curve.idle_power() +
-          (curve.peak_power() - curve.idle_power()) * fraction;
-      budgets[i] = (per_server + Watts{0.01}) *
-                   static_cast<double>(rack_.group(i).count);
-    }
-    rack_.enforce_allocation(budgets);
-    // Sample at the end of each profiling interval.
-    if (in_training &&
-        std::fmod(elapsed + clock_.substep_length().value(),
-                  cc.training_sample_interval.value()) < 1e-9) {
+  {
+    GH_SPAN("substeps");
+    const auto substeps = clock_.substeps_per_epoch();
+    for (std::size_t s = 0; s < substeps; ++s) {
+      const double elapsed =
+          static_cast<double>(s) * clock_.substep_length().value();
+      std::vector<Watts> budgets(rack_.group_count());
+      const bool in_training = elapsed < cc.training_duration.value();
+      const auto sample_idx = std::min(
+          sweep.size() - 1,
+          static_cast<std::size_t>(elapsed /
+                                   cc.training_sample_interval.value()));
+      const double fraction = in_training ? sweep[sample_idx] : 1.0;
       for (std::size_t i = 0; i < rack_.group_count(); ++i) {
-        samples[i].push_back(controller_.monitor().sample_group(rack_, i));
+        const PerfCurve& curve = rack_.group_curve(i);
+        const Watts per_server =
+            curve.idle_power() +
+            (curve.peak_power() - curve.idle_power()) * fraction;
+        budgets[i] = (per_server + Watts{0.01}) *
+                     static_cast<double>(rack_.group(i).count);
       }
+      rack_.enforce_allocation(budgets);
+      // Sample at the end of each profiling interval.
+      if (in_training &&
+          std::fmod(elapsed + clock_.substep_length().value(),
+                    cc.training_sample_interval.value()) < 1e-9) {
+        for (std::size_t i = 0; i < rack_.group_count(); ++i) {
+          samples[i].push_back(controller_.monitor().sample_group(rack_, i));
+        }
+      }
+      execute_substep(decision, budgets, stats);
+      clock_.advance_substep();
     }
-    execute_substep(decision, budgets, stats);
-    clock_.advance_substep();
   }
 
   for (std::size_t i = 0; i < rack_.group_count(); ++i) {
@@ -488,10 +521,13 @@ void RackSimulator::run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
 
   EpochStats stats;
   GH_PROBE("gh_substep_loop_ns");
-  const auto substeps = clock_.substeps_per_epoch();
-  for (std::size_t s = 0; s < substeps; ++s) {
-    execute_substep(plan.source, group_power, stats);
-    clock_.advance_substep();
+  {
+    GH_SPAN("substeps");
+    const auto substeps = clock_.substeps_per_epoch();
+    for (std::size_t s = 0; s < substeps; ++s) {
+      execute_substep(plan.source, group_power, stats);
+      clock_.advance_substep();
+    }
   }
 
   record.actual_renewable = Watts{stats.mean(stats.renewable_sum)};
@@ -560,6 +596,22 @@ PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
 
   const PowerFlows flows = plant_.execute(step.flows, now, dt);
   ledger_.post(flows, dt);
+
+  if (tel::LossLedger* loss = tel::loss_ledger()) {
+    tel::LossLedger::StepInputs in;
+    in.renewable_w = flows.renewable_total().value();
+    in.battery_to_load_w = flows.battery_to_load.value();
+    in.grid_to_load_w = flows.grid_to_load.value();
+    in.renewable_to_battery_w = flows.renewable_to_battery.value();
+    in.grid_to_battery_w = flows.grid_to_battery.value();
+    in.curtailed_w = flows.renewable_curtailed.value();
+    in.load_w = flows.load().value();
+    in.shortfall_w = step.shortfall.value();
+    in.round_trip_efficiency = plant_.battery().round_trip_efficiency();
+    in.source_fault_active = plant_.source_fault_active();
+    in.gaps = Enforcer::attribute_gaps(rack_, group_power);
+    loss->post_step(in);
+  }
 
   rack_.accumulate(dt);
   stats.observe(flows, renewable, rack_.total_throughput(), step.shortfall);

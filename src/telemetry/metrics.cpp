@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "telemetry/tracing.h"
 
@@ -66,6 +67,77 @@ std::span<const double> watt_buckets() {
       1.0,   2.0,   5.0,    10.0,   20.0,   50.0,
       100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
   return kBuckets;
+}
+
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> buckets, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0 || bounds.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto below = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) return bounds.back();  // +Inf bucket: clamp
+    const double upper = bounds[i];
+    const double lower =
+        i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    const double frac = std::clamp(
+        (rank - below) / static_cast<double>(buckets[i]), 0.0, 1.0);
+    return lower + (upper - lower) * frac;
+  }
+  return bounds.back();
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, counts_, q);
+}
+
+std::span<const std::string_view> builtin_metrics() {
+  static constexpr std::array<std::string_view, 36> kCatalog = {
+      "gh_battery_soc",
+      "gh_db_quarantined_total",
+      "gh_db_refit_ns",
+      "gh_db_samples_total",
+      "gh_degraded_substeps_total",
+      "gh_enforcements_total",
+      "gh_epochs_total",
+      "gh_faults_injected_total",
+      "gh_finish_epoch_ns",
+      "gh_fleet_epochs_total",
+      "gh_health_state",
+      "gh_health_transitions_total",
+      "gh_holt_retrain_ns",
+      "gh_loss_epochs_total",
+      "gh_loss_invariant_error_w",
+      "gh_loss_w",
+      "gh_plan_epoch_ns",
+      "gh_policy_allocate_ns",
+      "gh_predict_ns",
+      "gh_predictor_retrains_total",
+      "gh_pretrain_ns",
+      "gh_renewable_prediction_error_w",
+      "gh_safe_mode_epochs_total",
+      "gh_solver_calls_total",
+      "gh_solver_failures_total",
+      "gh_solver_repairs_total",
+      "gh_solver_solve_grid_ns",
+      "gh_solver_solve_n_ns",
+      "gh_solver_solve_ns",
+      "gh_solver_solve_subset_ns",
+      "gh_source_decisions_total",
+      "gh_spans_dropped_total",
+      "gh_step_epoch_ns",
+      "gh_substep_loop_ns",
+      "gh_substeps_total",
+      "gh_training_epochs_total",
+  };
+  return kCatalog;
 }
 
 std::string_view to_string(MetricKind kind) {
@@ -198,6 +270,74 @@ std::string MetricsSnapshot::to_json() const {
     out += '}';
   }
   out += "]}";
+  return out;
+}
+
+std::string format_duration_ns(double ns) {
+  if (std::isnan(ns)) return "-";
+  const double abs = std::fabs(ns);
+  char buf[48];
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+namespace {
+
+/// "3.1us" for *_ns series, plain format_number otherwise.
+std::string human_value(const std::string& name, double value) {
+  if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    return format_duration_ns(value);
+  }
+  return format_number(value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_human() const {
+  std::size_t name_width = 4;
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const SnapshotEntry& e : entries) {
+    std::string display = e.name;
+    append_label_set(display, e.labels);
+    name_width = std::max(name_width, display.size());
+    names.push_back(std::move(display));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SnapshotEntry& e = entries[i];
+    out += names[i];
+    out.append(name_width + 2 - names[i].size(), ' ');
+    out += to_string(e.kind);
+    out.append(11 - to_string(e.kind).size(), ' ');
+    if (e.kind == MetricKind::kHistogram) {
+      out += "count=" + format_number(static_cast<double>(e.count));
+      out += " mean=" +
+             human_value(e.name,
+                         e.count > 0 ? e.sum / static_cast<double>(e.count)
+                                     : 0.0);
+      for (const auto& [label, q] :
+           {std::pair<const char*, double>{"p50", 0.5},
+            {"p90", 0.9},
+            {"p99", 0.99}}) {
+        out += ' ';
+        out += label;
+        out += '=';
+        out += human_value(e.name, histogram_quantile(e.bounds, e.buckets, q));
+      }
+    } else {
+      out += human_value(e.name, e.value);
+    }
+    out += '\n';
+  }
   return out;
 }
 

@@ -78,6 +78,12 @@ class Histogram {
   [[nodiscard]] double mean() const {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
+  /// q-quantile estimate (q in [0,1]) by linear interpolation over the
+  /// cumulative bucket counts, Prometheus histogram_quantile style: the
+  /// answer lands inside the bucket containing rank q*count, interpolated
+  /// between its edges.  NaN when empty; the +Inf bucket clamps to the
+  /// largest finite bound.
+  [[nodiscard]] double quantile(double q) const;
   void reset();
 
  private:
@@ -93,6 +99,21 @@ class Histogram {
 
 /// Default bounds for power prediction errors (watts, decade steps).
 [[nodiscard]] std::span<const double> watt_buckets();
+
+/// The interpolation underlying Histogram::quantile, usable on snapshot
+/// payloads (bounds + per-bucket counts) after the live histogram is gone.
+[[nodiscard]] double histogram_quantile(std::span<const double> bounds,
+                                        std::span<const std::uint64_t> buckets,
+                                        double q);
+
+/// "742ns" / "3.1us" / "12ms" / "1.5s" — scaled display of a nanosecond
+/// duration, shared by the human metrics dump and the analyzer tables.
+[[nodiscard]] std::string format_duration_ns(double ns);
+
+/// Names of every metric the stack itself registers (sorted).  `greenhetero
+/// info` reports the catalog size so users can tell a quiet run from a
+/// -DGH_TELEMETRY=OFF build.
+[[nodiscard]] std::span<const std::string_view> builtin_metrics();
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
@@ -120,6 +141,8 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_prometheus() const;
   /// One JSON object per series under a top-level "metrics" array.
   [[nodiscard]] std::string to_json() const;
+  /// Aligned human-readable table; histograms show count/mean/p50/p90/p99.
+  [[nodiscard]] std::string to_human() const;
 };
 
 class MetricsRegistry {

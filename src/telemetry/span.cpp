@@ -1,0 +1,142 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/tracing.h"
+#include "util/logging.h"
+
+namespace greenhetero::telemetry {
+
+SpanCollector::SpanCollector(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("span collector: capacity must be positive");
+  }
+}
+
+int SpanCollector::begin() { return open_depth_++; }
+
+void SpanCollector::end(SpanRecord record) {
+  if (open_depth_ > 0) --open_depth_;
+  if (records_.size() >= capacity_) {
+    if (dropped_ == 0) {
+      GH_WARN << "span collector full (capacity " << capacity_
+              << "): further spans are being dropped";
+    }
+    ++dropped_;
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+void SpanCollector::clear() {
+  open_depth_ = 0;
+  dropped_ = 0;
+  records_.clear();
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const SpanRecord> spans) {
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  std::int64_t origin = 0;
+  for (const SpanRecord& s : spans) {
+    if (ordered.empty() || s.wall_begin_ns < origin) origin = s.wall_begin_ns;
+    ordered.push_back(&s);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->wall_begin_ns != b->wall_begin_ns) {
+                       return a->wall_begin_ns < b->wall_begin_ns;
+                     }
+                     return a->depth < b->depth;
+                   });
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord* s : ordered) {
+    std::string line;
+    if (!first) line += ',';
+    first = false;
+    line += "\n{\"ph\":\"X\",\"cat\":\"greenhetero\",\"name\":";
+    append_json_escaped(line, s->name);
+    line += ",\"pid\":";
+    line += format_number(static_cast<double>(s->rack_id));
+    line += ",\"tid\":0,\"ts\":";
+    line +=
+        format_number(static_cast<double>(s->wall_begin_ns - origin) / 1e3);
+    line += ",\"dur\":";
+    line += format_number(static_cast<double>(s->wall_dur_ns) / 1e3);
+    line += ",\"args\":{\"depth\":";
+    line += format_number(static_cast<double>(s->depth));
+    line += ",\"sim_begin_min\":";
+    line += format_number(s->sim_begin_min);
+    line += ",\"sim_end_min\":";
+    line += format_number(s->sim_end_min);
+    line += "}}";
+    out << line;
+  }
+  out << "\n]}\n";
+}
+
+void SpanCollector::write_chrome_trace(std::ostream& out) const {
+  telemetry::write_chrome_trace(out, records_);
+}
+
+void SpanCollector::save_chrome_trace(
+    const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("span collector: cannot open '" + path.string() +
+                             "' for writing");
+  }
+  write_chrome_trace(out);
+}
+
+#if GH_TELEMETRY_ENABLED
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  Telemetry* t = current();
+  if (t == nullptr || !t->config().spans) return;
+  sink_ = t;
+  depth_ = t->spans().begin();
+  sim_begin_min_ = t->now().value();
+  wall_begin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ == nullptr) return;
+  const std::int64_t wall_end_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  SpanRecord record;
+  record.name = name_;
+  record.rack_id = sink_->rack_id();
+  record.depth = depth_;
+  record.sim_begin_min = sim_begin_min_;
+  record.sim_end_min = sink_->now().value();
+  record.wall_begin_ns = wall_begin_ns_;
+  record.wall_dur_ns = wall_end_ns - wall_begin_ns_;
+  // Mirror into the JSONL trace so the analyzer sees one merged stream
+  // (spans are opt-in precisely because wall time is non-deterministic).
+  sink_->emit("span", {{"name", name_},
+                       {"depth", depth_},
+                       {"t0", sim_begin_min_},
+                       {"dur_ns", record.wall_dur_ns}});
+  const std::uint64_t dropped_before = sink_->spans().dropped();
+  sink_->spans().end(std::move(record));
+  if (sink_->spans().dropped() > dropped_before) {
+    sink_->metrics().counter("gh_spans_dropped_total").increment();
+  }
+}
+
+#endif  // GH_TELEMETRY_ENABLED
+
+}  // namespace greenhetero::telemetry

@@ -1,0 +1,111 @@
+// Nested span tracing for the control loop.
+//
+//   void GreenHeteroController::plan_epoch(...) {
+//     GH_SPAN("plan");
+//     ...
+//   }
+//
+// A span records both clocks: simulation minutes (when in the scenario the
+// phase ran) and wall nanoseconds (how long it took), plus its nesting
+// depth, so the predict -> select-source -> solve -> enforce -> substeps
+// hierarchy reconstructs as a flamegraph.  Completed spans are appended to
+// the ambient Telemetry's SpanCollector and mirrored into the JSONL trace
+// as "span" events; the collector exports the whole stream in the Chrome
+// trace_event JSON format, loadable in chrome://tracing or Perfetto.
+//
+// Spans are opt-in at runtime (TelemetryConfig::spans, default off — wall
+// time would break golden-trace byte-determinism) and compile to (void)0
+// under -DGH_TELEMETRY=OFF, exactly like GH_PROBE.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace greenhetero::telemetry {
+
+struct SpanRecord {
+  std::string name;
+  int rack_id = 0;
+  int depth = 0;  ///< nesting level at begin (0 = root)
+  double sim_begin_min = 0.0;
+  double sim_end_min = 0.0;
+  std::int64_t wall_begin_ns = 0;  ///< steady-clock, normalised on export
+  std::int64_t wall_dur_ns = 0;
+};
+
+/// Bounded store of completed spans (oldest kept; overflow counted, not
+/// stored — a capped collector never reallocates under the control loop).
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = std::size_t{1} << 16);
+
+  /// Open a span: returns the depth the span runs at.
+  int begin();
+  /// Close the innermost span and store `record` (drops when full).
+  void end(SpanRecord record);
+
+  [[nodiscard]] int open_depth() const { return open_depth_; }
+  [[nodiscard]] const std::vector<SpanRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  void write_chrome_trace(std::ostream& out) const;
+  void save_chrome_trace(const std::filesystem::path& path) const;
+
+ private:
+  std::size_t capacity_;
+  int open_depth_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<SpanRecord> records_;
+};
+
+/// Chrome trace_event export ("X" complete events, microsecond timestamps
+/// normalised to the earliest span; pid = rack id).  Free function so the
+/// fleet can merge several racks' streams into one file.
+void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> spans);
+
+}  // namespace greenhetero::telemetry
+
+#if GH_TELEMETRY_ENABLED
+
+namespace greenhetero::telemetry {
+
+class Telemetry;  // defined in telemetry/telemetry.h
+
+/// RAII span tied to the ambient Telemetry; inert when there is no ambient
+/// context or spans are disabled in its config.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Telemetry* sink_ = nullptr;
+  const char* name_;
+  int depth_ = 0;
+  double sim_begin_min_ = 0.0;
+  std::int64_t wall_begin_ns_ = 0;
+};
+
+}  // namespace greenhetero::telemetry
+
+#define GH_SPAN_CONCAT2(a, b) a##b
+#define GH_SPAN_CONCAT(a, b) GH_SPAN_CONCAT2(a, b)
+#define GH_SPAN(name)                                 \
+  ::greenhetero::telemetry::ScopedSpan GH_SPAN_CONCAT( \
+      gh_span_, __LINE__) { name }
+
+#else  // !GH_TELEMETRY_ENABLED
+
+#define GH_SPAN(name) ((void)0)
+
+#endif

@@ -7,7 +7,21 @@ thread_local Telemetry* g_current = nullptr;
 }  // namespace
 
 Telemetry::Telemetry(TelemetryConfig config)
-    : config_(config), trace_(config.trace_capacity) {}
+    : config_(config),
+      trace_(config.trace_capacity),
+      spans_(config.span_capacity) {}
+
+BuildInfo build_info() {
+  BuildInfo info;
+#if GH_TELEMETRY_ENABLED
+  info.probes_enabled = true;
+#else
+  info.probes_enabled = false;
+#endif
+  info.trace_schema_version = kTraceSchemaVersion;
+  info.builtin_metric_count = builtin_metrics().size();
+  return info;
+}
 
 void Telemetry::emit(std::string phase, TraceFields fields) {
   TraceEvent event;
@@ -19,6 +33,11 @@ void Telemetry::emit(std::string phase, TraceFields fields) {
 }
 
 Telemetry* current() { return g_current; }
+
+LossLedger* loss_ledger() {
+  Telemetry* t = g_current;
+  return t != nullptr && t->config().loss_ledger ? &t->loss() : nullptr;
+}
 
 TelemetryScope::TelemetryScope(Telemetry* telemetry) : previous_(g_current) {
   g_current = telemetry;

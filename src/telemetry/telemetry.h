@@ -18,7 +18,9 @@
 #include <memory>
 #include <string>
 
+#include "telemetry/ledger.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "telemetry/tracing.h"
 #include "util/units.h"
 
@@ -33,7 +35,28 @@ struct TelemetryConfig {
   std::size_t trace_capacity = 1 << 15;
   /// Stamped on every event; the fleet coordinator overrides it per rack.
   int rack_id = 0;
+  /// Opt-in: per-epoch EPU loss-attribution ledger (`loss_ledger` trace
+  /// events + gh_loss_* metrics).  Off by default so the fault-free golden
+  /// traces change only when the feature is requested.
+  bool loss_ledger = false;
+  /// Opt-in: nested control-loop spans (GH_SPAN), mirrored into the trace
+  /// as "span" events and exportable as a Chrome trace_event file.  Off by
+  /// default: span events carry wall nanoseconds, which would break the
+  /// byte-determinism of golden traces.
+  bool spans = false;
+  /// Completed spans kept per context (~9 spans/epoch).
+  std::size_t span_capacity = std::size_t{1} << 16;
 };
+
+/// Compile/runtime facts `greenhetero info` reports so users can tell why
+/// --trace-out/--spans-out produce nothing in a -DGH_TELEMETRY=OFF build.
+struct BuildInfo {
+  bool probes_enabled = false;  ///< GH_PROBE/GH_SPAN compiled in?
+  int trace_schema_version = 0;
+  std::size_t builtin_metric_count = 0;
+};
+
+[[nodiscard]] BuildInfo build_info();
 
 class Telemetry {
  public:
@@ -44,6 +67,10 @@ class Telemetry {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] TraceRing& trace() { return trace_; }
   [[nodiscard]] const TraceRing& trace() const { return trace_; }
+  [[nodiscard]] LossLedger& loss() { return loss_; }
+  [[nodiscard]] const LossLedger& loss() const { return loss_; }
+  [[nodiscard]] SpanCollector& spans() { return spans_; }
+  [[nodiscard]] const SpanCollector& spans() const { return spans_; }
 
   [[nodiscard]] int rack_id() const { return config_.rack_id; }
   void set_rack_id(int id) { config_.rack_id = id; }
@@ -59,11 +86,18 @@ class Telemetry {
   TelemetryConfig config_;
   MetricsRegistry metrics_;
   TraceRing trace_;
+  LossLedger loss_;
+  SpanCollector spans_;
   Minutes now_{0.0};
 };
 
 /// The ambient context, or nullptr outside any TelemetryScope.
 [[nodiscard]] Telemetry* current();
+
+/// The ambient context's loss ledger when the feature is enabled
+/// (TelemetryConfig::loss_ledger), else nullptr — the one-line guard every
+/// contributing layer uses before posting.
+[[nodiscard]] LossLedger* loss_ledger();
 
 /// RAII installer for the ambient context.  Nestable; installing nullptr
 /// masks any outer context (callees see telemetry disabled).

@@ -10,6 +10,13 @@
 
 namespace greenhetero::telemetry {
 
+std::string trace_header_json() {
+  std::string out = "{\"schema\":\"greenhetero-trace\",\"version\":";
+  out += format_number(static_cast<double>(kTraceSchemaVersion));
+  out += '}';
+  return out;
+}
+
 void append_json_escaped(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
@@ -115,6 +122,7 @@ void TraceRing::push(TraceEvent event) {
 }
 
 void TraceRing::write_jsonl(std::ostream& out) const {
+  out << trace_header_json() << '\n';
   for (const TraceEvent& event : events_) {
     out << event.to_json() << '\n';
   }

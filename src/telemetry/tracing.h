@@ -21,6 +21,18 @@
 
 namespace greenhetero::telemetry {
 
+/// Version of the JSONL trace schema.  Bumped when the header or the shape
+/// of pinned event payloads changes; `greenhetero analyze` refuses traces
+/// whose header declares a version it does not understand.
+///
+/// History: v1 = PR 1 headerless event stream; v2 = header line added,
+/// optional "loss_ledger" and "span" events.
+inline constexpr int kTraceSchemaVersion = 2;
+
+/// The self-identifying header line every JSONL trace starts with:
+///   {"schema":"greenhetero-trace","version":2}
+[[nodiscard]] std::string trace_header_json();
+
 /// One payload value: double, integer, boolean, string or double array.
 class TraceValue {
  public:

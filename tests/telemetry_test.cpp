@@ -72,6 +72,67 @@ TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram{duplicate}, TelemetryError);
 }
 
+TEST(Histogram, QuantilesInterpolateWithinTheRankBucket) {
+  const double bounds[] = {10.0, 100.0};
+  Histogram h{bounds};
+  h.observe(5.0);    // bucket (0, 10]
+  h.observe(50.0);   // bucket (10, 100]
+  h.observe(60.0);   // bucket (10, 100]
+  h.observe(500.0);  // +Inf overflow
+  // rank(0.5) = 2 of 4 -> halfway through the (10, 100] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
+  // rank(0.75) = 3 -> the (10, 100] bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 100.0);
+  // The +Inf bucket clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // q is clamped into [0, 1]; the first bucket interpolates from 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsNaN) {
+  const double bounds[] = {1.0};
+  Histogram h{bounds};
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, QuantileMatchesTheSnapshotLevelHelper) {
+  Histogram h{latency_buckets_ns()};
+  for (int i = 1; i <= 100; ++i) h.observe(1e3 * i);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(
+        histogram_quantile(h.upper_bounds(), h.bucket_counts(), q),
+        h.quantile(q));
+  }
+}
+
+TEST(FormatDurationNs, ScalesUnitsForHumans) {
+  EXPECT_EQ(format_duration_ns(742.0), "742ns");
+  EXPECT_EQ(format_duration_ns(3'100.0), "3.1us");
+  EXPECT_EQ(format_duration_ns(12'000'000.0), "12.0ms");
+  EXPECT_EQ(format_duration_ns(1'500'000'000.0), "1.50s");
+  EXPECT_EQ(format_duration_ns(std::nan("")), "-");
+}
+
+TEST(Registry, HumanDumpShowsHistogramQuantiles) {
+  MetricsRegistry registry;
+  registry.gauge("gh_battery_soc").set(0.75);
+  const double bounds[] = {1e3, 1e6};
+  Histogram& h = registry.histogram("gh_plan_epoch_ns", bounds);
+  h.observe(500.0);
+  h.observe(2'500.0);
+  const std::string text = registry.snapshot().to_human();
+  EXPECT_NE(text.find("gh_battery_soc"), std::string::npos);
+  EXPECT_NE(text.find("0.75"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+  // *_ns series render as durations, including the p50/p90/p99 columns.
+  EXPECT_NE(text.find("mean=1.5us"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p90="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
 TEST(Registry, LabelsSplitSeriesAndInterningIsShared) {
   MetricsRegistry registry;
   registry.counter("epochs", {{"case", "A"}}).increment();
@@ -210,6 +271,7 @@ TEST(TraceRing, WritesJsonl) {
   std::ostringstream out;
   ring.write_jsonl(out);
   EXPECT_EQ(out.str(),
+            "{\"schema\":\"greenhetero-trace\",\"version\":2}\n"
             "{\"t\":0,\"rack\":0,\"phase\":\"tick\"}\n"
             "{\"t\":15,\"rack\":0,\"phase\":\"tick\"}\n");
 }

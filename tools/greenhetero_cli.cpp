@@ -5,6 +5,9 @@
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
 //                         [--seed S] [--csv FILE] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--metrics-out FILE]
+//                         [--ledger on] [--spans-out FILE.json]
+//   greenhetero analyze   --trace RUN.jsonl [--diff BASELINE.jsonl]
+//                         [--threshold T]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
 //   greenhetero solve     [--workload W] [--budget W] [--comb CombN]
 //   greenhetero traces    [--trace high|low|load|wind] [--days N]
@@ -12,18 +15,30 @@
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
 //                         [--mode static|proportional] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--metrics-out FILE]
-//   greenhetero info      (servers, workloads, combinations)
+//                         [--ledger on] [--spans-out FILE.json]
+//   greenhetero info      (servers, workloads, combinations, telemetry)
 //
-// --metrics-out picks its format by extension: ".json" exports JSON,
-// anything else Prometheus text exposition.
+// --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
+// a human-readable table (histograms with p50/p90/p99), anything else
+// Prometheus text exposition.
+//
+// --ledger records the per-epoch EPU loss ledger ("loss_ledger" trace
+// events + gh_loss_* metrics); --spans-out enables control-loop span
+// tracing and writes a Chrome trace_event JSON (chrome://tracing,
+// Perfetto).  Both are off by default to keep traces byte-deterministic.
+//
+// analyze exits 0 when --diff stays within --threshold (default 0.01) and
+// 3 when it drifts beyond it — the CI trace gate keys off that.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <stdexcept>
 #include <string>
 
+#include "analysis/trace_analyzer.h"
 #include "core/policies.h"
 #include "faults/fault_plan.h"
 #include "fleet/fleet.h"
@@ -70,14 +85,23 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
+bool has_suffix(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 void write_metrics(const MetricsSnapshot& snapshot, const std::string& path) {
-  const bool json =
-      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("cannot open metrics output file: " + path);
   }
-  out << (json ? snapshot.to_json() : snapshot.to_prometheus());
+  if (has_suffix(path, ".json")) {
+    out << snapshot.to_json();
+  } else if (has_suffix(path, ".txt")) {
+    out << snapshot.to_human();
+  } else {
+    out << snapshot.to_prometheus();
+  }
 }
 
 PolicyKind parse_policy(const std::string& name) {
@@ -126,6 +150,13 @@ int cmd_info() {
     std::printf("%s ", std::string(to_string(kind)).c_str());
   }
   std::printf("\n");
+  const telemetry::BuildInfo build = telemetry::build_info();
+  std::printf("\nTelemetry build:\n");
+  std::printf("  probes/spans:     %s\n",
+              build.probes_enabled ? "enabled"
+                                   : "compiled out (-DGH_TELEMETRY=OFF)");
+  std::printf("  trace schema:     v%d\n", build.trace_schema_version);
+  std::printf("  builtin metrics:  %zu\n", build.builtin_metric_count);
   return 0;
 }
 
@@ -141,6 +172,9 @@ int cmd_simulate(const Args& args) {
   SimConfig cfg;
   cfg.controller.policy = policy;
   cfg.controller.seed = seed;
+  cfg.telemetry.loss_ledger = !args.get("ledger", "").empty();
+  const std::string spans_out = args.get("spans-out", "");
+  cfg.telemetry.spans = !spans_out.empty();
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) {
     cfg.faults = FaultPlan::load_csv(faults);
@@ -201,6 +235,11 @@ int cmd_simulate(const Args& args) {
     std::printf("  trace (%zu events) written to %s\n",
                 sim.telemetry().trace().size(), trace_out.c_str());
   }
+  if (!spans_out.empty()) {
+    sim.telemetry().spans().save_chrome_trace(spans_out);
+    std::printf("  spans (%zu) written to %s (load in chrome://tracing)\n",
+                sim.telemetry().spans().records().size(), spans_out.c_str());
+  }
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
     write_metrics(report.metrics, metrics_out);
@@ -208,6 +247,27 @@ int cmd_simulate(const Args& args) {
                 report.metrics.entries.size(), metrics_out.c_str());
   }
   return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "analyze: --trace FILE.jsonl is required\n");
+    return 2;
+  }
+  const analysis::TraceAnalysis run =
+      analysis::analyze(analysis::load_trace(trace_path));
+  print_report(std::cout, run);
+
+  const std::string baseline_path = args.get("diff", "");
+  if (baseline_path.empty()) return 0;
+  const analysis::TraceAnalysis baseline =
+      analysis::analyze(analysis::load_trace(baseline_path));
+  const double threshold = args.number("threshold", 0.01);
+  const analysis::DiffResult result = analysis::diff(baseline, run);
+  std::cout << "\n";
+  print_diff(std::cout, result, threshold);
+  return analysis::exceeds_threshold(result, threshold) ? 3 : 0;
 }
 
 int cmd_policies(const Args& args) {
@@ -325,6 +385,8 @@ int cmd_fleet(const Args& args) {
                 fault_plan.size(), faults.c_str());
   }
 
+  const std::string spans_out = args.get("spans-out", "");
+  const bool ledger = !args.get("ledger", "").empty();
   std::vector<RackSimulator> sims;
   for (int i = 0; i < racks; ++i) {
     // Solar provisioning spread linearly around 1.8 kW by +/- asymmetry.
@@ -335,6 +397,8 @@ int cmd_fleet(const Args& args) {
     SimConfig cfg;
     cfg.controller.policy = PolicyKind::kGreenHetero;
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
+    cfg.telemetry.loss_ledger = ledger;
+    cfg.telemetry.spans = !spans_out.empty();
     cfg.faults = fault_plan;
     sims.emplace_back(
         std::move(rack),
@@ -365,6 +429,11 @@ int cmd_fleet(const Args& args) {
     fleet.save_trace_jsonl(trace_out);
     std::printf("  merged trace written to %s\n", trace_out.c_str());
   }
+  if (!spans_out.empty()) {
+    fleet.save_chrome_spans(spans_out);
+    std::printf("  merged spans written to %s (one pid per rack)\n",
+                spans_out.c_str());
+  }
   const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
     const MetricsSnapshot merged = fleet.metrics_snapshot();
@@ -377,7 +446,8 @@ int cmd_fleet(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: greenhetero <simulate|fleet|policies|solve|traces|info> "
+               "usage: greenhetero "
+               "<simulate|fleet|analyze|policies|solve|traces|info> "
                "[--option value ...]\n");
 }
 
@@ -393,6 +463,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "info") return cmd_info();
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "policies") return cmd_policies(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "traces") return cmd_traces(args);
