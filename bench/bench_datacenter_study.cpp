@@ -5,7 +5,13 @@
 // heterogeneity level, which is the paper's core thesis
 // ("GreenHetero can provide even greater benefits for datacenters with
 // higher levels of heterogeneity").
+//
+// --threads N spreads the 2x10 independent simulations over a worker pool
+// (default 0 = one per hardware thread); the table is identical at any
+// thread count because each run owns its rack, plant and RNG.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -16,6 +22,7 @@
 #include "trace/load_pattern.h"
 #include "trace/solar.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -62,27 +69,52 @@ double run_dc(const std::vector<ServerGroup>& groups, PolicyKind policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t threads = 0;  // one per hardware thread
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
   std::printf("=== Datacenter study: gain vs heterogeneity level (Figure 1 "
               "distribution) ===\n\n");
   std::printf("%-8s %9s  %-44s %8s\n", "DC", "#configs", "server types",
               "gain");
 
-  std::map<int, std::vector<double>> gains_by_level;
+  // Draw every datacenter's configuration up front on this thread (fork is
+  // order-insensitive, but pick_groups consumes the forked stream), then
+  // fan the 2x10 independent simulations out over the pool and print the
+  // table after the barrier — same rows, same order, any thread count.
   Rng rng(99);
   const auto& survey = google_datacenter_heterogeneity();
+  std::vector<std::vector<ServerGroup>> dc_groups(survey.size());
+  for (std::size_t dc = 0; dc < survey.size(); ++dc) {
+    Rng dc_rng = rng.fork(dc);
+    dc_groups[dc] = pick_groups(survey[dc].config_count, dc_rng);
+  }
+
+  // Job 2*dc is the Uniform run, 2*dc+1 the GreenHetero run.
+  std::vector<double> work(2 * survey.size(), 0.0);
+  util::ThreadPool pool(threads);
+  pool.parallel_for(work.size(), [&](std::size_t job) {
+    const std::size_t dc = job / 2;
+    const PolicyKind policy =
+        job % 2 == 0 ? PolicyKind::kUniform : PolicyKind::kGreenHetero;
+    work[job] = run_dc(dc_groups[dc], policy,
+                       static_cast<std::uint64_t>(dc * 17 + 5));
+  });
+
+  std::map<int, std::vector<double>> gains_by_level;
   for (std::size_t dc = 0; dc < survey.size(); ++dc) {
     const int configs = survey[dc].config_count;
-    Rng dc_rng = rng.fork(dc);
-    const auto groups = pick_groups(configs, dc_rng);
-    const auto seed = static_cast<std::uint64_t>(dc * 17 + 5);
-    const double uniform = run_dc(groups, PolicyKind::kUniform, seed);
-    const double gh = run_dc(groups, PolicyKind::kGreenHetero, seed);
+    const double uniform = work[2 * dc];
+    const double gh = work[2 * dc + 1];
     const double gain = uniform > 0.0 ? gh / uniform : 0.0;
     gains_by_level[std::min(configs, 3)].push_back(gain);
 
     std::string types;
-    for (const auto& g : groups) {
+    for (const auto& g : dc_groups[dc]) {
       if (!types.empty()) types += " + ";
       types += std::string(server_spec(g.model).name);
     }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <fstream>
 #include <ostream>
+#include <string>
+
+#include "telemetry/metrics.h"
 
 namespace greenhetero {
 
@@ -11,14 +14,35 @@ namespace greenhetero {
 // namespace name; this alias keeps the free functions reachable.
 namespace tel = telemetry;
 
-const char* to_string(GridShareMode mode) {
+std::string to_string(GridShareMode mode) {
   switch (mode) {
     case GridShareMode::kStatic:
       return "static";
     case GridShareMode::kDemandProportional:
       return "demand-proportional";
   }
-  return "?";
+  return "GridShareMode(" + std::to_string(static_cast<int>(mode)) + ")";
+}
+
+std::vector<Watts> divide_grid_budget(Watts budget,
+                                      std::span<const double> deficits) {
+  if (deficits.empty()) return {};
+  const double n = static_cast<double>(deficits.size());
+  std::vector<Watts> shares(deficits.size(), budget / n);
+  double total = 0.0;
+  for (double d : deficits) {
+    if (!std::isfinite(d)) {
+      return shares;  // poisoned reading: equal split beats NaN shares
+    }
+    total += std::max(0.0, d);
+  }
+  if (!std::isfinite(total) || total <= 1e-9) {
+    return shares;  // nobody needs the grid (or deficits overflowed)
+  }
+  for (std::size_t i = 0; i < deficits.size(); ++i) {
+    shares[i] = budget * (std::max(0.0, deficits[i]) / total);
+  }
+  return shares;
 }
 
 void FleetConfig::validate() const {
@@ -35,10 +59,24 @@ Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
     throw FleetError("fleet: needs at least one rack");
   }
   const double epoch = racks_.front().controller().config().epoch.value();
-  for (const RackSimulator& r : racks_) {
-    if (std::fabs(r.controller().config().epoch.value() - epoch) > 1e-9) {
-      throw FleetError("fleet: all racks must share one epoch length");
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    const double other = racks_[i].controller().config().epoch.value();
+    // Relative tolerance: an absolute 1e-9 would spuriously reject long
+    // epochs whose representable values differ only in the last ulp.
+    const double tolerance =
+        1e-9 * std::max({1.0, std::fabs(epoch), std::fabs(other)});
+    if (std::fabs(other - epoch) > tolerance) {
+      throw FleetError("fleet: all racks must share one epoch length: rack 0"
+                       " uses " +
+                       tel::format_number(epoch) + " min but rack " +
+                       std::to_string(i) + " uses " +
+                       tel::format_number(other) + " min");
     }
+  }
+  threads_ = config_.threads == 0 ? util::ThreadPool::hardware_threads()
+                                  : config_.threads;
+  if (threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
   }
   config_.telemetry.rack_id = -1;  // coordinator events
   telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
@@ -75,22 +113,14 @@ std::vector<Watts> Fleet::plan_grid_shares() const {
   // Demand-proportional: weight by each rack's current green deficit.
   const Minutes epoch = racks_.front().controller().config().epoch;
   std::vector<double> deficits(racks_.size(), 0.0);
-  double total_deficit = 0.0;
   for (std::size_t i = 0; i < racks_.size(); ++i) {
     const RackSimulator& sim = racks_[i];
     const Watts demand = sim.rack().peak_demand();
     const Watts green = sim.plant().renewable_available(sim.now()) +
                         sim.plant().battery_discharge_available(epoch);
-    deficits[i] = std::max(0.0, (demand - green).value());
-    total_deficit += deficits[i];
+    deficits[i] = (demand - green).value();
   }
-  if (total_deficit <= 1e-9) {
-    return shares;  // nobody needs the grid: keep the even split
-  }
-  for (std::size_t i = 0; i < racks_.size(); ++i) {
-    shares[i] = config_.total_grid_budget * (deficits[i] / total_deficit);
-  }
-  return shares;
+  return divide_grid_budget(config_.total_grid_budget, deficits);
 }
 
 FleetReport Fleet::run(Minutes duration) {
@@ -101,13 +131,31 @@ FleetReport Fleet::run(Minutes duration) {
   FleetReport report;
   report.racks.resize(racks_.size());
 
+  // Scratch row reused every epoch: rack i's step lands in records[i], so
+  // pool threads never touch a shared structure, and the merge below runs
+  // in ascending rack order on this thread once the epoch barrier clears.
+  std::vector<EpochRecord> records(racks_.size());
+
   for (std::size_t e = 0; e < epochs; ++e) {
+    // Planning happens strictly between epochs: every rack has finished the
+    // previous step (parallel_for is a barrier), so the shares are computed
+    // from a consistent fleet snapshot no matter how many threads run.
     const std::vector<Watts> shares = plan_grid_shares();
     Watts allocated{0.0};
     for (std::size_t i = 0; i < racks_.size(); ++i) {
-      racks_[i].set_grid_budget(shares[i]);
       allocated += shares[i];
-      report.racks[i].epochs.push_back(racks_[i].step_epoch());
+    }
+    const auto step_rack = [&](std::size_t i) {
+      racks_[i].set_grid_budget(shares[i]);
+      records[i] = racks_[i].step_epoch();
+    };
+    if (pool_) {
+      pool_->parallel_for(racks_.size(), step_rack);
+    } else {
+      for (std::size_t i = 0; i < racks_.size(); ++i) step_rack(i);
+    }
+    for (std::size_t i = 0; i < racks_.size(); ++i) {
+      report.racks[i].epochs.push_back(std::move(records[i]));
     }
     report.peak_grid_allocation = max(report.peak_grid_allocation, allocated);
     if (config_.telemetry.enabled) {

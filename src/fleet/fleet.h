@@ -20,10 +20,13 @@
 #include <filesystem>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/rack_simulator.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace greenhetero {
@@ -35,11 +38,27 @@ class FleetError : public std::runtime_error {
 
 enum class GridShareMode { kStatic, kDemandProportional };
 
-[[nodiscard]] const char* to_string(GridShareMode mode);
+/// "static" / "demand-proportional"; out-of-enum values render as
+/// "GridShareMode(<n>)" so a corrupted config is diagnosable instead of "?".
+[[nodiscard]] std::string to_string(GridShareMode mode);
+
+/// Split `budget` across racks proportionally to their green deficits.
+/// Falls back to an equal split when the deficits cannot support a
+/// proportional division: total deficit ~zero (nobody needs the grid) or any
+/// deficit non-finite (a poisoned demand reading must not NaN the whole
+/// fleet's shares).  Empty input returns an empty vector.
+[[nodiscard]] std::vector<Watts> divide_grid_budget(
+    Watts budget, std::span<const double> deficits);
 
 struct FleetConfig {
   Watts total_grid_budget{0.0};
   GridShareMode mode = GridShareMode::kStatic;
+  /// Worker threads for the per-epoch rack stepping: 1 = sequential (the
+  /// historical path), 0 = one per hardware thread, N = exactly N.  Results
+  /// are byte-identical regardless of the value — each rack owns its own
+  /// RNG/telemetry/fault state and the coordinator rebalances grid shares
+  /// only at the epoch barrier.
+  std::size_t threads = 1;
   /// Coordinator-level telemetry (the coordinator stamps its events with
   /// rack id -1; each rack's own telemetry is configured via its SimConfig).
   TelemetryConfig telemetry;
@@ -75,13 +94,20 @@ class Fleet {
     return config_.total_grid_budget;
   }
   [[nodiscard]] GridShareMode mode() const { return config_.mode; }
+  /// Resolved worker-thread count (config value 0 becomes the hardware
+  /// concurrency at construction).
+  [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] RackSimulator& rack(std::size_t i);
 
   /// Pretrain every rack's database (no plant interaction).
   void pretrain();
 
   /// Run all racks in epoch lockstep for `duration`; grid shares are
-  /// re-divided before every epoch.
+  /// re-divided before every epoch.  With threads > 1 the per-rack epoch
+  /// steps run on the worker pool; the coordinator waits for every rack
+  /// before replanning shares, so plan_grid_shares() always sees a
+  /// consistent fleet snapshot and the report is byte-identical to the
+  /// sequential path.
   FleetReport run(Minutes duration);
 
   /// The share each rack would receive right now (exposed for tests).
@@ -109,7 +135,11 @@ class Fleet {
  private:
   std::vector<RackSimulator> racks_;
   FleetConfig config_;
+  std::size_t threads_;
   std::unique_ptr<Telemetry> telemetry_;
+  /// Created only when threads_ > 1; run() falls back to a plain loop
+  /// otherwise, so a single-threaded fleet costs nothing extra.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace greenhetero

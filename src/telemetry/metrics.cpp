@@ -38,12 +38,22 @@ Histogram::Histogram(std::span<const double> upper_bounds)
 
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::lock_guard<std::mutex> lock(*mutex_);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += value;
 }
 
+void Histogram::snapshot_into(std::vector<std::uint64_t>& buckets,
+                              std::uint64_t& count, double& sum) const {
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  buckets = counts_;
+  count = count_;
+  sum = sum_;
+}
+
 void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(*mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -351,6 +361,7 @@ std::uint32_t MetricsRegistry::intern(std::string_view s) {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   SeriesKey key{intern(name), {}};
   for (const auto& [k, v] : labels) {
     key.second.push_back(intern(k));
@@ -367,6 +378,7 @@ Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   SeriesKey key{intern(name), {}};
   for (const auto& [k, v] : labels) {
     key.second.push_back(intern(k));
@@ -385,6 +397,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> upper_bounds,
                                       const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   SeriesKey key{intern(name), {}};
   for (const auto& [k, v] : labels) {
     key.second.push_back(intern(k));
@@ -414,6 +427,7 @@ Histogram& MetricsRegistry::latency(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;
   snap.entries.reserve(series_.size());
   for (const auto& [key, series] : series_) {
@@ -434,9 +448,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       case MetricKind::kHistogram: {
         const Histogram& h = series.histogram.front();
         entry.bounds = h.upper_bounds();
-        entry.buckets = h.bucket_counts();
-        entry.count = h.count();
-        entry.sum = h.sum();
+        h.snapshot_into(entry.buckets, entry.count, entry.sum);
         break;
       }
     }
@@ -451,6 +463,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [key, series] : series_) {
     series.counter.reset();
     series.gauge.reset();

@@ -11,12 +11,21 @@
 // as Prometheus text or JSON; `reset()` zeroes values but keeps the interned
 // registrations.
 //
-// Like the Logger, the registry is deliberately not thread-safe: the
-// simulator is single-threaded and each rack owns its own Telemetry.
+// Thread-safety: each rack owns its own Telemetry, but the fleet's worker
+// pool may step two racks on different threads — and any registry could in
+// principle be shared.  Counter/gauge updates are lock-free relaxed atomics
+// (a plain add in the uncontended single-threaded case), histogram bins are
+// guarded by a per-histogram mutex, and series registration/snapshotting by
+// a registry mutex.  Series references returned by counter()/gauge()/
+// histogram() stay valid for the registry's lifetime (std::map nodes never
+// move), so steady-state updates never touch the registry lock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -40,22 +49,33 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void increment(double delta = 1.0) { value_ += delta; }
-  [[nodiscard]] double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  /// Lock-free and safe against concurrent increments (a CAS loop; compiles
+  /// to an uncontended add-and-store in the single-threaded case).
+  void increment(double delta = 1.0) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  [[nodiscard]] double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram (cumulative export, Prometheus-style).  The bounds
@@ -64,15 +84,22 @@ class Histogram {
  public:
   explicit Histogram(std::span<const double> upper_bounds);
 
+  /// Safe against concurrent observe() calls (per-histogram mutex).
   void observe(double value);
   [[nodiscard]] const std::vector<double>& upper_bounds() const {
     return bounds_;
   }
   /// Per-bucket (non-cumulative) counts; size = upper_bounds().size() + 1,
-  /// the last entry being the +Inf bucket.
+  /// the last entry being the +Inf bucket.  This accessor (and count()/
+  /// sum()) reads without the bin lock — use snapshot_into() when observers
+  /// may still be running on other threads.
   [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
     return counts_;
   }
+  /// Locked, mutually consistent copy of (buckets, count, sum) for
+  /// exporters that may race with live observers.
+  void snapshot_into(std::vector<std::uint64_t>& buckets,
+                     std::uint64_t& count, double& sum) const;
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {
@@ -88,6 +115,9 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;  ///< sorted, strictly increasing
+  /// Guards counts_/count_/sum_ against concurrent observers; behind a
+  /// unique_ptr so the Histogram stays movable.
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -162,10 +192,14 @@ class MetricsRegistry {
   /// Wall-clock probe histogram (latency_buckets_ns bounds).
   Histogram& latency(std::string_view name, const Labels& labels = {});
 
-  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+  [[nodiscard]] std::size_t series_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return series_.size();
+  }
   /// Distinct strings interned so far (names + label keys/values) — exposed
   /// so tests can pin the interning behaviour.
   [[nodiscard]] std::size_t interned_strings() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return intern_table_.size();
   }
 
@@ -183,8 +217,12 @@ class MetricsRegistry {
   /// (interned name id, interned label ids) — cheap ordered map key.
   using SeriesKey = std::pair<std::uint32_t, std::vector<std::uint32_t>>;
 
+  /// Caller must hold mutex_.
   [[nodiscard]] std::uint32_t intern(std::string_view s);
 
+  /// Guards registration (the maps) and snapshotting; series *updates* go
+  /// through the atomic/mutexed series objects and never take this lock.
+  mutable std::mutex mutex_;
   std::vector<std::string> interned_;  ///< id -> string (stable storage)
   std::map<std::string, std::uint32_t, std::less<>> intern_table_;
   std::map<SeriesKey, Series> series_;

@@ -56,31 +56,33 @@ void write_chrome_trace(std::ostream& out,
                      }
                      return a->depth < b->depth;
                    });
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Assemble the whole document, then emit it in one write under the shared
+  // trace-writer lock, so concurrent exports never interleave partial lines.
+  std::string buffer = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord* s : ordered) {
-    std::string line;
-    if (!first) line += ',';
+    if (!first) buffer += ',';
     first = false;
-    line += "\n{\"ph\":\"X\",\"cat\":\"greenhetero\",\"name\":";
-    append_json_escaped(line, s->name);
-    line += ",\"pid\":";
-    line += format_number(static_cast<double>(s->rack_id));
-    line += ",\"tid\":0,\"ts\":";
-    line +=
+    buffer += "\n{\"ph\":\"X\",\"cat\":\"greenhetero\",\"name\":";
+    append_json_escaped(buffer, s->name);
+    buffer += ",\"pid\":";
+    buffer += format_number(static_cast<double>(s->rack_id));
+    buffer += ",\"tid\":0,\"ts\":";
+    buffer +=
         format_number(static_cast<double>(s->wall_begin_ns - origin) / 1e3);
-    line += ",\"dur\":";
-    line += format_number(static_cast<double>(s->wall_dur_ns) / 1e3);
-    line += ",\"args\":{\"depth\":";
-    line += format_number(static_cast<double>(s->depth));
-    line += ",\"sim_begin_min\":";
-    line += format_number(s->sim_begin_min);
-    line += ",\"sim_end_min\":";
-    line += format_number(s->sim_end_min);
-    line += "}}";
-    out << line;
+    buffer += ",\"dur\":";
+    buffer += format_number(static_cast<double>(s->wall_dur_ns) / 1e3);
+    buffer += ",\"args\":{\"depth\":";
+    buffer += format_number(static_cast<double>(s->depth));
+    buffer += ",\"sim_begin_min\":";
+    buffer += format_number(s->sim_begin_min);
+    buffer += ",\"sim_end_min\":";
+    buffer += format_number(s->sim_end_min);
+    buffer += "}}";
   }
-  out << "\n]}\n";
+  buffer += "\n]}\n";
+  const std::lock_guard<std::mutex> lock(trace_writer_mutex());
+  out << buffer;
 }
 
 void SpanCollector::write_chrome_trace(std::ostream& out) const {

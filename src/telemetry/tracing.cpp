@@ -121,11 +121,23 @@ void TraceRing::push(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+std::mutex& trace_writer_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 void TraceRing::write_jsonl(std::ostream& out) const {
-  out << trace_header_json() << '\n';
+  // Assemble whole lines first, then emit everything in one locked write —
+  // concurrent flushes from two racks serialize instead of interleaving
+  // partial lines (byte-identical to the old streaming path sequentially).
+  std::string buffer = trace_header_json();
+  buffer += '\n';
   for (const TraceEvent& event : events_) {
-    out << event.to_json() << '\n';
+    buffer += event.to_json();
+    buffer += '\n';
   }
+  const std::lock_guard<std::mutex> lock(trace_writer_mutex());
+  out << buffer;
 }
 
 void TraceRing::save_jsonl(const std::filesystem::path& path) const {

@@ -14,6 +14,7 @@
 #include <deque>
 #include <filesystem>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -107,5 +108,11 @@ class TraceRing {
 
 /// JSON string escaping shared with the metrics exporters.
 void append_json_escaped(std::string& out, std::string_view s);
+
+/// Process-wide lock every trace/span exporter takes around its final
+/// stream write.  Exporters assemble their complete output in memory first
+/// and emit it in one locked write, so two racks flushing concurrently (to
+/// the same stream or interleaved stdio) can never tear a line in half.
+[[nodiscard]] std::mutex& trace_writer_mutex();
 
 }  // namespace greenhetero::telemetry

@@ -32,6 +32,7 @@ Logger& Logger::instance() {
 }
 
 Logger::Sink Logger::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Sink previous = std::move(sink_);
   if (sink) {
     sink_ = std::move(sink);
@@ -45,6 +46,7 @@ Logger::Sink Logger::set_sink(Sink sink) {
 
 void Logger::log(LogLevel level, std::string_view message) {
   if (enabled(level)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sink_(level, message);
   }
 }

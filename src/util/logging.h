@@ -5,7 +5,9 @@
 // level to keep their table output clean, tests can capture it.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -18,16 +20,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
 
-/// Process-wide logging configuration.  Not thread-safe by design: the
-/// simulator is single-threaded and benches set the level once up front.
+/// Process-wide logging configuration.  log() is safe to call from the
+/// fleet's pool threads: the sink runs under a mutex, so messages emit as
+/// whole lines and a capturing sink (ScopedLogCapture) needs no locking of
+/// its own.  Configuration (set_level / set_sink) should still happen from
+/// one thread, outside any parallel region.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Replace the output sink (default writes to stderr).  Pass nullptr to
   /// restore the default.  Returns the previous sink so tests can restore it.
@@ -35,11 +44,14 @@ class Logger {
 
   void log(LogLevel level, std::string_view message);
 
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  ///< serialises sink invocation (whole-line output)
   Sink sink_;
 };
 

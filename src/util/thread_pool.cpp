@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace greenhetero::util {
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? hardware_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::drain_current_job(std::unique_lock<std::mutex>& lock) {
+  while (next_ < job_size_) {
+    const std::size_t i = next_++;
+    const std::function<void(std::size_t)>* fn = fn_;
+    lock.unlock();
+    try {
+      (*fn)(i);
+    } catch (...) {
+      errors_[i] = std::current_exception();
+    }
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    drain_current_job(lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Sequential path: run inline; the first failure propagates directly
+    // (which is also the lowest failing index).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  job_size_ = n;
+  next_ = 0;
+  pending_ = n;
+  errors_.assign(n, nullptr);
+  ++generation_;
+  work_cv_.notify_all();
+
+  drain_current_job(lock);  // the caller participates
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  fn_ = nullptr;
+  job_size_ = 0;
+  std::vector<std::exception_ptr> errors;
+  errors.swap(errors_);
+  lock.unlock();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace greenhetero::util

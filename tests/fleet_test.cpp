@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "server/combinations.h"
 #include "trace/solar.h"
 
@@ -10,13 +14,15 @@ namespace {
 
 RackSimulator make_rack_sim(Watts solar_capacity, PolicyKind policy,
                             std::uint64_t seed,
-                            Minutes epoch = Minutes{15.0}) {
+                            Minutes epoch = Minutes{15.0},
+                            Minutes substep = Minutes{1.0}) {
   Rack rack{default_runtime_rack(), Workload::kSpecJbb};
   SimConfig cfg;
   cfg.controller.policy = policy;
   cfg.controller.seed = seed;
   cfg.controller.epoch = epoch;
   cfg.controller.profiling_noise = 0.0;
+  cfg.substep = substep;
   GridSpec grid;
   grid.budget = Watts{500.0};  // overwritten by the fleet each epoch
   PowerTrace solar =
@@ -43,9 +49,90 @@ TEST(Fleet, Validation) {
 }
 
 TEST(Fleet, ModeNames) {
-  EXPECT_STREQ(to_string(GridShareMode::kStatic), "static");
-  EXPECT_STREQ(to_string(GridShareMode::kDemandProportional),
-               "demand-proportional");
+  EXPECT_EQ(to_string(GridShareMode::kStatic), "static");
+  EXPECT_EQ(to_string(GridShareMode::kDemandProportional),
+            "demand-proportional");
+  // Out-of-enum values (a corrupted config, a cast gone wrong) must still
+  // render something diagnosable, not "?".
+  EXPECT_EQ(to_string(static_cast<GridShareMode>(42)), "GridShareMode(42)");
+}
+
+TEST(Fleet, EpochMismatchReportsBothValues) {
+  std::vector<RackSimulator> mismatched;
+  mismatched.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 1));
+  mismatched.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 2,
+                                     Minutes{30.0}));
+  try {
+    Fleet fleet{std::move(mismatched), Watts{1000.0}, GridShareMode::kStatic};
+    FAIL() << "expected FleetError";
+  } catch (const FleetError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("15"), std::string::npos) << message;
+    EXPECT_NE(message.find("30"), std::string::npos) << message;
+    EXPECT_NE(message.find("min"), std::string::npos) << message;
+    EXPECT_NE(message.find("rack 1"), std::string::npos) << message;
+  }
+}
+
+TEST(Fleet, EpochCheckUsesRelativeTolerance) {
+  // Long epochs whose representable values differ by a few ulps must not be
+  // rejected: 1e-7 minutes on a day-long epoch is far below any physical
+  // significance but above the old absolute 1e-9 cutoff.
+  std::vector<RackSimulator> racks;
+  racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 1,
+                                Minutes{1440.0}, Minutes{1440.0}));
+  racks.push_back(make_rack_sim(Watts{2000.0}, PolicyKind::kUniform, 2,
+                                Minutes{1440.0 + 1e-7},
+                                Minutes{1440.0 + 1e-7}));
+  EXPECT_NO_THROW(
+      Fleet(std::move(racks), Watts{1000.0}, GridShareMode::kStatic));
+}
+
+TEST(Fleet, DivideGridBudgetProportional) {
+  const double deficits[] = {100.0, 300.0};
+  const auto shares = divide_grid_budget(Watts{1000.0}, deficits);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0].value(), 250.0, 1e-9);
+  EXPECT_NEAR(shares[1].value(), 750.0, 1e-9);
+}
+
+TEST(Fleet, DivideGridBudgetClampsNegativeDeficits) {
+  // A rack with surplus green power (negative deficit) gets nothing; its
+  // surplus must not inflate the others' shares past the budget.
+  const double deficits[] = {-500.0, 200.0, 200.0};
+  const auto shares = divide_grid_budget(Watts{1000.0}, deficits);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_NEAR(shares[0].value(), 0.0, 1e-9);
+  EXPECT_NEAR(shares[1].value(), 500.0, 1e-9);
+  EXPECT_NEAR(shares[2].value(), 500.0, 1e-9);
+}
+
+TEST(Fleet, DivideGridBudgetZeroTotalFallsBackToEqualSplit) {
+  const double deficits[] = {0.0, 0.0, -3.0, 0.0};
+  const auto shares = divide_grid_budget(Watts{1000.0}, deficits);
+  ASSERT_EQ(shares.size(), 4u);
+  for (const Watts s : shares) EXPECT_NEAR(s.value(), 250.0, 1e-9);
+}
+
+TEST(Fleet, DivideGridBudgetNonFiniteDeficitFallsBackToEqualSplit) {
+  // A NaN or Inf deficit (poisoned sensor reading) must never propagate
+  // into the shares — every rack keeps a finite, equal slice.
+  for (const double poison :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()}) {
+    const double deficits[] = {100.0, poison, 300.0};
+    const auto shares = divide_grid_budget(Watts{900.0}, deficits);
+    ASSERT_EQ(shares.size(), 3u);
+    for (const Watts s : shares) {
+      EXPECT_TRUE(std::isfinite(s.value()));
+      EXPECT_NEAR(s.value(), 300.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fleet, DivideGridBudgetEmptyInput) {
+  EXPECT_TRUE(divide_grid_budget(Watts{1000.0}, {}).empty());
 }
 
 TEST(Fleet, SingleRackMatchesStandaloneRun) {

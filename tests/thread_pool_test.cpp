@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace greenhetero::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kItems = 1000;
+  // Each index is claimed by exactly one thread, so plain slots suffice.
+  std::vector<int> hits(kItems, 0);
+  pool.parallel_for(kItems, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(16);
+  std::vector<std::size_t> order;
+  pool.parallel_for(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+    order.push_back(i);  // inline path: no other thread touches `order`
+  });
+  for (const std::thread::id id : ids) EXPECT_EQ(id, caller);
+  // The degenerate pool is a plain ascending loop.
+  std::vector<std::size_t> ascending(ids.size());
+  std::iota(ascending.begin(), ascending.end(), 0u);
+  EXPECT_EQ(order, ascending);
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::hardware_threads());
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 10; ++job) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(total.load(), 10L * (99L * 100L / 2L));
+}
+
+TEST(ThreadPool, LowestFailingIndexWins) {
+  ThreadPool pool(4);
+  // Several indices throw; whichever thread hits one first, the caller must
+  // always see the exception from the lowest failing index.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        if (i % 2 == 1) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 1");
+    }
+  }
+}
+
+TEST(ThreadPool, UsableAfterAThrowingJob) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, AllIndicesStillRunWhenSomeThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  try {
+    pool.parallel_for(32, [&](std::size_t i) {
+      ++calls;
+      if (i == 0) throw std::runtime_error("first");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  // An exception marks the job failed but does not cancel the remaining
+  // items — the barrier still waits for all of them.
+  EXPECT_EQ(calls.load(), 32);
+}
+
+}  // namespace
+}  // namespace greenhetero::util

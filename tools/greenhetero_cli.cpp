@@ -13,9 +13,10 @@
 //   greenhetero traces    [--trace high|low|load|wind] [--days N]
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
-//                         [--mode static|proportional] [--faults PLAN.csv]
-//                         [--trace-out FILE.jsonl] [--metrics-out FILE]
-//                         [--ledger on] [--spans-out FILE.json]
+//                         [--mode static|proportional] [--threads N]
+//                         [--faults PLAN.csv] [--trace-out FILE.jsonl]
+//                         [--metrics-out FILE] [--ledger on]
+//                         [--spans-out FILE.json]
 //   greenhetero info      (servers, workloads, combinations, telemetry)
 //
 // --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
@@ -26,6 +27,10 @@
 // events + gh_loss_* metrics); --spans-out enables control-loop span
 // tracing and writes a Chrome trace_event JSON (chrome://tracing,
 // Perfetto).  Both are off by default to keep traces byte-deterministic.
+//
+// fleet --threads N steps the racks on N worker threads per epoch (0, the
+// default, uses one per hardware thread; 1 forces the sequential path).
+// Reports and traces are byte-identical for every thread count.
 //
 // analyze exits 0 when --diff stays within --threshold (default 0.01) and
 // 3 when it drifts beyond it — the CI trace gate keys off that.
@@ -408,11 +413,17 @@ int cmd_fleet(const Args& args) {
             GridSpec{}),
         std::move(cfg));
   }
-  Fleet fleet{std::move(sims), total_grid, mode};
+  FleetConfig fleet_cfg;
+  fleet_cfg.total_grid_budget = total_grid;
+  fleet_cfg.mode = mode;
+  fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
+  Fleet fleet{std::move(sims), fleet_cfg};
   fleet.pretrain();
   const FleetReport report = fleet.run(Minutes{24.0 * 60.0});
-  std::printf("fleet of %d racks, %s grid sharing, %.0f W total grid\n",
-              racks, to_string(mode), total_grid.value());
+  std::printf("fleet of %d racks, %s grid sharing, %.0f W total grid, "
+              "%zu thread(s)\n",
+              racks, to_string(mode).c_str(), total_grid.value(),
+              fleet.threads());
   std::printf("  total work:       %.0f\n", report.total_work);
   std::printf("  grid energy:      %.1f kWh ($%.2f)\n",
               report.grid_energy.value() / 1000.0, report.grid_cost);
