@@ -40,6 +40,34 @@ double Allocation::ratio_sum() const {
 
 namespace {
 
+/// One group's admission check.  A fitted quadratic that evaluates to a
+/// non-finite Perf anywhere on [idle, peak] would poison every backend's
+/// comparisons (NaN compares false, so the "best" candidate is arbitrary);
+/// finite values at both endpoints of the bounded range imply finite
+/// coefficients and therefore finite values everywhere between them, so the
+/// two evaluations below are a complete check.  Rejecting here — instead of
+/// silently clamping downstream — surfaces the corrupted database record to
+/// the caller (the controller catches SolverError and falls back to a safe
+/// allocation).
+void validate_group(const GroupModel& g, std::size_t index) {
+  if (g.count <= 0) {
+    throw SolverError("solver: group count must be positive");
+  }
+  if (g.max_power.value() <= g.min_power.value()) {
+    throw SolverError("solver: group power range is empty");
+  }
+  if (!std::isfinite(g.fit(g.min_power.value())) ||
+      !std::isfinite(g.fit(g.max_power.value()))) {
+    throw SolverError(
+        "solver: group " + std::to_string(index) +
+        " has a non-finite fitted Perf inside its operating range"
+        " (a=" + std::to_string(g.fit.a) + ", b=" + std::to_string(g.fit.b) +
+        ", c=" + std::to_string(g.fit.c) +
+        ", range=[" + std::to_string(g.min_power.value()) + ", " +
+        std::to_string(g.max_power.value()) + "] W)");
+  }
+}
+
 void validate_inputs(std::span<const GroupModel> groups, Watts total_supply,
                      std::size_t max_groups = 3) {
   if (groups.empty() || groups.size() > max_groups) {
@@ -48,13 +76,8 @@ void validate_inputs(std::span<const GroupModel> groups, Watts total_supply,
   if (total_supply.value() <= 0.0) {
     throw SolverError("solver: total supply must be positive");
   }
-  for (const auto& g : groups) {
-    if (g.count <= 0) {
-      throw SolverError("solver: group count must be positive");
-    }
-    if (g.max_power.value() <= g.min_power.value()) {
-      throw SolverError("solver: group power range is empty");
-    }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    validate_group(groups[i], i);
   }
 }
 
@@ -342,10 +365,8 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
   if (total_supply.value() <= 0.0) {
     throw SolverError("solver: total supply must be positive");
   }
-  for (const auto& g : groups) {
-    if (g.count <= 0 || g.max_power.value() <= g.min_power.value()) {
-      throw SolverError("solver: invalid group");
-    }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    validate_group(groups[i], i);
   }
   quanta = std::max(quanta, 20);
   const double quantum = 1.0 / quanta;

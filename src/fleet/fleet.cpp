@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "check/invariants.h"
 #include "telemetry/metrics.h"
 
 namespace greenhetero {
@@ -141,6 +142,11 @@ FleetReport Fleet::run(Minutes duration) {
     // previous step (parallel_for is a barrier), so the shares are computed
     // from a consistent fleet snapshot no matter how many threads run.
     const std::vector<Watts> shares = plan_grid_shares();
+    if (config_.check) {
+      check::InvariantChecker::check_grid_shares(
+          shares, config_.total_grid_budget, racks_.front().now().value(),
+          static_cast<long>(e));
+    }
     Watts allocated{0.0};
     for (std::size_t i = 0; i < racks_.size(); ++i) {
       allocated += shares[i];

@@ -62,6 +62,11 @@ struct FleetConfig {
   /// Coordinator-level telemetry (the coordinator stamps its events with
   /// rack id -1; each rack's own telemetry is configured via its SimConfig).
   TelemetryConfig telemetry;
+  /// Runtime invariant checking of the coordinator's own decisions: validate
+  /// every epoch's grid shares (finite, non-negative, never over-committing
+  /// the total budget) via check::InvariantChecker::check_grid_shares.
+  /// Per-rack invariants are enabled separately via SimConfig::check.
+  bool check = false;
 
   /// Fail fast on out-of-range knobs (negative or non-finite grid budget).
   /// Throws FleetError; rack-dependent invariants (matching epoch lengths)

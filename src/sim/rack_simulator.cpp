@@ -130,6 +130,9 @@ RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
     }
     injector_.emplace(config_.faults);
   }
+  if (config_.check) {
+    checker_ = std::make_unique<check::InvariantChecker>();
+  }
   if (config_.rapl_enforcement) {
     if (config_.controller.policy == PolicyKind::kGreenHeteroS) {
       // The feedback caps act per group; they cannot express waking only a
@@ -329,6 +332,20 @@ EpochRecord RackSimulator::step_epoch() {
     run_normal_epoch(plan, demand_hint, record);
   }
   record_epoch_telemetry(record);
+  if (checker_) {
+    check::InvariantChecker::EpochContext ctx;
+    ctx.record = &record;
+    ctx.ledger = &ledger_;
+    ctx.run_epu = run_epu_.epu();
+    ctx.floor_soc = 1.0 - plant_.battery().spec().depth_of_discharge;
+    // record_epoch_telemetry just closed the loss epoch; check the exact
+    // decomposition it appended.
+    if (const tel::LossLedger* loss = tel::loss_ledger();
+        loss != nullptr && !loss->epochs().empty()) {
+      ctx.loss = &loss->epochs().back();
+    }
+    checker_->check_epoch(ctx);
+  }
   return record;
 }
 
@@ -611,6 +628,17 @@ PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
     in.source_fault_active = plant_.source_fault_active();
     in.gaps = Enforcer::attribute_gaps(rack_, group_power);
     loss->post_step(in);
+  }
+
+  if (checker_) {
+    check::InvariantChecker::SubstepContext ctx;
+    ctx.rack = &rack_;
+    ctx.plant = &plant_;
+    ctx.flows = flows;
+    ctx.renewable_available = renewable;
+    ctx.shortfall = step.shortfall;
+    ctx.now = now;
+    checker_->check_substep(ctx);
   }
 
   rack_.accumulate(dt);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 
+#include "check/invariants.h"
 #include "core/controller.h"
 #include "core/enforcer.h"
 #include "core/epu.h"
@@ -74,6 +75,12 @@ struct SimConfig {
   /// Deterministic fault schedule replayed against this rack (empty = no
   /// faults and exactly the fault-free behaviour, bit for bit).
   FaultPlan faults;
+  /// Runtime invariant checking: evaluate the check/invariants.h registry on
+  /// every substep and epoch, throwing check::InvariantViolation on the
+  /// first failure.  The checker is pull-only (it never mutates simulator
+  /// state or emits telemetry), so results are byte-identical either way;
+  /// off (the default) costs one null-pointer test per substep.
+  bool check = false;
 
   /// Fail fast on configurations the engine cannot honour: non-positive
   /// substep, substep longer than the epoch, an unsorted workload schedule,
@@ -124,6 +131,12 @@ class RackSimulator {
     return telemetry_->metrics().snapshot();
   }
 
+  /// The invariant checker (counters for reporting); null unless
+  /// SimConfig::check was set.
+  [[nodiscard]] const check::InvariantChecker* checker() const {
+    return checker_.get();
+  }
+
  private:
   struct EpochStats;  // defined in the .cpp
 
@@ -165,6 +178,9 @@ class RackSimulator {
   /// While a solar *sensor* is stuck, the value it keeps reporting (the
   /// physical array is unaffected; only the controller's feedback lies).
   std::optional<Watts> solar_sensor_stuck_;
+  /// Engaged only when SimConfig::check is set; the hot path tests the
+  /// pointer once per substep when off.
+  std::unique_ptr<check::InvariantChecker> checker_;
 };
 
 }  // namespace greenhetero

@@ -381,6 +381,9 @@ RackSimulator make_faulted_sim(FaultPlan plan, std::uint64_t seed = 42) {
   SimConfig cfg;
   cfg.controller.policy = PolicyKind::kGreenHetero;
   cfg.controller.seed = seed;
+  // Fault scenarios are where conservation and SoC bounds are most likely to
+  // slip; run every scheduled-fault test under the invariant checker.
+  cfg.check = true;
   cfg.faults = std::move(plan);
   GridSpec grid;
   grid.budget = Watts{800.0};
@@ -413,6 +416,10 @@ TEST(ScheduledFaults, EveryKindRunsThroughAndConservesEnergy) {
     const RunReport report = sim.run(Minutes{4.0 * 60.0});
     EXPECT_NEAR(report.ledger.conservation_error(), 0.0, 1e-6);
     EXPECT_GT(report.total_work, 0.0);
+    // The invariant checker observed the whole run (a violation throws).
+    ASSERT_NE(sim.checker(), nullptr);
+    EXPECT_GT(sim.checker()->substeps_checked(), 0u);
+    EXPECT_EQ(sim.checker()->epochs_checked(), report.epochs.size());
     // Begin and end edges both surface in the trace.
     EXPECT_EQ(count_events(sim, "fault_inject"), 2u);
     const auto* injected = sim.metrics_snapshot().find(

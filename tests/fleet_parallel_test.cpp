@@ -25,6 +25,9 @@ RackSimulator make_rack_sim(Watts solar_capacity, std::uint64_t seed,
   cfg.controller.policy = PolicyKind::kGreenHetero;
   cfg.controller.seed = seed;
   cfg.controller.epoch = Minutes{15.0};
+  // Run the determinism sweeps under the invariant checker: it must neither
+  // perturb the byte-identity contract nor trip on any thread count.
+  cfg.check = true;
   cfg.faults = faults;
   GridSpec grid;
   grid.budget = Watts{500.0};  // overwritten by the fleet each epoch
@@ -64,6 +67,7 @@ RunArtifacts run_fleet(std::size_t threads, const FaultPlan& faults = {}) {
   FleetConfig cfg;
   cfg.total_grid_budget = Watts{2000.0};
   cfg.mode = GridShareMode::kDemandProportional;
+  cfg.check = true;  // exercises divide_grid_budget's over-commit invariant
   cfg.threads = threads;
   Fleet fleet{std::move(racks), cfg};
   EXPECT_EQ(fleet.threads(), threads);

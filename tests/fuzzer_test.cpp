@@ -1,0 +1,122 @@
+// Fuzzer harness tests: clean runs stay clean and replay deterministically,
+// a planted allocation bug is caught and shrunk to a minimal scenario, and
+// the repro command line round-trips through the option overrides.
+#include "check/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace greenhetero {
+namespace {
+
+using check::FuzzOptions;
+using check::FuzzReport;
+using check::FuzzScenario;
+
+/// Scheduled faults narrate through the WARN log; keep test output clean.
+class FuzzerTest : public ::testing::Test {
+ protected:
+  FuzzerTest() : quiet_(LogLevel::kOff) {}
+  ScopedLogCapture quiet_;
+};
+
+TEST_F(FuzzerTest, SmallSweepIsClean) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.runs = 3;
+  const FuzzReport report = check::run_fuzzer(options);
+  EXPECT_TRUE(report.ok()) << report.first_failure->what;
+  EXPECT_EQ(report.runs_executed, 3);
+  EXPECT_FALSE(report.first_failure.has_value());
+  EXPECT_FALSE(report.shrunk.has_value());
+}
+
+TEST_F(FuzzerTest, ScenariosReplayDeterministically) {
+  FuzzScenario scenario;
+  scenario.seed = 7;
+  scenario.run_index = 2;
+  scenario.racks = 2;
+  scenario.epochs = 4;
+  const auto first = check::run_scenario(scenario);
+  const auto second = check::run_scenario(scenario);
+  EXPECT_EQ(first.has_value(), second.has_value());
+  if (first && second) {
+    EXPECT_EQ(*first, *second);
+  }
+}
+
+TEST_F(FuzzerTest, PlantedAllocationBugIsCaughtAndShrunk) {
+  // Plant a NaN into every recorded PAR vector before re-validation — the
+  // stand-in for a solver that emits poisoned ratios.  The fuzzer must
+  // catch it on the first run and shrink the scenario to the floors (the
+  // bug fires regardless of epochs, racks or faults).
+  FuzzOptions options;
+  options.seed = 1;
+  options.runs = 5;
+  options.allocation_mutation = [](std::vector<double>& ratios) {
+    if (!ratios.empty()) {
+      ratios[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+  std::ostringstream log;
+  options.log = &log;
+  const FuzzReport report = check::run_fuzzer(options);
+
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.scenarios_failed, 1);  // stop at the first failure
+  ASSERT_TRUE(report.first_failure.has_value());
+  ASSERT_TRUE(report.shrunk.has_value());
+  EXPECT_NE(report.shrunk->what.find("epoch-par-ratios-valid"),
+            std::string::npos)
+      << report.shrunk->what;
+
+  // Acceptance bar: an unconditional bug shrinks to a tiny repro.
+  EXPECT_LE(report.shrunk->scenario.epochs, 3);
+  EXPECT_LE(report.shrunk->scenario.racks, 2);
+  EXPECT_LE(report.shrunk->scenario.epochs,
+            report.first_failure->scenario.epochs);
+  EXPECT_LE(report.shrunk->scenario.racks,
+            report.first_failure->scenario.racks);
+
+  // The narration mentions the shrink and the final repro line.
+  const std::string narration = log.str();
+  EXPECT_NE(narration.find("fuzz: FAILURE"), std::string::npos);
+  EXPECT_NE(narration.find("fuzz: minimal repro: greenhetero fuzz"),
+            std::string::npos);
+}
+
+TEST_F(FuzzerTest, CommandLineRoundTripsThroughOverrides) {
+  FuzzScenario scenario;
+  scenario.seed = 9;
+  scenario.run_index = 3;
+  scenario.racks = 2;
+  scenario.epochs = 5;
+  EXPECT_EQ(scenario.command_line(),
+            "greenhetero fuzz --seed 9 --runs 1 --run 3 --racks 2 --epochs 5");
+  scenario.max_faults = 1;
+  EXPECT_EQ(scenario.command_line(),
+            "greenhetero fuzz --seed 9 --runs 1 --run 3 --racks 2 --epochs 5"
+            " --max-faults 1");
+
+  // Replaying through the option overrides reproduces the derived scenario
+  // (the clean case: same seed coordinates, same verdict).
+  FuzzOptions replay;
+  replay.seed = scenario.seed;
+  replay.runs = 1;
+  replay.only_run = scenario.run_index;
+  replay.racks = scenario.racks;
+  replay.epochs = scenario.epochs;
+  replay.max_faults = scenario.max_faults;
+  const FuzzReport report = check::run_fuzzer(replay);
+  EXPECT_EQ(report.runs_executed, 1);
+  EXPECT_EQ(report.ok(),
+            !check::run_scenario(scenario).has_value());
+}
+
+}  // namespace
+}  // namespace greenhetero

@@ -7,10 +7,10 @@
 #include <tuple>
 
 #include "fleet/fleet.h"
+#include "generators.h"
 #include "power/battery.h"
 #include "server/combinations.h"
 #include "sim/rack_simulator.h"
-#include "trace/solar.h"
 #include "trace/statistics.h"
 #include "trace/wind.h"
 #include "workload/queueing.h"
@@ -148,17 +148,11 @@ TEST_P(FleetSizeProperty, SharesRespectTotalBudget) {
   const int racks = GetParam();
   std::vector<RackSimulator> sims;
   for (int i = 0; i < racks; ++i) {
-    Rack rack{default_runtime_rack(), Workload::kSpecJbb};
-    SimConfig cfg;
-    cfg.controller.policy = PolicyKind::kUniform;
-    cfg.controller.seed = static_cast<std::uint64_t>(i);
-    sims.emplace_back(
-        std::move(rack),
-        make_standard_plant(
-            generate_solar_trace(high_solar_model(Watts{1200.0 + 500.0 * i}),
-                                 2, static_cast<std::uint64_t>(i)),
-            GridSpec{}),
-        std::move(cfg));
+    testgen::SolarSimParams params;
+    params.controller_seed = static_cast<std::uint64_t>(i);
+    params.solar_seed = static_cast<std::uint64_t>(i);
+    params.solar_capacity = Watts{1200.0 + 500.0 * i};
+    sims.push_back(testgen::make_solar_sim(params));
   }
   const Watts total{700.0 * racks};
   Fleet fleet{std::move(sims), total, GridShareMode::kDemandProportional};

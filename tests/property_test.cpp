@@ -4,10 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "core/policies.h"
+#include "generators.h"
 #include "server/combinations.h"
 #include "sim/rack_simulator.h"
-#include "trace/load_pattern.h"
-#include "trace/solar.h"
 
 namespace greenhetero {
 namespace {
@@ -54,18 +53,7 @@ TEST_P(PolicyInvariantProperty, RatiosValidAndGreenHeteroDominatesUniform) {
   Rack rack{default_runtime_rack(), w};
   const Watts budget{500.0 + 200.0 * budget_step};
 
-  // Perfect training-run database.
-  PerfPowerDatabase db;
-  for (std::size_t g = 0; g < rack.group_count(); ++g) {
-    const PerfCurve& curve = rack.group_curve(g);
-    std::vector<ServerSample> samples;
-    for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-      const Watts p = curve.idle_power() +
-                      (curve.peak_power() - curve.idle_power()) * f;
-      samples.push_back({p, curve.throughput_at(p)});
-    }
-    db.add_training_samples({rack.group(g).model, w}, samples);
-  }
+  const PerfPowerDatabase db = testgen::perfect_database(rack);
 
   const auto true_perf = [&](const Allocation& a) {
     double total = 0.0;
@@ -111,24 +99,15 @@ class SimulationInvariantProperty
 
 TEST_P(SimulationInvariantProperty, ConservationEpuAndSocBounds) {
   const auto [seed, policy_idx] = GetParam();
-  const PolicyKind policy = kAllPolicies[policy_idx];
-  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
-  SimConfig cfg;
-  cfg.controller.policy = policy;
-  cfg.controller.profiling_noise = 0.03;
-  cfg.controller.seed = static_cast<std::uint64_t>(seed * 977 + 13);
-  cfg.demand_trace = generate_load_trace(
-      LoadPatternModel{}, rack.peak_demand(), 2,
-      static_cast<std::uint64_t>(seed));
-  GridSpec grid;
-  grid.budget = Watts{1000.0};
-  RackSimulator sim{
-      std::move(rack),
-      make_standard_plant(
-          generate_solar_trace(high_solar_model(Watts{2500.0}), 2,
-                               static_cast<std::uint64_t>(seed + 100)),
-          grid),
-      std::move(cfg)};
+  testgen::SolarSimParams params;
+  params.policy = kAllPolicies[policy_idx];
+  params.profiling_noise = 0.03;
+  params.controller_seed = static_cast<std::uint64_t>(seed * 977 + 13);
+  params.generate_demand = true;
+  params.demand_seed = static_cast<std::uint64_t>(seed);
+  params.solar_seed = static_cast<std::uint64_t>(seed + 100);
+  params.grid.budget = Watts{1000.0};
+  RackSimulator sim = testgen::make_solar_sim(params);
   sim.pretrain();
   const RunReport report = sim.run(Minutes{24.0 * 60.0});
 

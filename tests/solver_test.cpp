@@ -293,29 +293,59 @@ TEST_P(SolverPropertyTest, NearOptimalOnRandomInstances) {
 INSTANTIATE_TEST_SUITE_P(RandomInstances, SolverPropertyTest,
                          ::testing::Range(0, 40));
 
-TEST(SolverSanity, PoisonedFitIsRepairedAndCounted) {
-  // A NaN-coefficient fit (a poisoned database record) drives the backend's
-  // objective to NaN everywhere; the output guard must still hand back a
-  // finite allocation and count the repair.
+TEST(SolverSanity, PoisonedFitIsRejectedWithDiagnostics) {
+  // A NaN-coefficient fit (a poisoned database record) yields a non-finite
+  // Perf across the whole operating range.  Clamping such a group would
+  // silently misallocate power, so the solver rejects the instance up front
+  // and names the offending group and coefficients; callers that can degrade
+  // (the controller) catch SolverError and fall back to a safe allocation.
   GroupModel poisoned;
   poisoned.fit = Quadratic{std::numeric_limits<double>::quiet_NaN(), 1.0, 0.0};
   poisoned.min_power = Watts{50.0};
   poisoned.max_power = Watts{150.0};
   poisoned.count = 4;
 
-  telemetry::Telemetry context;
-  const telemetry::TelemetryScope scope(&context);
-  const Allocation result =
-      Solver::solve(std::span<const GroupModel>{&poisoned, 1}, Watts{400.0});
-  for (double r : result.ratios) {
-    EXPECT_TRUE(std::isfinite(r));
-    EXPECT_GE(r, 0.0);
+  try {
+    (void)Solver::solve(std::span<const GroupModel>{&poisoned, 1},
+                        Watts{400.0});
+    FAIL() << "expected SolverError for a NaN fit";
+  } catch (const SolverError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("group 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("a=nan"), std::string::npos) << what;
   }
-  EXPECT_TRUE(std::isfinite(result.predicted_perf));
-  const auto* repairs =
-      context.metrics().snapshot().find("gh_solver_repairs_total");
-  ASSERT_NE(repairs, nullptr);
-  EXPECT_GE(repairs->value, 1.0);
+}
+
+TEST(SolverSanity, OverflowAtPeakOnlyIsRejected) {
+  // Regression: a fit that is finite at idle but overflows to +inf at peak
+  // used to slip past a NaN-only coefficient check.  Endpoint evaluation
+  // catches it because a finite quadratic on [lo, hi] must be finite at
+  // both ends.
+  GroupModel overflowing;
+  overflowing.fit = Quadratic{1e305, 0.0, 0.0};  // finite at 1 W, inf at 150 W
+  overflowing.min_power = Watts{1.0};
+  overflowing.max_power = Watts{150.0};
+  overflowing.count = 2;
+  ASSERT_TRUE(std::isfinite(overflowing.fit(overflowing.min_power.value())));
+  ASSERT_FALSE(std::isfinite(overflowing.fit(overflowing.max_power.value())));
+
+  GroupModel healthy;
+  healthy.fit = Quadratic{-0.01, 5.0, -50.0};
+  healthy.min_power = Watts{40.0};
+  healthy.max_power = Watts{160.0};
+  healthy.count = 4;
+
+  const std::vector<GroupModel> groups{healthy, overflowing};
+  try {
+    (void)Solver::solve(groups, Watts{600.0});
+    FAIL() << "expected SolverError for an overflowing fit";
+  } catch (const SolverError& e) {
+    EXPECT_NE(std::string(e.what()).find("group 1"), std::string::npos)
+        << e.what();
+  }
+  // solve_subset shares the validation path.
+  EXPECT_THROW((void)Solver::solve_subset(groups, Watts{600.0}), SolverError);
 }
 
 TEST(SolverSanity, HealthyInstancesNeverTripTheRepairCounter) {

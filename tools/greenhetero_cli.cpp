@@ -5,7 +5,7 @@
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
 //                         [--seed S] [--csv FILE] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--metrics-out FILE]
-//                         [--ledger on] [--spans-out FILE.json]
+//                         [--ledger on] [--spans-out FILE.json] [--check on]
 //   greenhetero analyze   --trace RUN.jsonl [--diff BASELINE.jsonl]
 //                         [--threshold T]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
@@ -16,7 +16,9 @@
 //                         [--mode static|proportional] [--threads N]
 //                         [--faults PLAN.csv] [--trace-out FILE.jsonl]
 //                         [--metrics-out FILE] [--ledger on]
-//                         [--spans-out FILE.json]
+//                         [--spans-out FILE.json] [--check on]
+//   greenhetero fuzz      [--seed S] [--runs N] [--run R] [--racks N]
+//                         [--epochs E] [--max-faults F]
 //   greenhetero info      (servers, workloads, combinations, telemetry)
 //
 // --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
@@ -32,6 +34,16 @@
 // default, uses one per hardware thread; 1 forces the sequential path).
 // Reports and traces are byte-identical for every thread count.
 //
+// --check enables the runtime invariant checker (src/check/invariants.h):
+// every substep and epoch is validated against the invariant registry and
+// the first violation aborts the run with a structured diagnostic.  Results
+// are byte-identical with or without it (the checker is read-only).
+//
+// fuzz generates seed-replayable random scenarios (rack mixes, solar
+// traces, fault plans), runs each sequentially and in parallel with
+// invariants on, cross-checks the solver against the brute-force oracle,
+// and on failure prints a shrunk repro command line; exits 4 on failure.
+//
 // analyze exits 0 when --diff stays within --threshold (default 0.01) and
 // 3 when it drifts beyond it — the CI trace gate keys off that.
 #include <cstdio>
@@ -44,6 +56,7 @@
 #include <string>
 
 #include "analysis/trace_analyzer.h"
+#include "check/fuzzer.h"
 #include "core/policies.h"
 #include "faults/fault_plan.h"
 #include "fleet/fleet.h"
@@ -54,6 +67,7 @@
 #include "trace/solar.h"
 #include "trace/statistics.h"
 #include "trace/wind.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -178,6 +192,7 @@ int cmd_simulate(const Args& args) {
   cfg.controller.policy = policy;
   cfg.controller.seed = seed;
   cfg.telemetry.loss_ledger = !args.get("ledger", "").empty();
+  cfg.check = !args.get("check", "").empty();
   const std::string spans_out = args.get("spans-out", "");
   cfg.telemetry.spans = !spans_out.empty();
   const std::string faults = args.get("faults", "");
@@ -224,6 +239,13 @@ int cmd_simulate(const Args& args) {
   std::printf("  grid energy:      %.1f kWh  (cost $%.2f)\n",
               report.grid_energy.value() / 1000.0, report.grid_cost);
   std::printf("  battery cycles:   %.2f\n", report.battery_cycles);
+  if (const check::InvariantChecker* checker = sim.checker()) {
+    std::printf("  invariants:       %llu checks over %llu substeps / %llu "
+                "epochs, all passed\n",
+                static_cast<unsigned long long>(checker->checks_passed()),
+                static_cast<unsigned long long>(checker->substeps_checked()),
+                static_cast<unsigned long long>(checker->epochs_checked()));
+  }
   const CarbonReport carbon = carbon_report(report.ledger);
   std::printf("  CO2e:             %.1f kg (%.0f g/kWh; %.1f kg saved vs "
               "all-grid)\n",
@@ -392,6 +414,7 @@ int cmd_fleet(const Args& args) {
 
   const std::string spans_out = args.get("spans-out", "");
   const bool ledger = !args.get("ledger", "").empty();
+  const bool check = !args.get("check", "").empty();
   std::vector<RackSimulator> sims;
   for (int i = 0; i < racks; ++i) {
     // Solar provisioning spread linearly around 1.8 kW by +/- asymmetry.
@@ -404,6 +427,7 @@ int cmd_fleet(const Args& args) {
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
     cfg.telemetry.loss_ledger = ledger;
     cfg.telemetry.spans = !spans_out.empty();
+    cfg.check = check;
     cfg.faults = fault_plan;
     sims.emplace_back(
         std::move(rack),
@@ -417,6 +441,7 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.total_grid_budget = total_grid;
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
+  fleet_cfg.check = check;
   Fleet fleet{std::move(sims), fleet_cfg};
   fleet.pretrain();
   const FleetReport report = fleet.run(Minutes{24.0 * 60.0});
@@ -434,6 +459,19 @@ int cmd_fleet(const Args& args) {
                 i, report.racks[i].total_work,
                 report.racks[i].overall_epu * 100.0,
                 report.racks[i].battery_cycles);
+  }
+  if (check) {
+    unsigned long long checks = 0;
+    unsigned long long substeps = 0;
+    for (std::size_t i = 0; i < report.racks.size(); ++i) {
+      if (const check::InvariantChecker* checker = fleet.rack(i).checker()) {
+        checks += checker->checks_passed();
+        substeps += checker->substeps_checked();
+      }
+    }
+    std::printf("  invariants:       %llu checks over %llu substeps, all "
+                "passed\n",
+                checks, substeps);
   }
   const std::string trace_out = args.get("trace-out", "");
   if (!trace_out.empty()) {
@@ -455,10 +493,47 @@ int cmd_fleet(const Args& args) {
   return 0;
 }
 
+int cmd_fuzz(const Args& args) {
+  // Fault begin/end warnings from randomized plans would drown the per-run
+  // progress lines; failures surface through the fuzz report instead.
+  Logger::instance().set_level(LogLevel::kError);
+  check::FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+  options.runs = static_cast<int>(args.number("runs", 25.0));
+  options.only_run = static_cast<int>(args.number("run", -1.0));
+  options.racks = static_cast<int>(args.number("racks", -1.0));
+  options.epochs = static_cast<int>(args.number("epochs", -1.0));
+  options.max_faults = static_cast<int>(args.number("max-faults", -1.0));
+  options.log = &std::cout;
+
+  const check::FuzzReport report = check::run_fuzzer(options);
+  if (report.ok()) {
+    std::printf("fuzz: %d run(s) clean (seed %llu)\n", report.runs_executed,
+                static_cast<unsigned long long>(options.seed));
+    return 0;
+  }
+  std::printf("fuzz: run %d FAILED: %s\n",
+              report.first_failure->scenario.run_index,
+              report.first_failure->what.c_str());
+  std::printf("fuzz: minimal repro: %s\n",
+              report.shrunk->scenario.command_line().c_str());
+  const std::string repro_out = args.get("repro-out", "");
+  if (!repro_out.empty()) {
+    std::ofstream out(repro_out);
+    if (!out) {
+      throw std::runtime_error("cannot open repro output file: " + repro_out);
+    }
+    out << report.shrunk->scenario.command_line() << "\n"
+        << report.shrunk->what << "\n";
+    std::printf("fuzz: repro written to %s\n", repro_out.c_str());
+  }
+  return 4;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: greenhetero "
-               "<simulate|fleet|analyze|policies|solve|traces|info> "
+               "<simulate|fleet|fuzz|analyze|policies|solve|traces|info> "
                "[--option value ...]\n");
 }
 
@@ -479,6 +554,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(args);
     if (command == "traces") return cmd_traces(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "fuzz") return cmd_fuzz(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
