@@ -9,6 +9,8 @@
 // --threads N spreads the 2x10 independent simulations over a worker pool
 // (default 0 = one per hardware thread); the table is identical at any
 // thread count because each run owns its rack, plant and RNG.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "server/rack.h"
 #include "sim/rack_simulator.h"
 #include "trace/heterogeneity.h"
@@ -46,8 +49,14 @@ std::vector<ServerGroup> pick_groups(int configs, Rng& rng) {
   return groups;
 }
 
-double run_dc(const std::vector<ServerGroup>& groups, PolicyKind policy,
-              std::uint64_t seed) {
+struct DcResult {
+  double work = 0.0;
+  std::size_t epochs = 0;            ///< rack-epochs simulated
+  std::size_t peak_trace_bytes = 0;  ///< gh_trace_buffer_bytes high-water
+};
+
+DcResult run_dc(const std::vector<ServerGroup>& groups, PolicyKind policy,
+                std::uint64_t seed) {
   Rack rack{groups, Workload::kSpecJbb};
   SimConfig cfg;
   cfg.controller.policy = policy;
@@ -64,7 +73,12 @@ double run_dc(const std::vector<ServerGroup>& groups, PolicyKind policy,
           grid),
       std::move(cfg)};
   sim.pretrain();
-  return sim.run(Minutes{24.0 * 60.0}).total_work;
+  DcResult result;
+  const RunReport report = sim.run(Minutes{24.0 * 60.0});
+  result.work = report.total_work;
+  result.epochs = report.epochs.size();
+  result.peak_trace_bytes = sim.telemetry().trace().peak_bytes();
+  return result;
 }
 
 }  // namespace
@@ -95,21 +109,26 @@ int main(int argc, char** argv) {
   }
 
   // Job 2*dc is the Uniform run, 2*dc+1 the GreenHetero run.
-  std::vector<double> work(2 * survey.size(), 0.0);
+  std::vector<DcResult> results(2 * survey.size());
   util::ThreadPool pool(threads);
-  pool.parallel_for(work.size(), [&](std::size_t job) {
+  const auto sim_start = std::chrono::steady_clock::now();
+  pool.parallel_for(results.size(), [&](std::size_t job) {
     const std::size_t dc = job / 2;
     const PolicyKind policy =
         job % 2 == 0 ? PolicyKind::kUniform : PolicyKind::kGreenHetero;
-    work[job] = run_dc(dc_groups[dc], policy,
-                       static_cast<std::uint64_t>(dc * 17 + 5));
+    results[job] = run_dc(dc_groups[dc], policy,
+                          static_cast<std::uint64_t>(dc * 17 + 5));
   });
+  const double sim_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sim_start)
+          .count();
 
   std::map<int, std::vector<double>> gains_by_level;
   for (std::size_t dc = 0; dc < survey.size(); ++dc) {
     const int configs = survey[dc].config_count;
-    const double uniform = work[2 * dc];
-    const double gh = work[2 * dc + 1];
+    const double uniform = results[2 * dc].work;
+    const double gh = results[2 * dc + 1].work;
     const double gain = uniform > 0.0 ? gh / uniform : 0.0;
     gains_by_level[std::min(configs, 3)].push_back(gain);
 
@@ -123,12 +142,36 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nMean gain by rack heterogeneity level:\n");
+  bench::BenchReport bench_report("datacenter_study");
   for (const auto& [level, gains] : gains_by_level) {
     double sum = 0.0;
     for (double g : gains) sum += g;
     std::printf("  %d server type(s) per rack: %.2fx over %zu datacenters\n",
                 level, sum / gains.size(), gains.size());
+    bench_report.set("gain_level_" + std::to_string(level),
+                     sum / gains.size());
   }
+
+  // Simulation throughput and peak trace-buffer footprint: the numbers the
+  // bounded-memory streaming work is judged against (committed reference in
+  // bench/baselines/BENCH_datacenter_study.json).
+  std::size_t rack_epochs = 0;
+  std::size_t peak_trace_bytes = 0;
+  for (const DcResult& result : results) {
+    rack_epochs += result.epochs;
+    peak_trace_bytes = std::max(peak_trace_bytes, result.peak_trace_bytes);
+  }
+  const double rack_epochs_per_sec =
+      sim_seconds > 0.0 ? static_cast<double>(rack_epochs) / sim_seconds : 0.0;
+  std::printf("\nThroughput: %zu rack-epochs in %.2fs (%.0f rack-epochs/s, "
+              "%zu threads); peak gh_trace_buffer_bytes %zu per rack\n",
+              rack_epochs, sim_seconds, rack_epochs_per_sec,
+              pool.thread_count(), peak_trace_bytes);
+  bench_report.set("rack_epochs", static_cast<double>(rack_epochs));
+  bench_report.set("rack_epochs_per_sec", rack_epochs_per_sec);
+  bench_report.set("trace_buffer_peak_bytes",
+                   static_cast<double>(peak_trace_bytes));
+  bench_report.write();
   std::printf("\nReading: every datacenter gains (1.2-1.5x), but the gain "
               "tracks the *diversity of the drawn power profiles* more than "
               "the raw type count — the paper's own Comb2/Comb4 result "

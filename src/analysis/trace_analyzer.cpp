@@ -130,6 +130,43 @@ void print_latencies(std::ostream& out,
   }
 }
 
+void print_rollups(std::ostream& out, const std::vector<RollupRow>& rollups) {
+  out << "Rollup trend (fixed-window rollup events)";
+  if (rollups.empty()) {
+    out << ": none (re-run the simulation with --rollup-out/--rollup-window)"
+        << "\n";
+    return;
+  }
+  out << "\n  " << std::left << std::setw(22) << "window" << std::right
+      << std::setw(7) << "racks" << std::setw(8) << "epochs" << std::setw(10)
+      << "EPU" << std::setw(14) << "shortfall W" << std::setw(12) << "grid W"
+      << std::setw(11) << "unhealthy" << "\n";
+  for (const RollupRow& r : rollups) {
+    std::ostringstream window;
+    window << "[" << tel::format_number(r.start_min) << ", "
+           << tel::format_number(r.end_min) << ")";
+    std::ostringstream epu;
+    epu << std::fixed << std::setprecision(4) << r.mean_epu;
+    out << "  " << std::left << std::setw(22) << window.str() << std::right
+        << std::setw(7) << r.racks << std::setw(8) << r.epochs
+        << std::setw(10) << epu.str() << std::setw(14)
+        << tel::format_number(r.mean_shortfall_w) << std::setw(12)
+        << tel::format_number(r.mean_grid_w) << std::setw(11)
+        << r.unhealthy_epochs << "\n";
+  }
+}
+
+void print_flightrecs(std::ostream& out,
+                      const std::vector<FlightRecEntry>& entries) {
+  if (entries.empty()) return;
+  out << "Flight-recorder dumps\n";
+  for (const FlightRecEntry& e : entries) {
+    out << "  t=" << tel::format_number(e.t_min) << "min  rack " << e.rack_id
+        << "  reason " << e.reason << "\n";
+  }
+  out << "\n";
+}
+
 }  // namespace
 
 TraceData load_trace(const std::filesystem::path& path) {
@@ -268,6 +305,7 @@ TraceAnalysis analyze(const TraceData& trace) {
   const std::vector<EpochPoint>& series =
       ledger_epochs > 0 ? fault_series : shortfall_series;
   std::map<std::string, std::vector<double>> durations;
+  std::map<double, std::vector<const json::Value*>> rollups;
   for (const json::Value& event : trace.events) {
     const json::Value* phase = event.find("phase");
     if (phase == nullptr || !phase->is_string()) continue;
@@ -296,7 +334,50 @@ TraceAnalysis analyze(const TraceData& trace) {
     } else if (name == "span") {
       durations[event.string_or("name", "?")].push_back(
           event.number_or("dur_ns", 0.0));
+    } else if (name == "rollup") {
+      rollups[event.number_or("window_start_min", 0.0)].push_back(&event);
+    } else if (name == "trace_truncated") {
+      analysis.truncated_dropped +=
+          static_cast<std::uint64_t>(event.number_or("dropped", 0.0));
+    } else if (name == "flightrec") {
+      FlightRecEntry entry;
+      entry.t_min = t;
+      entry.rack_id = rack;
+      entry.reason = event.string_or("reason", "?");
+      analysis.flightrecs.push_back(std::move(entry));
     }
+  }
+
+  // Aggregate the per-rack rollup events into one row per window,
+  // epoch-weighting the means (map iteration gives ascending window start).
+  for (const auto& [start, events] : rollups) {
+    RollupRow row;
+    row.start_min = start;
+    row.racks = events.size();
+    double epu_weighted = 0.0;
+    double shortfall_weighted = 0.0;
+    double grid_weighted = 0.0;
+    for (const json::Value* event : events) {
+      row.end_min = std::max(row.end_min,
+                             event->number_or("window_end_min", 0.0));
+      const double epochs = event->number_or("epochs", 0.0);
+      row.epochs += static_cast<std::size_t>(epochs);
+      epu_weighted += event->number_or("epu", 0.0) * epochs;
+      shortfall_weighted += event->number_or("shortfall_w", 0.0) * epochs;
+      grid_weighted += event->number_or("grid_w", 0.0) * epochs;
+      for (const char* key :
+           {"health_degraded", "health_safe", "health_recovering"}) {
+        row.unhealthy_epochs +=
+            static_cast<std::size_t>(event->number_or(key, 0.0));
+      }
+    }
+    if (row.epochs > 0) {
+      const double n = static_cast<double>(row.epochs);
+      row.mean_epu = epu_weighted / n;
+      row.mean_shortfall_w = shortfall_weighted / n;
+      row.mean_grid_w = grid_weighted / n;
+    }
+    analysis.rollups.push_back(row);
   }
 
   for (auto& [span_name, samples] : durations) {
@@ -315,17 +396,40 @@ TraceAnalysis analyze(const TraceData& trace) {
 void print_report(std::ostream& out, const TraceAnalysis& analysis) {
   out << "Trace: " << analysis.event_count << " events, schema v"
       << analysis.schema_version << "\n\n";
+  if (analysis.truncated_dropped > 0) {
+    out << "*** WARNING: trace truncated — " << analysis.truncated_dropped
+        << " event" << (analysis.truncated_dropped == 1 ? "" : "s")
+        << " dropped by the bounded ring buffer ***\n"
+        << "*** every figure below is computed from a PARTIAL trace"
+           " (raise the ring capacity or re-run with --stream on) ***\n\n";
+  }
+  print_flightrecs(out, analysis.flightrecs);
   print_epu(out, analysis.epu);
   out << "\n";
   print_faults(out, analysis.faults);
   out << "\n";
   print_latencies(out, analysis.latencies);
+  out << "\n";
+  print_rollups(out, analysis.rollups);
 }
 
 DiffResult diff(const TraceAnalysis& base, const TraceAnalysis& other) {
   DiffResult result;
   result.base_epu = base.epu.epu;
   result.other_epu = other.epu.epu;
+  result.base_truncated = base.truncated_dropped;
+  result.other_truncated = other.truncated_dropped;
+  // Per-window regression check: compare EPU window by window (matched on
+  // start time) so a short-lived regression cannot hide inside whole-run
+  // means.
+  for (const RollupRow& b : base.rollups) {
+    for (const RollupRow& o : other.rollups) {
+      if (std::fabs(o.start_min - b.start_min) < 1e-9) {
+        result.rollups.push_back({b.start_min, b.mean_epu, o.mean_epu});
+        break;
+      }
+    }
+  }
   // Bucket shares are only comparable when both runs carried a ledger; a
   // share missing on one side counts as zero so a feature mismatch is
   // visible as a full-size delta rather than silently skipped.
@@ -356,6 +460,15 @@ void print_diff(std::ostream& out, const DiffResult& result,
       << "  EPU   base " << tel::format_number(result.base_epu) << "   other "
       << tel::format_number(result.other_epu) << "   delta "
       << tel::format_number(result.epu_delta()) << "\n";
+  if (result.truncated()) {
+    out << "  NOTE: truncated trace on "
+        << (result.base_truncated > 0 && result.other_truncated > 0
+                ? "both sides"
+            : result.base_truncated > 0 ? "the base side"
+                                        : "the other side")
+        << " (" << result.base_truncated << " / " << result.other_truncated
+        << " events dropped) — comparison covers partial data\n";
+  }
   if (!result.buckets.empty()) {
     out << "  " << std::left << std::setw(20) << "bucket" << std::right
         << std::setw(12) << "base" << std::setw(12) << "other"
@@ -367,16 +480,35 @@ void print_diff(std::ostream& out, const DiffResult& result,
           << b.delta() << std::defaultfloat << "\n";
     }
   }
+  if (!result.rollups.empty()) {
+    out << "  " << std::left << std::setw(20) << "window start" << std::right
+        << std::setw(12) << "base EPU" << std::setw(12) << "other EPU"
+        << std::setw(12) << "delta" << "\n";
+    for (const RollupDelta& r : result.rollups) {
+      out << "  " << std::left << std::setw(20)
+          << tel::format_number(r.start_min) << std::right << std::fixed
+          << std::setprecision(6) << std::setw(12) << r.base_epu
+          << std::setw(12) << r.other_epu << std::setw(12) << r.delta()
+          << std::defaultfloat << "\n";
+    }
+  }
   out << (exceeds_threshold(result, threshold)
               ? "RESULT: drift above threshold\n"
               : "RESULT: within threshold\n");
 }
 
 bool exceeds_threshold(const DiffResult& result, double threshold) {
+  if (result.truncated()) return true;
   if (std::fabs(result.epu_delta()) > threshold) return true;
-  return std::any_of(result.buckets.begin(), result.buckets.end(),
-                     [threshold](const BucketDelta& b) {
-                       return std::fabs(b.delta()) > threshold;
+  if (std::any_of(result.buckets.begin(), result.buckets.end(),
+                  [threshold](const BucketDelta& b) {
+                    return std::fabs(b.delta()) > threshold;
+                  })) {
+    return true;
+  }
+  return std::any_of(result.rollups.begin(), result.rollups.end(),
+                     [threshold](const RollupDelta& r) {
+                       return std::fabs(r.delta()) > threshold;
                      });
 }
 

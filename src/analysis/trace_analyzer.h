@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
 #include <stdexcept>
@@ -90,12 +91,41 @@ struct PhaseLatency {
   double p99_ns = 0.0;
 };
 
+/// One rollup window, aggregated across every rack that reported it (the
+/// per-rack "rollup" events are keyed by window start; means are epoch-
+/// weighted so racks with more epochs in the window count proportionally).
+struct RollupRow {
+  double start_min = 0.0;
+  double end_min = 0.0;
+  std::size_t racks = 0;   ///< rollup events merged into this row
+  std::size_t epochs = 0;  ///< total epochs across those racks
+  double mean_epu = 0.0;
+  double mean_shortfall_w = 0.0;
+  double mean_grid_w = 0.0;
+  /// Epochs spent outside the normal health state (sum across racks).
+  std::size_t unhealthy_epochs = 0;
+};
+
+/// One flight-recorder dump trigger seen in the trace ("flightrec" events —
+/// present when a dump file is analyzed, or when dumps landed in-ring).
+struct FlightRecEntry {
+  double t_min = 0.0;
+  int rack_id = 0;
+  std::string reason;
+};
+
 struct TraceAnalysis {
   int schema_version = 0;
   std::size_t event_count = 0;
+  /// Events lost to ring evictions, from the "trace_truncated" footer; a
+  /// non-zero value means every downstream number is based on a partial
+  /// trace (the report warns loudly and diff's CI gate fails).
+  std::uint64_t truncated_dropped = 0;
   EpuBreakdown epu;
   std::vector<FaultEntry> faults;
   std::vector<PhaseLatency> latencies;  ///< sorted by name
+  std::vector<RollupRow> rollups;       ///< sorted by window start
+  std::vector<FlightRecEntry> flightrecs;
 };
 
 [[nodiscard]] TraceAnalysis analyze(const TraceData& trace);
@@ -111,11 +141,28 @@ struct BucketDelta {
   [[nodiscard]] double delta() const { return other_share - base_share; }
 };
 
+/// Per-window EPU comparison (windows matched by start time; only windows
+/// present on both sides are compared).
+struct RollupDelta {
+  double start_min = 0.0;
+  double base_epu = 0.0;
+  double other_epu = 0.0;
+  [[nodiscard]] double delta() const { return other_epu - base_epu; }
+};
+
 struct DiffResult {
   double base_epu = 0.0;
   double other_epu = 0.0;
+  /// Ring evictions on either side: the comparison is over partial data, so
+  /// exceeds_threshold() reports failure regardless of the deltas.
+  std::uint64_t base_truncated = 0;
+  std::uint64_t other_truncated = 0;
   std::vector<BucketDelta> buckets;
+  std::vector<RollupDelta> rollups;
   [[nodiscard]] double epu_delta() const { return other_epu - base_epu; }
+  [[nodiscard]] bool truncated() const {
+    return base_truncated > 0 || other_truncated > 0;
+  }
 };
 
 [[nodiscard]] DiffResult diff(const TraceAnalysis& base,
@@ -124,8 +171,10 @@ struct DiffResult {
 void print_diff(std::ostream& out, const DiffResult& result,
                 double threshold);
 
-/// CI gate: true when |EPU delta| or any bucket-share delta exceeds
-/// `threshold` (both dimensionless fractions).
+/// CI gate: true when |EPU delta|, any bucket-share delta, or any
+/// per-window EPU delta exceeds `threshold` (dimensionless fractions) —
+/// or when either trace carries a truncation footer (partial data never
+/// passes the gate silently).
 [[nodiscard]] bool exceeds_threshold(const DiffResult& result,
                                      double threshold);
 

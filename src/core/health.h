@@ -75,6 +75,13 @@ class HealthTracker {
   struct Transition {
     HealthState from;
     HealthState to;
+
+    /// The flight-recorder trigger edge: the tracker left normal (any
+    /// degradation onset; re-degrading from recovering does not count —
+    /// the first dump already captured the incident).
+    [[nodiscard]] bool leaves_normal() const {
+      return from == HealthState::kNormal && to != HealthState::kNormal;
+    }
   };
 
   /// Feed one epoch's signals; returns the transition when the state

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <ostream>
 #include <string>
 
@@ -51,6 +53,12 @@ void FleetConfig::validate() const {
       total_grid_budget.value() < 0.0) {
     throw FleetError("fleet: grid budget must be finite and non-negative");
   }
+  if (metrics_flush_every < 1) {
+    throw FleetError("fleet: metrics flush cadence must be at least 1 epoch");
+  }
+  if (trace_stream && trace_stream->queue_capacity == 0) {
+    throw FleetError("fleet: stream queue capacity must be positive");
+  }
 }
 
 Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
@@ -83,6 +91,10 @@ Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
   telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
   for (std::size_t i = 0; i < racks_.size(); ++i) {
     racks_[i].telemetry().set_rack_id(static_cast<int>(i));
+  }
+  if (config_.trace_stream) {
+    stream_ = std::make_unique<tel::StreamingTraceSink>(
+        *config_.trace_stream, &telemetry_->metrics());
   }
 }
 
@@ -128,6 +140,8 @@ FleetReport Fleet::run(Minutes duration) {
   const Minutes epoch = racks_.front().controller().config().epoch;
   const auto epochs = static_cast<std::size_t>(
       std::llround(duration.value() / epoch.value()));
+  const auto flush_every =
+      static_cast<std::size_t>(config_.metrics_flush_every);
 
   FleetReport report;
   report.racks.resize(racks_.size());
@@ -176,6 +190,23 @@ FleetReport Fleet::run(Minutes duration) {
                         {"allocated_w", allocated.value()},
                         {"shares_w", std::move(share_w)}});
     }
+    // Epoch barrier: every event of epoch e (stamped < the next epoch's
+    // start) is now in the rings, so the merge can flush up to that
+    // watermark.  No pool thread is running, so the rings are quiescent.
+    drain_to_stream(racks_.front().now().value());
+    if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
+        e + 1 < epochs) {
+      tel::save_metrics(metrics_snapshot(), config_.metrics_out);
+    }
+  }
+
+  // Close trailing rollup windows (their events are stamped with the run's
+  // end time), then flush the merge tail past every timestamp.
+  for (RackSimulator& rack : racks_) rack.flush_rollup();
+  drain_to_stream(std::numeric_limits<double>::infinity());
+  if (stream_) stream_->flush();
+  if (!config_.metrics_out.empty()) {
+    tel::save_metrics(metrics_snapshot(), config_.metrics_out);
   }
 
   for (std::size_t i = 0; i < racks_.size(); ++i) {
@@ -235,6 +266,16 @@ void Fleet::write_trace_jsonl(std::ostream& out) const {
   for (const tel::TraceEvent* e : events) {
     out << e->to_json() << '\n';
   }
+  // Ring evictions lose the oldest events; make the survivors' file say so
+  // (the analyzer warns loudly on this footer).
+  std::uint64_t dropped = telemetry_->trace().dropped();
+  for (const RackSimulator& rack : racks_) {
+    dropped += rack.telemetry().trace().dropped();
+  }
+  if (dropped > 0) {
+    const double last = events.empty() ? 0.0 : events.back()->sim_minutes;
+    out << tel::make_truncation_footer(last, dropped).to_json() << '\n';
+  }
 }
 
 void Fleet::save_trace_jsonl(const std::filesystem::path& path) const {
@@ -266,6 +307,70 @@ void Fleet::save_chrome_spans(const std::filesystem::path& path) const {
                      path.string());
   }
   write_chrome_spans(out);
+}
+
+void Fleet::write_rollup_jsonl(std::ostream& out) const {
+  out << tel::trace_header_json() << '\n';
+  struct Row {
+    const tel::RollupWindow* window;
+    int rack;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < racks_.size(); ++i) {
+    const tel::Rollup& rollup = racks_[i].telemetry().rollup();
+    for (const tel::RollupWindow& w : rollup.windows()) {
+      rows.push_back({&w, static_cast<int>(i)});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.window->start_min != b.window->start_min) {
+      return a.window->start_min < b.window->start_min;
+    }
+    return a.rack < b.rack;
+  });
+  for (const Row& row : rows) {
+    out << tel::make_rollup_event(*row.window, row.rack).to_json() << '\n';
+  }
+}
+
+void Fleet::save_rollup_jsonl(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw FleetError("fleet: cannot open rollup output file: " +
+                     path.string());
+  }
+  write_rollup_jsonl(out);
+}
+
+std::vector<std::filesystem::path> Fleet::dump_flight_records(
+    std::string_view reason) {
+  std::vector<std::filesystem::path> paths;
+  for (RackSimulator& rack : racks_) {
+    std::filesystem::path path = rack.dump_flight_record(reason);
+    if (!path.empty()) paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+void Fleet::drain_to_stream(double watermark) {
+  if (!stream_) return;
+  std::uint64_t dropped = telemetry_->trace().dropped();
+  for (const RackSimulator& rack : racks_) {
+    dropped += rack.telemetry().trace().dropped();
+  }
+  if (dropped > streamed_dropped_) {
+    stream_->note_dropped(dropped - streamed_dropped_);
+    streamed_dropped_ = dropped;
+  }
+  // Epoch-major, coordinator first — exactly the buffered writer's
+  // concatenation order, which the stable merge sort relies on.
+  std::vector<tel::TraceEvent> batch = telemetry_->trace().drain();
+  for (RackSimulator& rack : racks_) {
+    std::vector<tel::TraceEvent> events = rack.telemetry().trace().drain();
+    batch.insert(batch.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+  }
+  stream_->push_merge(std::move(batch), watermark);
 }
 
 }  // namespace greenhetero

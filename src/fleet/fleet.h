@@ -17,15 +17,19 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/rack_simulator.h"
+#include "telemetry/stream_sink.h"
 #include "util/thread_pool.h"
 #include "util/units.h"
 
@@ -67,6 +71,16 @@ struct FleetConfig {
   /// the total budget) via check::InvariantChecker::check_grid_shares.
   /// Per-rack invariants are enabled separately via SimConfig::check.
   bool check = false;
+  /// Streaming trace sink: when set, run() drains the coordinator's and
+  /// every rack's ring at each epoch barrier and watermark-merges them into
+  /// this file (byte-identical to save_trace_jsonl at any thread count),
+  /// capping trace memory for arbitrarily long runs.
+  std::optional<telemetry::StreamSinkConfig> trace_stream;
+  /// When non-empty, run() writes the merged fleet metrics snapshot here
+  /// every `metrics_flush_every` epochs (temp file + rename) and once more
+  /// at the end, so a long run's metrics survive an abort.
+  std::string metrics_out;
+  int metrics_flush_every = 128;
 
   /// Fail fast on out-of-range knobs (negative or non-finite grid budget).
   /// Throws FleetError; rack-dependent invariants (matching epoch lengths)
@@ -137,7 +151,31 @@ class Fleet {
   void write_chrome_spans(std::ostream& out) const;
   void save_chrome_spans(const std::filesystem::path& path) const;
 
+  /// Merged rollup series across every rack, ordered by (window start, rack)
+  /// — the fleet --rollup-out format; a valid analyzer input on its own.
+  /// Requires racks configured with rollup_window_min > 0; run() flushes
+  /// each rack's trailing window before returning.
+  void write_rollup_jsonl(std::ostream& out) const;
+  void save_rollup_jsonl(const std::filesystem::path& path) const;
+
+  /// Dump every rack's flight recorder with a shared reason (run-abort
+  /// hook); returns the paths written (empty when recorders are disabled).
+  std::vector<std::filesystem::path> dump_flight_records(
+      std::string_view reason);
+
+  /// The streaming sink (null unless FleetConfig::trace_stream was set).
+  [[nodiscard]] telemetry::StreamingTraceSink* stream() {
+    return stream_.get();
+  }
+  [[nodiscard]] const telemetry::StreamingTraceSink* stream() const {
+    return stream_.get();
+  }
+
  private:
+  /// Drain the coordinator's + every rack's ring (epoch-major, coordinator
+  /// first — the buffered writer's concatenation order) into the sink,
+  /// flushing events strictly below `watermark`.
+  void drain_to_stream(double watermark);
   std::vector<RackSimulator> racks_;
   FleetConfig config_;
   std::size_t threads_;
@@ -145,6 +183,10 @@ class Fleet {
   /// Created only when threads_ > 1; run() falls back to a plain loop
   /// otherwise, so a single-threaded fleet costs nothing extra.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Engaged only when FleetConfig::trace_stream is set.
+  std::unique_ptr<telemetry::StreamingTraceSink> stream_;
+  /// Ring evictions (all rings) already reported via note_dropped().
+  std::uint64_t streamed_dropped_ = 0;
 };
 
 }  // namespace greenhetero

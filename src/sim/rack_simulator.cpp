@@ -80,6 +80,14 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "sim config: Holt retrain cadence must be at least 1 epoch");
   }
+  if (metrics_flush_every < 1) {
+    throw std::invalid_argument(
+        "sim config: metrics flush cadence must be at least 1 epoch");
+  }
+  if (trace_stream && trace_stream->queue_capacity == 0) {
+    throw std::invalid_argument(
+        "sim config: stream queue capacity must be positive");
+  }
 }
 
 struct RackSimulator::EpochStats {
@@ -132,6 +140,10 @@ RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
   }
   if (config_.check) {
     checker_ = std::make_unique<check::InvariantChecker>();
+  }
+  if (config_.trace_stream) {
+    stream_ = std::make_unique<tel::StreamingTraceSink>(
+        *config_.trace_stream, &telemetry_->metrics());
   }
   if (config_.rapl_enforcement) {
     if (config_.controller.policy == PolicyKind::kGreenHeteroS) {
@@ -301,6 +313,17 @@ void RackSimulator::apply_fault_action(const FaultAction& action,
 }
 
 EpochRecord RackSimulator::step_epoch() {
+  try {
+    return step_epoch_impl();
+  } catch (const check::InvariantViolation& violation) {
+    // The post-mortem trigger: freeze the rack's recent full-detail history
+    // before the exception unwinds the run.
+    dump_flight_record("invariant_" + violation.name());
+    throw;
+  }
+}
+
+EpochRecord RackSimulator::step_epoch_impl() {
   const TelemetryScope scope(config_.telemetry.enabled ? telemetry_.get()
                                                        : nullptr);
   GH_PROBE("gh_step_epoch_ns");
@@ -346,6 +369,14 @@ EpochRecord RackSimulator::step_epoch() {
     }
     checker_->check_epoch(ctx);
   }
+  const HealthState health_now = controller_.health().state();
+  if (health_now != last_health_) {
+    const HealthTracker::Transition edge{last_health_, health_now};
+    last_health_ = health_now;
+    if (edge.leaves_normal()) {
+      dump_flight_record(std::string("health_") + to_string(health_now));
+    }
+  }
   return record;
 }
 
@@ -380,8 +411,10 @@ void RackSimulator::record_epoch_telemetry(const EpochRecord& record) {
            {"grid_w", record.grid_power.value()},
            {"shortfall_w", record.shortfall.value()}});
   tel::LossLedger* loss = tel::loss_ledger();
+  std::optional<tel::EpochLossRecord> loss_epoch;
   if (loss != nullptr && loss->epoch_open()) {
-    const tel::EpochLossRecord epoch = loss->end_epoch();
+    loss_epoch = loss->end_epoch();
+    const tel::EpochLossRecord& epoch = *loss_epoch;
     m.counter("gh_loss_epochs_total").increment();
     m.gauge("gh_loss_invariant_error_w").set(epoch.invariant_error_w());
     tel::TraceFields fields{{"supply_w", epoch.supply_w},
@@ -395,18 +428,100 @@ void RackSimulator::record_epoch_telemetry(const EpochRecord& record) {
     }
     t->emit("loss_ledger", std::move(fields));
   }
+  if (t->rollup().enabled()) {
+    tel::RollupSample sample;
+    sample.t_min = record.start.value();
+    sample.epu = record.epu;
+    sample.shortfall_w = record.shortfall.value();
+    sample.grid_w = record.grid_power.value();
+    sample.health_state = static_cast<int>(controller_.health().state());
+    sample.loss = loss_epoch ? &*loss_epoch : nullptr;
+    if (auto window = t->rollup().observe_epoch(sample)) {
+      m.counter("gh_rollup_windows_total").increment();
+      t->emit("rollup", window->to_trace_fields());
+    }
+  }
+  // Last so it counts this epoch's own events; what a streaming drain (or
+  // the ring bound) is holding right now.
+  m.gauge("gh_trace_buffer_bytes")
+      .set(static_cast<double>(t->trace().approx_bytes()));
 }
 
 void RackSimulator::set_grid_budget(Watts budget) {
   plant_.set_grid_budget(budget);
 }
 
+void RackSimulator::drain_trace_to_stream() {
+  if (!stream_) return;
+  tel::TraceRing& ring = telemetry_->trace();
+  const std::uint64_t dropped = ring.dropped();
+  if (dropped > streamed_dropped_) {
+    stream_->note_dropped(dropped - streamed_dropped_);
+    streamed_dropped_ = dropped;
+  }
+  stream_->push(ring.drain());
+}
+
+void RackSimulator::flush_rollup() {
+  tel::Rollup& rollup = telemetry_->rollup();
+  if (!rollup.enabled()) return;
+  const Minutes end = clock_.now();
+  if (auto window = rollup.flush(end.value())) {
+    // Stamped with the run's end time — never earlier than any event
+    // already emitted, which the streaming watermark merge relies on.
+    telemetry_->set_now(end);
+    telemetry_->metrics().counter("gh_rollup_windows_total").increment();
+    telemetry_->emit("rollup", window->to_trace_fields());
+  }
+}
+
+std::filesystem::path RackSimulator::dump_flight_record(
+    std::string_view reason) {
+  tel::FlightRecorder& recorder = telemetry_->flightrec();
+  if (!recorder.enabled()) return {};
+  const double now = clock_.now().value();
+  // Render the fault plan as context rows — the post-mortem's first
+  // question is "which injected faults were in flight?".
+  std::vector<tel::TraceEvent> rows;
+  rows.reserve(config_.faults.events().size());
+  for (const FaultEvent& event : config_.faults.events()) {
+    tel::TraceEvent row;
+    row.sim_minutes = now;
+    row.rack_id = telemetry_->rack_id();
+    row.phase = "fault_plan_row";
+    row.fields = {{"at_min", event.at.value()},
+                  {"kind", to_string(event.kind)},
+                  {"duration_min", event.duration.value()},
+                  {"target", event.target},
+                  {"value", event.value},
+                  {"state", event.at.value() <= now + 1e-9 ? "delivered"
+                                                           : "pending"}};
+    rows.push_back(std::move(row));
+  }
+  telemetry_->metrics().counter("gh_flightrec_dumps_total").increment();
+  return recorder.dump(reason, telemetry_->rack_id(), now,
+                       telemetry_->metrics().snapshot(), rows);
+}
+
 RunReport RackSimulator::run(Minutes duration) {
   RunReport report;
   const auto epochs = static_cast<std::size_t>(
       std::llround(duration.value() / clock_.epoch_length().value()));
+  const auto flush_every =
+      static_cast<std::size_t>(config_.metrics_flush_every);
   for (std::size_t e = 0; e < epochs; ++e) {
     report.epochs.push_back(step_epoch());
+    drain_trace_to_stream();
+    if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
+        e + 1 < epochs) {
+      tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
+    }
+  }
+  flush_rollup();
+  drain_trace_to_stream();
+  if (stream_) stream_->flush();
+  if (!config_.metrics_out.empty()) {
+    tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
   }
 
   report.ledger = ledger_;

@@ -13,8 +13,11 @@
 // and 10.
 #pragma once
 
+#include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "check/invariants.h"
 #include "core/controller.h"
@@ -28,6 +31,7 @@
 #include "server/rack.h"
 #include "sim/run_report.h"
 #include "sim/sim_clock.h"
+#include "telemetry/stream_sink.h"
 #include "telemetry/telemetry.h"
 #include "trace/trace.h"
 
@@ -72,6 +76,17 @@ struct SimConfig {
   bool rapl_enforcement = false;
   /// Metrics + trace configuration for this simulator's Telemetry instance.
   TelemetryConfig telemetry;
+  /// Streaming trace sink: when set, run() drains the trace ring into this
+  /// file after every epoch instead of letting events pile up for a final
+  /// save_jsonl, capping trace memory at the sink's queue bound.  The file
+  /// is byte-identical to the buffered writer's.  (Fleet-driven racks leave
+  /// this unset; the coordinator owns the merged sink.)
+  std::optional<telemetry::StreamSinkConfig> trace_stream;
+  /// When non-empty, run() writes a metrics snapshot to this path every
+  /// `metrics_flush_every` epochs (crash-safe: temp file + rename) and once
+  /// more at the end, so a long run's metrics survive an abort.
+  std::string metrics_out;
+  int metrics_flush_every = 128;
   /// Deterministic fault schedule replayed against this rack (empty = no
   /// faults and exactly the fault-free behaviour, bit for bit).
   FaultPlan faults;
@@ -126,6 +141,26 @@ class RackSimulator {
   /// This simulator's telemetry context (metrics registry + trace ring).
   [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
   [[nodiscard]] const Telemetry& telemetry() const { return *telemetry_; }
+  /// The streaming sink (null unless SimConfig::trace_stream was set).
+  [[nodiscard]] telemetry::StreamingTraceSink* stream() {
+    return stream_.get();
+  }
+  [[nodiscard]] const telemetry::StreamingTraceSink* stream() const {
+    return stream_.get();
+  }
+
+  /// Close the trailing partial rollup window (if the aggregator is on) and
+  /// emit it as a final "rollup" event.  run() calls this at the end; the
+  /// fleet coordinator calls it per rack before writing artifacts.
+  void flush_rollup();
+
+  /// Dump the flight recorder: ring contents + a metrics snapshot + the
+  /// fault plan rendered as "fault_plan_row" context rows (delivered/pending
+  /// as of now).  No-op returning an empty path unless the recorder is
+  /// enabled (TelemetryConfig::flightrec_dir).  Called automatically when
+  /// the health tracker leaves normal or an invariant fires; callable
+  /// directly for run-abort hooks.
+  std::filesystem::path dump_flight_record(std::string_view reason);
   /// Snapshot of all metrics accumulated so far.
   [[nodiscard]] MetricsSnapshot metrics_snapshot() const {
     return telemetry_->metrics().snapshot();
@@ -140,6 +175,7 @@ class RackSimulator {
  private:
   struct EpochStats;  // defined in the .cpp
 
+  EpochRecord step_epoch_impl();
   void run_training_epoch(const EpochPlan& plan, EpochRecord& record);
   void run_normal_epoch(const EpochPlan& plan, Watts demand_hint,
                         EpochRecord& record);
@@ -158,12 +194,22 @@ class RackSimulator {
   /// RAPL mode: apply per-group caps through the feedback controllers.
   void enforce_with_rapl(std::span<const Watts> group_power);
 
+  /// Hand the ring's events (and any new evictions) to the streaming sink;
+  /// no-op without one.
+  void drain_trace_to_stream();
+
   Rack rack_;
   RackPowerPlant plant_;
   SimConfig config_;
   /// unique_ptr: the registry is non-copyable and the fleet stores
   /// simulators in a vector, so the context must stay movable.
   std::unique_ptr<Telemetry> telemetry_;
+  /// Engaged only when SimConfig::trace_stream is set (run()-driven path).
+  std::unique_ptr<telemetry::StreamingTraceSink> stream_;
+  /// Ring evictions already reported to the sink via note_dropped().
+  std::uint64_t streamed_dropped_ = 0;
+  /// Previous epoch's health state, for the flight-recorder trigger edge.
+  HealthState last_health_ = HealthState::kNormal;
   GreenHeteroController controller_;
   SimClock clock_;
   EnergyLedger ledger_;

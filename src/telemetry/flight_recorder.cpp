@@ -1,0 +1,97 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/metrics.h"
+
+namespace greenhetero::telemetry {
+
+namespace {
+
+/// File-name-safe rendering of the trigger reason ("invariant:epu_bounds"
+/// -> "invariant_epu_bounds").
+std::string sanitize(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += safe ? c : '_';
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::filesystem::path dir)
+    : capacity_(capacity), dir_(std::move(dir)) {
+  if (enabled() && capacity_ == 0) {
+    throw std::invalid_argument(
+        "flight recorder: capacity must be positive");
+  }
+}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(event);
+}
+
+std::filesystem::path FlightRecorder::dump(
+    std::string_view reason, int rack_id, double sim_minutes,
+    const MetricsSnapshot& metrics,
+    const std::vector<TraceEvent>& context_rows) {
+  if (!enabled()) return {};
+  std::filesystem::create_directories(dir_);
+  const std::string stem = "flightrec-rack" + std::to_string(rack_id) +
+                           "-" + std::to_string(seq_) + "-" +
+                           sanitize(reason);
+  ++seq_;
+  const std::filesystem::path trace_path = dir_ / (stem + ".jsonl");
+
+  TraceEvent trigger;
+  trigger.sim_minutes = sim_minutes;
+  trigger.rack_id = rack_id;
+  trigger.phase = "flightrec";
+  trigger.fields = {{"reason", std::string(reason)},
+                    {"events", ring_.size()},
+                    {"context_rows", context_rows.size()},
+                    {"dump_index", seq_ - 1}};
+
+  std::string buffer = trace_header_json();
+  buffer += '\n';
+  buffer += trigger.to_json();
+  buffer += '\n';
+  for (const TraceEvent& event : ring_) {
+    buffer += event.to_json();
+    buffer += '\n';
+  }
+  for (const TraceEvent& event : context_rows) {
+    buffer += event.to_json();
+    buffer += '\n';
+  }
+  {
+    std::ofstream out(trace_path);
+    if (!out) {
+      throw std::runtime_error("flight recorder: cannot open '" +
+                               trace_path.string() + "' for writing");
+    }
+    const std::lock_guard<std::mutex> lock(trace_writer_mutex());
+    out << buffer;
+  }
+  {
+    const std::filesystem::path metrics_path =
+        dir_ / (stem + "-metrics.json");
+    std::ofstream out(metrics_path);
+    if (!out) {
+      throw std::runtime_error("flight recorder: cannot open '" +
+                               metrics_path.string() + "' for writing");
+    }
+    out << metrics.to_json();
+  }
+  return trace_path;
+}
+
+}  // namespace greenhetero::telemetry

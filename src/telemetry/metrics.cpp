@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 
 #include "telemetry/tracing.h"
@@ -109,7 +110,7 @@ double Histogram::quantile(double q) const {
 }
 
 std::span<const std::string_view> builtin_metrics() {
-  static constexpr std::array<std::string_view, 36> kCatalog = {
+  static constexpr std::array<std::string_view, 42> kCatalog = {
       "gh_battery_soc",
       "gh_db_quarantined_total",
       "gh_db_refit_ns",
@@ -120,6 +121,7 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_faults_injected_total",
       "gh_finish_epoch_ns",
       "gh_fleet_epochs_total",
+      "gh_flightrec_dumps_total",
       "gh_health_state",
       "gh_health_transitions_total",
       "gh_holt_retrain_ns",
@@ -132,6 +134,7 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_predictor_retrains_total",
       "gh_pretrain_ns",
       "gh_renewable_prediction_error_w",
+      "gh_rollup_windows_total",
       "gh_safe_mode_epochs_total",
       "gh_solver_calls_total",
       "gh_solver_failures_total",
@@ -145,6 +148,10 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_step_epoch_ns",
       "gh_substep_loop_ns",
       "gh_substeps_total",
+      "gh_trace_buffer_bytes",
+      "gh_trace_events_streamed_total",
+      "gh_trace_queue_depth",
+      "gh_trace_stalls_total",
       "gh_training_epochs_total",
   };
   return kCatalog;
@@ -469,6 +476,35 @@ void MetricsRegistry::reset() {
     series.gauge.reset();
     for (Histogram& h : series.histogram) h.reset();
   }
+}
+
+void save_metrics(const MetricsSnapshot& snapshot,
+                  const std::filesystem::path& path) {
+  const std::string name = path.string();
+  std::string body;
+  if (name.ends_with(".json")) {
+    body = snapshot.to_json();
+  } else if (name.ends_with(".txt")) {
+    body = snapshot.to_human();
+  } else {
+    body = snapshot.to_prometheus();
+  }
+  // Temp-and-rename: a run killed mid-flush must leave the previous
+  // complete snapshot, never a torn file.
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw TelemetryError("cannot open metrics output file: " +
+                           tmp.string());
+    }
+    out << body;
+    if (!out) {
+      throw TelemetryError("write to metrics output file failed: " +
+                           tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
 }
 
 }  // namespace greenhetero::telemetry

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -174,6 +175,14 @@ struct MetricsSnapshot {
   /// Aligned human-readable table; histograms show count/mean/p50/p90/p99.
   [[nodiscard]] std::string to_human() const;
 };
+
+/// Write a snapshot to `path`, format chosen by extension: ".json" JSON,
+/// ".txt" the human table, anything else Prometheus text.  Writes a
+/// sibling temp file first and renames it into place, so the periodic
+/// mid-run flush (SimConfig/FleetConfig metrics_flush_every) always leaves
+/// a complete snapshot on disk even if the run dies mid-write.
+void save_metrics(const MetricsSnapshot& snapshot,
+                  const std::filesystem::path& path);
 
 class MetricsRegistry {
  public:

@@ -132,6 +132,10 @@ ScopedSpan::~ScopedSpan() {
                        {"depth", depth_},
                        {"t0", sim_begin_min_},
                        {"dur_ns", record.wall_dur_ns}});
+  // The rollup's span p50/p99 come from the same wall durations (only
+  // meaningful when both features are on — and wall time keeps rollups
+  // non-deterministic exactly like "span" events).
+  sink_->rollup().observe_span(static_cast<double>(record.wall_dur_ns));
   const std::uint64_t dropped_before = sink_->spans().dropped();
   sink_->spans().end(std::move(record));
   if (sink_->spans().dropped() > dropped_before) {

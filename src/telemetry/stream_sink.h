@@ -1,0 +1,134 @@
+// Bounded-memory streaming trace sink.
+//
+// The buffered path (TraceRing::save_jsonl / Fleet::write_trace_jsonl)
+// holds the whole run in memory and writes once at exit — fine for a day,
+// hopeless for the ROADMAP's 10k-rack runs.  StreamingTraceSink instead
+// drains events to the JSONL file as the run progresses: producers hand
+// over batches at epoch barriers, a dedicated writer thread serializes and
+// writes them, and a bounded queue between the two provides backpressure
+// (a full queue blocks the producer and counts a stall) so memory stays
+// capped at queue_capacity events no matter how long the run is.
+//
+// Byte-identity contract: the streamed file is byte-identical to what the
+// buffered writer would have produced (header, event order, truncation
+// footer) for any thread count.
+//
+//  - Single rack (RackSimulator::run): save_jsonl never sorts, so the sink
+//    receives each epoch's events in emission order via push() and writes
+//    them unmodified.
+//  - Fleet: write_trace_jsonl stable-sorts the concatenation (coordinator
+//    events, then racks 0..N-1) by (sim time, rack id).  The incremental
+//    equivalent is push_merge(): at every epoch barrier the coordinator
+//    drains all rings in that same order, appends to a pending buffer,
+//    stable-sorts it and flushes the prefix strictly below the watermark
+//    (the next epoch's start time).  Every event emitted while stepping
+//    epoch e is stamped within [e_start, e_end) — fault events at substep
+//    times, epoch_plan/loss_ledger/rollup at now(), the coordinator's
+//    grid_share at e_start — so nothing older can arrive later, and rack
+//    ids are unique per source, so (t, rack) ties are always same-source
+//    and the stable sort preserves their emission order.  The incremental
+//    merge therefore reproduces the whole-run sort exactly.
+//
+// Events are serialized on the writer thread, off the simulation's critical
+// path; close() (or destruction) flushes the queue, appends a truncation
+// footer if the producer reported ring drops, and joins the writer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "telemetry/tracing.h"
+
+namespace greenhetero::telemetry {
+
+class MetricsRegistry;
+
+struct StreamSinkConfig {
+  std::filesystem::path path;
+  /// Queue bound in events; a producer handing over a batch that would
+  /// exceed it blocks until the writer catches up (one stall counted per
+  /// wait).  Peak sink memory ~= queue_capacity * mean event bytes.
+  std::size_t queue_capacity = 4096;
+};
+
+class StreamingTraceSink {
+ public:
+  /// Opens the file and writes the schema header immediately; `metrics`
+  /// (optional) receives gh_trace_queue_depth / gh_trace_stalls_total /
+  /// gh_trace_events_streamed_total updates on every hand-off.
+  explicit StreamingTraceSink(StreamSinkConfig config,
+                              MetricsRegistry* metrics = nullptr);
+  ~StreamingTraceSink();
+  StreamingTraceSink(const StreamingTraceSink&) = delete;
+  StreamingTraceSink& operator=(const StreamingTraceSink&) = delete;
+
+  [[nodiscard]] const StreamSinkConfig& config() const { return config_; }
+
+  /// Enqueue a batch in emission order (single-source path).  Blocks while
+  /// the queue is full; events are written in hand-off order.
+  void push(std::vector<TraceEvent> events);
+
+  /// Multi-source path: append `batch` to the pending reorder buffer,
+  /// stable-sort it by (sim time, rack id) and enqueue every event with
+  /// sim time < `watermark`.  Call with the epoch-major concatenation of
+  /// all sources' drains and watermark = next epoch start; finish with
+  /// watermark = +infinity to flush the tail.
+  void push_merge(std::vector<TraceEvent> batch, double watermark);
+
+  /// Record ring evictions reported by the producer; a final
+  /// trace_truncated footer (matching the buffered writer's) is appended
+  /// at close when the total is non-zero.
+  void note_dropped(std::uint64_t dropped);
+
+  /// Block until every queued event reached the ofstream and flush it, so
+  /// a reader opening the file sees everything handed over so far.
+  void flush();
+
+  /// Flush, append the truncation footer if drops were reported, join the
+  /// writer thread and close the file.  Idempotent; the destructor calls
+  /// it.  Throws on a writer I/O error (destructor swallows instead).
+  void close();
+
+  /// Backpressure accounting (also mirrored into the metrics registry).
+  [[nodiscard]] std::uint64_t stalls() const;
+  [[nodiscard]] std::uint64_t events_written() const;
+  [[nodiscard]] std::size_t peak_queue_depth() const;
+
+ private:
+  void writer_loop();
+  void enqueue(std::vector<TraceEvent> events);
+  void throw_if_failed();
+
+  StreamSinkConfig config_;
+  MetricsRegistry* metrics_;
+  std::ofstream out_;
+  double last_written_t_ = 0.0;  ///< writer thread only, for the footer
+  std::uint64_t dropped_total_ = 0;  ///< producer thread only
+
+  /// Out-of-order buffer for push_merge (producer thread only); holds at
+  /// most the events of one epoch barrier that sort at/after the
+  /// watermark — in practice near-empty, since an epoch's events all
+  /// precede the next epoch's start.
+  std::vector<TraceEvent> pending_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  ///< producer: queue has room again
+  std::condition_variable work_cv_;   ///< writer: events or stop arrived
+  std::vector<TraceEvent> queue_;     ///< guarded by mutex_
+  bool writing_ = false;  ///< writer holds a swapped-out batch mid-write
+  bool stop_ = false;
+  bool failed_ = false;
+  std::string error_;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t events_written_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  std::thread writer_;
+  bool closed_ = false;
+};
+
+}  // namespace greenhetero::telemetry

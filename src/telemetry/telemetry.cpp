@@ -9,7 +9,9 @@ thread_local Telemetry* g_current = nullptr;
 Telemetry::Telemetry(TelemetryConfig config)
     : config_(config),
       trace_(config.trace_capacity),
-      spans_(config.span_capacity) {}
+      spans_(config.span_capacity),
+      rollup_(config.rollup_window_min),
+      flightrec_(config.flightrec_capacity, config.flightrec_dir) {}
 
 BuildInfo build_info() {
   BuildInfo info;
@@ -29,6 +31,7 @@ void Telemetry::emit(std::string phase, TraceFields fields) {
   event.rack_id = config_.rack_id;
   event.phase = std::move(phase);
   event.fields = std::move(fields);
+  flightrec_.record(event);  // no-op unless a dump directory is configured
   trace_.push(std::move(event));
 }
 

@@ -18,8 +18,10 @@
 #include <memory>
 #include <string>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/ledger.h"
 #include "telemetry/metrics.h"
+#include "telemetry/rollup.h"
 #include "telemetry/span.h"
 #include "telemetry/tracing.h"
 #include "util/units.h"
@@ -46,6 +48,16 @@ struct TelemetryConfig {
   bool spans = false;
   /// Completed spans kept per context (~9 spans/epoch).
   std::size_t span_capacity = std::size_t{1} << 16;
+  /// Opt-in: fixed-window rollup aggregation in minutes (0 disables).
+  /// Each closed window lands as a "rollup" trace event and is retained
+  /// for the --rollup-out series file.
+  double rollup_window_min = 0.0;
+  /// Opt-in: flight-recorder dump directory (empty disables).  While set,
+  /// the last `flightrec_capacity` events are mirrored into a small ring
+  /// that the owner dumps on health degradation, invariant violations and
+  /// aborts.
+  std::string flightrec_dir;
+  std::size_t flightrec_capacity = 256;
 };
 
 /// Compile/runtime facts `greenhetero info` reports so users can tell why
@@ -71,6 +83,12 @@ class Telemetry {
   [[nodiscard]] const LossLedger& loss() const { return loss_; }
   [[nodiscard]] SpanCollector& spans() { return spans_; }
   [[nodiscard]] const SpanCollector& spans() const { return spans_; }
+  [[nodiscard]] Rollup& rollup() { return rollup_; }
+  [[nodiscard]] const Rollup& rollup() const { return rollup_; }
+  [[nodiscard]] FlightRecorder& flightrec() { return flightrec_; }
+  [[nodiscard]] const FlightRecorder& flightrec() const {
+    return flightrec_;
+  }
 
   [[nodiscard]] int rack_id() const { return config_.rack_id; }
   void set_rack_id(int id) { config_.rack_id = id; }
@@ -79,7 +97,8 @@ class Telemetry {
   void set_now(Minutes now) { now_ = now; }
   [[nodiscard]] Minutes now() const { return now_; }
 
-  /// Append a trace event stamped with now() and rack_id().
+  /// Append a trace event stamped with now() and rack_id() (mirrored into
+  /// the flight-recorder ring when that feature is on).
   void emit(std::string phase, TraceFields fields);
 
  private:
@@ -88,6 +107,8 @@ class Telemetry {
   TraceRing trace_;
   LossLedger loss_;
   SpanCollector spans_;
+  Rollup rollup_;
+  FlightRecorder flightrec_;
   Minutes now_{0.0};
 };
 

@@ -1,5 +1,6 @@
 #include "telemetry/tracing.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -102,6 +103,28 @@ const TraceValue* TraceEvent::field(std::string_view key) const {
   return nullptr;
 }
 
+std::size_t TraceEvent::approx_bytes() const {
+  // Fixed structural overhead plus every owned string/array payload.  An
+  // estimate (allocator slack is ignored) but a *stable* one: the bounded-
+  // memory CI cap and the bench high-water mark are measured in it.
+  std::size_t bytes = sizeof(TraceEvent) + phase.size();
+  for (const auto& [key, value] : fields) {
+    bytes += sizeof(fields.front()) + key.size() + value.approx_bytes();
+  }
+  return bytes;
+}
+
+TraceEvent make_truncation_footer(double last_sim_minutes,
+                                  std::uint64_t dropped) {
+  TraceEvent footer;
+  footer.sim_minutes = last_sim_minutes;
+  footer.rack_id = -1;  // whole-trace marker, not any one rack
+  footer.phase = "trace_truncated";
+  footer.fields.emplace_back("dropped",
+                             static_cast<std::int64_t>(dropped));
+  return footer;
+}
+
 TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
   if (capacity_ == 0) {
     throw std::invalid_argument("trace ring: capacity must be positive");
@@ -110,6 +133,7 @@ TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
 
 void TraceRing::push(TraceEvent event) {
   if (events_.size() == capacity_) {
+    approx_bytes_ -= events_.front().approx_bytes();
     events_.pop_front();
     ++dropped_;
     if (!warned_) {
@@ -118,7 +142,20 @@ void TraceRing::push(TraceEvent event) {
               << "): oldest events are being dropped";
     }
   }
+  approx_bytes_ += event.approx_bytes();
+  peak_bytes_ = std::max(peak_bytes_, approx_bytes_);
   events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRing::drain() {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (TraceEvent& event : events_) {
+    out.push_back(std::move(event));
+  }
+  events_.clear();
+  approx_bytes_ = 0;
+  return out;
 }
 
 std::mutex& trace_writer_mutex() {
@@ -134,6 +171,12 @@ void TraceRing::write_jsonl(std::ostream& out) const {
   buffer += '\n';
   for (const TraceEvent& event : events_) {
     buffer += event.to_json();
+    buffer += '\n';
+  }
+  if (dropped_ > 0) {
+    const double last =
+        events_.empty() ? 0.0 : events_.back().sim_minutes;
+    buffer += make_truncation_footer(last, dropped_).to_json();
     buffer += '\n';
   }
   const std::lock_guard<std::mutex> lock(trace_writer_mutex());
@@ -153,6 +196,8 @@ void TraceRing::clear() {
   events_.clear();
   dropped_ = 0;
   warned_ = false;
+  approx_bytes_ = 0;
+  peak_bytes_ = 0;
 }
 
 }  // namespace greenhetero::telemetry

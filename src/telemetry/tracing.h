@@ -27,7 +27,9 @@ namespace greenhetero::telemetry {
 /// whose header declares a version it does not understand.
 ///
 /// History: v1 = PR 1 headerless event stream; v2 = header line added,
-/// optional "loss_ledger" and "span" events.
+/// optional "loss_ledger" and "span" events; still v2: optional "rollup",
+/// "flightrec", "fault_plan_row" and "trace_truncated" events (purely
+/// additive — every v2 reader skips phases it does not know).
 inline constexpr int kTraceSchemaVersion = 2;
 
 /// The self-identifying header line every JSONL trace starts with:
@@ -50,6 +52,12 @@ class TraceValue {
       : kind_(Kind::kArray), array_(std::move(v)) {}
 
   void append_json(std::string& out) const;
+
+  /// Approximate heap footprint of the payload (string/array contents);
+  /// the ring's byte accounting adds the fixed per-event overhead itself.
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return string_.size() + array_.size() * sizeof(double);
+  }
 
   [[nodiscard]] double as_double() const { return number_; }
   [[nodiscard]] std::int64_t as_int() const { return integer_; }
@@ -78,7 +86,18 @@ struct TraceEvent {
   /// Single-line JSON object: {"t":..,"rack":..,"phase":..,<fields>}.
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] const TraceValue* field(std::string_view key) const;
+  /// Approximate memory held by this event (fixed overhead + payloads);
+  /// the basis of gh_trace_buffer_bytes and the streaming sink's queue
+  /// accounting, so "bounded memory" means bounded in these units.
+  [[nodiscard]] std::size_t approx_bytes() const;
 };
+
+/// The `trace_truncated` footer appended to exports whose ring evicted
+/// events: {"t":..,"rack":-1,"phase":"trace_truncated","dropped":N}.
+/// `greenhetero analyze` prints a loud warning (and fails a --diff gate)
+/// when it sees one — drops used to be counted but invisible in the file.
+[[nodiscard]] TraceEvent make_truncation_footer(double last_sim_minutes,
+                                                std::uint64_t dropped);
 
 /// Fixed-capacity ring buffer of trace events.
 class TraceRing {
@@ -94,7 +113,21 @@ class TraceRing {
   [[nodiscard]] const std::deque<TraceEvent>& events() const {
     return events_;
   }
+  /// Approximate bytes currently buffered, and the high-water mark since
+  /// construction/clear() — drain() resets the former but not the latter,
+  /// so a streaming run's peak shows what buffered mode would have held
+  /// *per epoch*, not per run.
+  [[nodiscard]] std::size_t approx_bytes() const { return approx_bytes_; }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_bytes_; }
 
+  /// Move all buffered events out (oldest to newest) and empty the ring.
+  /// The drop counter is cumulative and survives; the streaming sink uses
+  /// this at every epoch barrier so the ring never grows past one epoch.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// When events were evicted the export ends with a `trace_truncated`
+  /// footer carrying the drop count (goldens never overflow, so their
+  /// bytes are unchanged).
   void write_jsonl(std::ostream& out) const;
   void save_jsonl(const std::filesystem::path& path) const;
   void clear();
@@ -104,6 +137,8 @@ class TraceRing {
   std::deque<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
   bool warned_ = false;
+  std::size_t approx_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
 };
 
 /// JSON string escaping shared with the metrics exporters.

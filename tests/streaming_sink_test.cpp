@@ -1,0 +1,561 @@
+// Streaming telemetry pipeline: the byte-identity contract of the
+// streaming trace sink against the buffered writers (single rack and fleet,
+// at any thread count, with and without chaos faults), rollup window
+// aggregation and its analyzer round-trip, truncation footers and the
+// analyze/--diff gate, flight-recorder dumps on forced health degradation,
+// and the periodic metrics flush.
+#include "telemetry/stream_sink.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_analyzer.h"
+#include "core/health.h"
+#include "faults/fault_plan.h"
+#include "fleet/fleet.h"
+#include "server/combinations.h"
+#include "telemetry/metrics.h"
+#include "telemetry/rollup.h"
+#include "trace/solar.h"
+
+namespace greenhetero {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique per-process scratch directory, removed on destruction (ctest may
+/// run several processes of this binary concurrently).
+class ScratchDir {
+ public:
+  ScratchDir() {
+    static std::atomic<int> counter{0};
+    dir_ = fs::temp_directory_path() /
+           ("gh-streaming-sink-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter.fetch_add(1)));
+    fs::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] fs::path operator/(const std::string& name) const {
+    return dir_ / name;
+  }
+
+ private:
+  fs::path dir_;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+telemetry::TraceEvent make_event(double t, int rack, int index) {
+  telemetry::TraceEvent event;
+  event.sim_minutes = t;
+  event.rack_id = rack;
+  event.phase = "unit";
+  event.fields = {{"i", index}};
+  return event;
+}
+
+// ---------------------------------------------------------------------------
+// Sink unit tests: ordering, backpressure, watermark merge, footer.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingSink, WritesInOrderUnderBackpressureAndAppendsFooter) {
+  ScratchDir scratch;
+  const fs::path path = scratch / "unit.jsonl";
+  telemetry::StreamSinkConfig config;
+  config.path = path;
+  config.queue_capacity = 2;
+
+  std::string expected = telemetry::trace_header_json() + "\n";
+  {
+    telemetry::StreamingTraceSink sink(config);
+    std::vector<telemetry::TraceEvent> batch;
+    for (int i = 0; i < 2000; ++i) {
+      telemetry::TraceEvent event = make_event(static_cast<double>(i), 0, i);
+      expected += event.to_json() + "\n";
+      batch.push_back(std::move(event));
+    }
+    // One batch far larger than the queue: the producer must chunk it and
+    // block while the writer catches up, never exceeding the bound.
+    sink.push(std::move(batch));
+    sink.note_dropped(3);
+    sink.flush();
+    EXPECT_EQ(sink.events_written(), 2000u);
+    EXPECT_GE(sink.stalls(), 1u);
+    EXPECT_LE(sink.peak_queue_depth(), config.queue_capacity);
+    sink.close();
+  }
+  expected += telemetry::make_truncation_footer(1999.0, 3).to_json() + "\n";
+  EXPECT_EQ(read_file(path), expected);
+}
+
+TEST(StreamingSink, PushMergeReproducesTheBufferedSortAtWatermarks) {
+  ScratchDir scratch;
+  const fs::path path = scratch / "merge.jsonl";
+
+  // Two epoch barriers' worth of events in the buffered writer's
+  // concatenation order (coordinator -1 first, then racks 0..N), with
+  // cross-source interleavings the merge must untangle.
+  std::vector<telemetry::TraceEvent> epoch0 = {
+      make_event(0.0, -1, 0), make_event(0.0, 0, 1), make_event(5.0, 0, 2),
+      make_event(0.0, 1, 3), make_event(5.0, 1, 4)};
+  std::vector<telemetry::TraceEvent> epoch1 = {
+      make_event(10.0, -1, 5), make_event(10.0, 0, 6),
+      make_event(12.0, 0, 7), make_event(10.0, 1, 8)};
+
+  std::vector<telemetry::TraceEvent> all;
+  all.insert(all.end(), epoch0.begin(), epoch0.end());
+  all.insert(all.end(), epoch1.begin(), epoch1.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const telemetry::TraceEvent& a,
+                      const telemetry::TraceEvent& b) {
+                     if (a.sim_minutes != b.sim_minutes) {
+                       return a.sim_minutes < b.sim_minutes;
+                     }
+                     return a.rack_id < b.rack_id;
+                   });
+  std::string expected = telemetry::trace_header_json() + "\n";
+  for (const telemetry::TraceEvent& event : all) {
+    expected += event.to_json() + "\n";
+  }
+
+  {
+    telemetry::StreamSinkConfig config;
+    config.path = path;
+    telemetry::StreamingTraceSink sink(config);
+    sink.push_merge(std::move(epoch0), 10.0);
+    sink.push_merge(std::move(epoch1),
+                    std::numeric_limits<double>::infinity());
+    sink.close();
+  }
+  EXPECT_EQ(read_file(path), expected);
+}
+
+TEST(StreamingSink, RejectsInvalidConfiguration) {
+  ScratchDir scratch;
+  telemetry::StreamSinkConfig zero_queue;
+  zero_queue.path = scratch / "zero.jsonl";
+  zero_queue.queue_capacity = 0;
+  EXPECT_THROW(telemetry::StreamingTraceSink{zero_queue},
+               std::invalid_argument);
+
+  telemetry::StreamSinkConfig unwritable;
+  unwritable.path = scratch / "no-such-dir" / "trace.jsonl";
+  EXPECT_THROW(telemetry::StreamingTraceSink{unwritable}, std::runtime_error);
+
+  SimConfig sim_cfg;
+  sim_cfg.metrics_flush_every = 0;
+  EXPECT_THROW(sim_cfg.validate(), std::invalid_argument);
+
+  FleetConfig fleet_cfg;
+  fleet_cfg.trace_stream = telemetry::StreamSinkConfig{};
+  fleet_cfg.trace_stream->queue_capacity = 0;
+  EXPECT_THROW(fleet_cfg.validate(), FleetError);
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity against the buffered writers.
+// ---------------------------------------------------------------------------
+
+RackSimulator make_sim(SimConfig cfg, Watts solar_capacity = Watts{2400.0},
+                       std::uint64_t seed = 7) {
+  Rack rack{default_runtime_rack(), Workload::kSpecJbb};
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = seed;
+  cfg.controller.epoch = Minutes{15.0};
+  GridSpec grid;
+  grid.budget = Watts{800.0};
+  PowerTrace trace =
+      generate_solar_trace(high_solar_model(solar_capacity), 2, seed);
+  return RackSimulator{std::move(rack),
+                       make_standard_plant(std::move(trace), grid),
+                       std::move(cfg)};
+}
+
+TEST(StreamingSink, SingleRackStreamMatchesBufferedWriter) {
+  ScratchDir scratch;
+  SimConfig buffered_cfg;
+  buffered_cfg.check = true;
+  buffered_cfg.telemetry.loss_ledger = true;
+  RackSimulator buffered = make_sim(std::move(buffered_cfg));
+  buffered.pretrain();
+  buffered.run(Minutes{6.0 * 60.0});
+  std::ostringstream expected;
+  buffered.telemetry().trace().write_jsonl(expected);
+
+  const fs::path path = scratch / "stream.jsonl";
+  SimConfig streamed_cfg;
+  streamed_cfg.check = true;
+  streamed_cfg.telemetry.loss_ledger = true;
+  streamed_cfg.trace_stream = telemetry::StreamSinkConfig{path, 8};
+  RackSimulator streamed = make_sim(std::move(streamed_cfg));
+  streamed.pretrain();
+  streamed.run(Minutes{6.0 * 60.0});
+  ASSERT_NE(streamed.stream(), nullptr);
+  streamed.stream()->close();
+
+  EXPECT_GT(streamed.stream()->events_written(), 0u);
+  // The ring was drained every epoch, so streaming capped the buffer at one
+  // epoch's events instead of the whole run's.
+  EXPECT_LT(streamed.telemetry().trace().peak_bytes(),
+            buffered.telemetry().trace().approx_bytes());
+  EXPECT_EQ(read_file(path), expected.str());
+}
+
+RackSimulator make_fleet_rack(Watts solar_capacity, std::uint64_t seed,
+                              const FaultPlan& faults) {
+  SimConfig cfg;
+  cfg.check = true;
+  cfg.faults = faults;
+  cfg.telemetry.rollup_window_min = 120.0;
+  return make_sim(std::move(cfg), solar_capacity, seed);
+}
+
+struct FleetRun {
+  std::string buffered_trace;  ///< write_trace_jsonl after the run
+  std::string rollups;         ///< write_rollup_jsonl after the run
+  std::string streamed;        ///< streamed file bytes (streaming runs only)
+};
+
+FleetRun run_fleet(std::size_t threads, const fs::path* stream_path,
+                   const FaultPlan& faults = {}) {
+  const double capacities[] = {300.0, 1200.0, 2400.0, 4800.0};
+  std::vector<RackSimulator> racks;
+  for (std::size_t i = 0; i < 4; ++i) {
+    racks.push_back(make_fleet_rack(Watts{capacities[i]},
+                                    50 + static_cast<std::uint64_t>(i),
+                                    faults));
+  }
+  FleetConfig cfg;
+  cfg.total_grid_budget = Watts{2000.0};
+  cfg.mode = GridShareMode::kDemandProportional;
+  cfg.check = true;
+  cfg.threads = threads;
+  if (stream_path != nullptr) {
+    cfg.trace_stream = telemetry::StreamSinkConfig{*stream_path, 64};
+  }
+  Fleet fleet{std::move(racks), cfg};
+  fleet.pretrain();
+  fleet.run(Minutes{6.0 * 60.0});
+
+  FleetRun artifacts;
+  std::ostringstream trace;
+  fleet.write_trace_jsonl(trace);
+  artifacts.buffered_trace = trace.str();
+  std::ostringstream rollups;
+  fleet.write_rollup_jsonl(rollups);
+  artifacts.rollups = rollups.str();
+  if (stream_path != nullptr) {
+    fleet.stream()->close();
+    artifacts.streamed = read_file(*stream_path);
+  }
+  return artifacts;
+}
+
+TEST(StreamingSink, FleetStreamMatchesBufferedAtEveryThreadCount) {
+  ScratchDir scratch;
+  const FleetRun reference = run_fleet(1, nullptr);
+  ASSERT_FALSE(reference.buffered_trace.empty());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const fs::path path =
+        scratch / ("fleet-" + std::to_string(threads) + ".jsonl");
+    const FleetRun streamed = run_fleet(threads, &path);
+    // Byte identity of the streamed file against the buffered writer's
+    // whole-run merge, and of the rollup series across runs.
+    EXPECT_EQ(streamed.streamed, reference.buffered_trace);
+    EXPECT_EQ(streamed.rollups, reference.rollups);
+  }
+}
+
+TEST(StreamingSink, FleetStreamStaysIdenticalUnderChaosFaults) {
+  ScratchDir scratch;
+  const FaultPlan plan = make_random_plan(23, Minutes{6.0 * 60.0},
+                                          default_runtime_rack().size());
+  const FleetRun reference = run_fleet(1, nullptr, plan);
+  const fs::path path = scratch / "chaos.jsonl";
+  const FleetRun streamed = run_fleet(4, &path, plan);
+  EXPECT_EQ(streamed.streamed, reference.buffered_trace);
+  EXPECT_EQ(streamed.rollups, reference.rollups);
+}
+
+// ---------------------------------------------------------------------------
+// Rollup aggregation.
+// ---------------------------------------------------------------------------
+
+telemetry::RollupSample sample_at(double t, double epu, double shortfall_w,
+                                  double grid_w, int health) {
+  telemetry::RollupSample sample;
+  sample.t_min = t;
+  sample.epu = epu;
+  sample.shortfall_w = shortfall_w;
+  sample.grid_w = grid_w;
+  sample.health_state = health;
+  return sample;
+}
+
+TEST(Rollup, AggregatesFixedWindowsAndFlushesTheTail) {
+  telemetry::Rollup rollup(60.0);
+  ASSERT_TRUE(rollup.enabled());
+  EXPECT_FALSE(rollup.observe_epoch(sample_at(0, 1.0, 10, 100, 0)));
+  EXPECT_FALSE(rollup.observe_epoch(sample_at(15, 2.0, 20, 200, 1)));
+  EXPECT_FALSE(rollup.observe_epoch(sample_at(30, 3.0, 30, 300, 0)));
+  EXPECT_FALSE(rollup.observe_epoch(sample_at(45, 4.0, 40, 400, 0)));
+
+  const auto closed = rollup.observe_epoch(sample_at(60, 5.0, 50, 500, 2));
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->start_min, 0.0);
+  EXPECT_EQ(closed->end_min, 60.0);
+  EXPECT_EQ(closed->epochs, 4u);
+  // Stamped with the *closing* epoch's time so the streaming sink's
+  // watermark merge never sees a past timestamp.
+  EXPECT_EQ(closed->emitted_t_min, 60.0);
+  EXPECT_EQ(closed->health_occupancy[0], 3u);
+  EXPECT_EQ(closed->health_occupancy[1], 1u);
+
+  const telemetry::TraceEvent event = telemetry::make_rollup_event(*closed, 3);
+  EXPECT_EQ(event.phase, "rollup");
+  EXPECT_EQ(event.rack_id, 3);
+  ASSERT_NE(event.field("epu"), nullptr);
+  EXPECT_EQ(event.field("epu")->as_double(), 2.5);
+  EXPECT_EQ(event.field("shortfall_w")->as_double(), 25.0);
+  EXPECT_EQ(event.field("grid_w")->as_double(), 250.0);
+  EXPECT_EQ(event.field("epochs")->as_int(), 4);
+
+  const auto tail = rollup.flush(75.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->start_min, 60.0);
+  EXPECT_EQ(tail->epochs, 1u);
+  EXPECT_EQ(tail->emitted_t_min, 75.0);
+  EXPECT_EQ(rollup.windows().size(), 2u);
+  // Nothing left open: a second flush is a no-op.
+  EXPECT_FALSE(rollup.flush(80.0).has_value());
+
+  telemetry::Rollup disabled(0.0);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.observe_epoch(sample_at(0, 1.0, 0, 0, 0)));
+  EXPECT_TRUE(disabled.windows().empty());
+}
+
+TEST(Rollup, HealthFieldNamesPinCoreHealthStateNames) {
+  // rollup.cpp spells the HealthState names locally (telemetry must not
+  // include upward into core); this pins them to core's to_string so the
+  // two cannot drift apart silently.
+  telemetry::RollupWindow window;
+  window.epochs = 1;
+  window.health_occupancy = {1, 2, 3, 4};
+  const telemetry::TraceEvent event = telemetry::make_rollup_event(window, 0);
+  const HealthState states[] = {HealthState::kNormal, HealthState::kDegraded,
+                                HealthState::kSafe, HealthState::kRecovering};
+  for (std::size_t s = 0; s < 4; ++s) {
+    const std::string key = std::string("health_") + to_string(states[s]);
+    const telemetry::TraceValue* value = event.field(key);
+    ASSERT_NE(value, nullptr) << key;
+    EXPECT_EQ(value->as_int(), static_cast<std::int64_t>(s + 1)) << key;
+  }
+}
+
+TEST(Rollup, SeriesFileRoundTripsThroughTheAnalyzer) {
+  ScratchDir scratch;
+  SimConfig cfg;
+  cfg.telemetry.rollup_window_min = 60.0;
+  RackSimulator sim = make_sim(std::move(cfg));
+  sim.pretrain();
+  sim.run(Minutes{6.0 * 60.0});  // run() flushes the trailing window
+
+  const auto& windows = sim.telemetry().rollup().windows();
+  ASSERT_EQ(windows.size(), 6u);
+
+  const fs::path series = scratch / "rollup.jsonl";
+  {
+    std::ofstream out(series);
+    sim.telemetry().rollup().write_jsonl(out, sim.telemetry().rack_id());
+  }
+  const fs::path trace = scratch / "trace.jsonl";
+  sim.telemetry().trace().save_jsonl(trace);
+
+  const analysis::TraceAnalysis from_series =
+      analysis::analyze(analysis::load_trace(series));
+  const analysis::TraceAnalysis from_trace =
+      analysis::analyze(analysis::load_trace(trace));
+  ASSERT_EQ(from_series.rollups.size(), windows.size());
+  ASSERT_EQ(from_trace.rollups.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    SCOPED_TRACE("window " + std::to_string(i));
+    const analysis::RollupRow& row = from_series.rollups[i];
+    EXPECT_EQ(row.start_min, windows[i].start_min);
+    EXPECT_EQ(row.end_min, windows[i].end_min);
+    EXPECT_EQ(row.racks, 1u);
+    EXPECT_EQ(row.epochs, windows[i].epochs);
+    const double n = static_cast<double>(windows[i].epochs);
+    EXPECT_NEAR(row.mean_epu, windows[i].epu_sum / n, 1e-9);
+    // The standalone series and the full trace must agree window by window.
+    EXPECT_EQ(row.start_min, from_trace.rollups[i].start_min);
+    EXPECT_EQ(row.epochs, from_trace.rollups[i].epochs);
+    EXPECT_EQ(row.mean_epu, from_trace.rollups[i].mean_epu);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation footer and the analyze / --diff gate.
+// ---------------------------------------------------------------------------
+
+TEST(Truncation, FooterLandsInExportsAndFailsTheDiffGate) {
+  ScratchDir scratch;
+  SimConfig cfg;
+  cfg.telemetry.trace_capacity = 8;  // guaranteed evictions over 24 epochs
+  RackSimulator sim = make_sim(std::move(cfg));
+  sim.pretrain();
+  sim.run(Minutes{6.0 * 60.0});
+  const std::uint64_t dropped = sim.telemetry().trace().dropped();
+  ASSERT_GT(dropped, 0u);
+
+  const fs::path path = scratch / "truncated.jsonl";
+  sim.telemetry().trace().save_jsonl(path);
+  EXPECT_NE(read_file(path).find("trace_truncated"), std::string::npos);
+
+  const analysis::TraceAnalysis truncated =
+      analysis::analyze(analysis::load_trace(path));
+  EXPECT_EQ(truncated.truncated_dropped, dropped);
+
+  const analysis::DiffResult diff = analysis::diff(truncated, truncated);
+  EXPECT_TRUE(diff.truncated());
+  // Partial data never passes the CI gate, no matter how lax the threshold.
+  EXPECT_TRUE(analysis::exceeds_threshold(diff, 1e9));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, DumpsRingPlanAndMetricsOnForcedDegrade) {
+  ScratchDir scratch;
+  const fs::path dir = scratch / "flightrec";
+  SimConfig cfg;
+  cfg.telemetry.flightrec_dir = dir.string();
+  FaultPlan plan;
+  FaultEvent fault;
+  fault.at = Minutes{60.0};
+  fault.kind = FaultKind::kMonitorDropout;
+  fault.value = 1.0;  // every monitor sample dropped -> stale -> degraded
+  plan.add(fault);
+  cfg.faults = plan;
+  RackSimulator sim = make_sim(std::move(cfg));
+  sim.pretrain();
+  sim.run(Minutes{6.0 * 60.0});
+  ASSERT_GE(sim.telemetry().flightrec().dumps(), 1);
+
+  std::vector<fs::path> dumps;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("flightrec-rack0-") && name.ends_with(".jsonl")) {
+      dumps.push_back(entry.path());
+    }
+  }
+  ASSERT_EQ(dumps.size(),
+            static_cast<std::size_t>(sim.telemetry().flightrec().dumps()));
+
+  bool saw_degrade_dump = false;
+  for (const fs::path& dump : dumps) {
+    // Every dump is a valid v2 trace the analyzer reads directly.
+    const analysis::TraceData data = analysis::load_trace(dump);
+    const analysis::TraceAnalysis analysis = analysis::analyze(data);
+    ASSERT_FALSE(analysis.flightrecs.empty()) << dump;
+    if (analysis.flightrecs.front().reason != "health_degraded") continue;
+    saw_degrade_dump = true;
+    EXPECT_EQ(analysis.flightrecs.front().rack_id, 0);
+    EXPECT_GE(analysis.flightrecs.front().t_min, 60.0);
+    // The fault plan rides along as context rows.
+    bool has_plan_row = false;
+    for (const json::Value& event : data.events) {
+      if (event.string_or("phase", "") != "fault_plan_row") continue;
+      has_plan_row = true;
+      EXPECT_EQ(event.string_or("kind", ""), "monitor_dropout");
+      EXPECT_EQ(event.string_or("state", ""), "delivered");
+      EXPECT_EQ(event.number_or("at_min", -1.0), 60.0);
+    }
+    EXPECT_TRUE(has_plan_row) << dump;
+    // The metrics snapshot at dump time lands next to the trace.
+    fs::path metrics = dump;
+    metrics.replace_extension();
+    metrics += "-metrics.json";
+    EXPECT_TRUE(fs::exists(metrics)) << metrics;
+    EXPECT_FALSE(read_file(metrics).empty());
+  }
+  EXPECT_TRUE(saw_degrade_dump);
+}
+
+TEST(FlightRecorder, DirectDumpIsNoOpWhenDisabled) {
+  SimConfig cfg;  // no flightrec_dir
+  RackSimulator sim = make_sim(std::move(cfg));
+  EXPECT_FALSE(sim.telemetry().flightrec().enabled());
+  EXPECT_TRUE(sim.dump_flight_record("run_abort").empty());
+  EXPECT_EQ(sim.telemetry().flightrec().dumps(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Periodic metrics flush.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsFlush, RunLeavesACompleteSnapshotAndNoTempFile) {
+  ScratchDir scratch;
+  const fs::path path = scratch / "metrics.prom";
+  SimConfig cfg;
+  cfg.metrics_out = path.string();
+  cfg.metrics_flush_every = 4;
+  RackSimulator sim = make_sim(std::move(cfg));
+  sim.pretrain();
+  sim.run(Minutes{6.0 * 60.0});
+  const std::string contents = read_file(path);
+  EXPECT_NE(contents.find("gh_trace_buffer_bytes"), std::string::npos);
+  // Temp-and-rename: the scratch file must never survive a flush.
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+}
+
+TEST(MetricsFlush, SaveMetricsPicksTheFormatByExtension) {
+  ScratchDir scratch;
+  telemetry::MetricsRegistry registry;
+  registry.counter("gh_test_total").increment();
+  const MetricsSnapshot snapshot = registry.snapshot();
+
+  const fs::path as_json = scratch / "m.json";
+  const fs::path as_text = scratch / "m.txt";
+  const fs::path as_prom = scratch / "m.prom";
+  telemetry::save_metrics(snapshot, as_json);
+  telemetry::save_metrics(snapshot, as_text);
+  telemetry::save_metrics(snapshot, as_prom);
+
+  const std::string json_body = read_file(as_json);
+  const std::string text_body = read_file(as_text);
+  const std::string prom_body = read_file(as_prom);
+  EXPECT_FALSE(json_body.empty());
+  EXPECT_FALSE(text_body.empty());
+  EXPECT_FALSE(prom_body.empty());
+  EXPECT_NE(json_body, prom_body);
+  EXPECT_NE(text_body, prom_body);
+  // The JSON flavour must parse with the analyzer's reader.
+  EXPECT_NO_THROW(json::parse(json_body));
+  EXPECT_NE(prom_body.find("gh_test_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace greenhetero

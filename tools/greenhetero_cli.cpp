@@ -4,8 +4,11 @@
 //                         [--days N] [--trace high|low] [--capacity W]
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
 //                         [--seed S] [--csv FILE] [--faults PLAN.csv]
-//                         [--trace-out FILE.jsonl] [--metrics-out FILE]
-//                         [--ledger on] [--spans-out FILE.json] [--check on]
+//                         [--trace-out FILE.jsonl] [--stream on]
+//                         [--metrics-out FILE] [--metrics-every N]
+//                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
+//                         [--flightrec-dir DIR] [--ledger on]
+//                         [--spans-out FILE.json] [--check on]
 //   greenhetero analyze   --trace RUN.jsonl [--diff BASELINE.jsonl]
 //                         [--threshold T]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
@@ -14,8 +17,11 @@
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
 //                         [--mode static|proportional] [--threads N]
-//                         [--faults PLAN.csv] [--trace-out FILE.jsonl]
-//                         [--metrics-out FILE] [--ledger on]
+//                         [--hours H] [--faults PLAN.csv]
+//                         [--trace-out FILE.jsonl] [--stream on]
+//                         [--metrics-out FILE] [--metrics-every N]
+//                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
+//                         [--flightrec-dir DIR] [--ledger on]
 //                         [--spans-out FILE.json] [--check on]
 //   greenhetero fuzz      [--seed S] [--runs N] [--run R] [--racks N]
 //                         [--epochs E] [--max-faults F]
@@ -23,7 +29,24 @@
 //
 // --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
 // a human-readable table (histograms with p50/p90/p99), anything else
-// Prometheus text exposition.
+// Prometheus text exposition.  The file is also rewritten mid-run every
+// --metrics-every epochs (default 128; crash-safe temp-file + rename), so a
+// long run's metrics survive an abort.
+//
+// --stream on (with --trace-out) drains trace events to the file as the run
+// progresses through a bounded queue instead of buffering the whole run —
+// byte-identical output, flat memory.  gh_trace_queue_depth /
+// gh_trace_stalls_total expose the backpressure.
+//
+// --rollup-out writes a compact fixed-window per-rack series (mean EPU,
+// shortfall, grid, health occupancy, loss buckets; --rollup-window minutes
+// per window, default 60) that `analyze` renders as a rollup trend table;
+// the same events are also embedded in the main trace.
+//
+// --flightrec-dir keeps a small always-on ring of recent full-detail events
+// per rack and dumps it (plus a metrics snapshot and the fault plan) into
+// the directory when a rack's health tracker leaves normal, an invariant
+// fires, or the run aborts.
 //
 // --ledger records the per-epoch EPU loss ledger ("loss_ledger" trace
 // events + gh_loss_* metrics); --spans-out enables control-loop span
@@ -46,6 +69,7 @@
 //
 // analyze exits 0 when --diff stays within --threshold (default 0.01) and
 // 3 when it drifts beyond it — the CI trace gate keys off that.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,23 +128,44 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
-bool has_suffix(const std::string& path, const std::string& suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+/// Shared by simulate and fleet: the streaming / rollup / flight-recorder
+/// knobs that configure a TelemetryConfig and the run's sink.
+struct StreamOptions {
+  bool stream = false;
+  std::string trace_out;
+  std::string rollup_out;
+  double rollup_window_min = 0.0;
+  std::string flightrec_dir;
+  std::string metrics_out;
+  int metrics_every = 128;
+};
+
+StreamOptions parse_stream_options(const Args& args) {
+  StreamOptions opt;
+  opt.trace_out = args.get("trace-out", "");
+  opt.stream = !args.get("stream", "").empty();
+  if (opt.stream && opt.trace_out.empty()) {
+    std::fprintf(stderr, "--stream on requires --trace-out FILE.jsonl\n");
+    std::exit(2);
+  }
+  opt.rollup_out = args.get("rollup-out", "");
+  // --rollup-window alone also enables the aggregator (events land in the
+  // main trace); --rollup-out alone defaults to hourly windows.
+  opt.rollup_window_min =
+      args.number("rollup-window", opt.rollup_out.empty() ? 0.0 : 60.0);
+  opt.flightrec_dir = args.get("flightrec-dir", "");
+  opt.metrics_out = args.get("metrics-out", "");
+  opt.metrics_every = static_cast<int>(args.number("metrics-every", 128.0));
+  return opt;
 }
 
-void write_metrics(const MetricsSnapshot& snapshot, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open metrics output file: " + path);
-  }
-  if (has_suffix(path, ".json")) {
-    out << snapshot.to_json();
-  } else if (has_suffix(path, ".txt")) {
-    out << snapshot.to_human();
-  } else {
-    out << snapshot.to_prometheus();
-  }
+void print_stream_stats(const telemetry::StreamingTraceSink& sink) {
+  std::printf("  trace streamed to %s (%llu events, %llu stall(s), peak "
+              "queue %zu)\n",
+              sink.config().path.string().c_str(),
+              static_cast<unsigned long long>(sink.events_written()),
+              static_cast<unsigned long long>(sink.stalls()),
+              sink.peak_queue_depth());
 }
 
 PolicyKind parse_policy(const std::string& name) {
@@ -195,6 +240,14 @@ int cmd_simulate(const Args& args) {
   cfg.check = !args.get("check", "").empty();
   const std::string spans_out = args.get("spans-out", "");
   cfg.telemetry.spans = !spans_out.empty();
+  const StreamOptions stream_opt = parse_stream_options(args);
+  cfg.telemetry.rollup_window_min = stream_opt.rollup_window_min;
+  cfg.telemetry.flightrec_dir = stream_opt.flightrec_dir;
+  if (stream_opt.stream) {
+    cfg.trace_stream = telemetry::StreamSinkConfig{stream_opt.trace_out};
+  }
+  cfg.metrics_out = stream_opt.metrics_out;
+  cfg.metrics_flush_every = stream_opt.metrics_every;
   const std::string faults = args.get("faults", "");
   if (!faults.empty()) {
     cfg.faults = FaultPlan::load_csv(faults);
@@ -224,7 +277,15 @@ int cmd_simulate(const Args& args) {
                                    GridSupply{grid}},
                     std::move(cfg)};
   sim.pretrain();
-  const RunReport report = sim.run(Minutes{days * 24.0 * 60.0});
+  RunReport report;
+  try {
+    report = sim.run(Minutes{days * 24.0 * 60.0});
+  } catch (const check::InvariantViolation&) {
+    throw;  // step_epoch already dumped the flight record for this one
+  } catch (const std::exception&) {
+    sim.dump_flight_record("run_abort");
+    throw;
+  }
 
   std::printf("policy %s, workload %s, %d day(s), %s trace\n",
               std::string(to_string(policy)).c_str(),
@@ -256,22 +317,39 @@ int cmd_simulate(const Args& args) {
     report.to_csv().save(csv);
     std::printf("  per-epoch trail written to %s\n", csv.c_str());
   }
-  const std::string trace_out = args.get("trace-out", "");
-  if (!trace_out.empty()) {
-    sim.telemetry().trace().save_jsonl(trace_out);
+  if (telemetry::StreamingTraceSink* sink = sim.stream()) {
+    sink->close();
+    print_stream_stats(*sink);
+  } else if (!stream_opt.trace_out.empty()) {
+    sim.telemetry().trace().save_jsonl(stream_opt.trace_out);
     std::printf("  trace (%zu events) written to %s\n",
-                sim.telemetry().trace().size(), trace_out.c_str());
+                sim.telemetry().trace().size(), stream_opt.trace_out.c_str());
+  }
+  if (!stream_opt.rollup_out.empty()) {
+    std::ofstream out(stream_opt.rollup_out);
+    if (!out) {
+      throw std::runtime_error("cannot open rollup output file: " +
+                               stream_opt.rollup_out);
+    }
+    sim.telemetry().rollup().write_jsonl(out, sim.telemetry().rack_id());
+    std::printf("  rollup series (%zu windows) written to %s\n",
+                sim.telemetry().rollup().windows().size(),
+                stream_opt.rollup_out.c_str());
+  }
+  if (!stream_opt.flightrec_dir.empty()) {
+    std::printf("  flight recorder: %d dump(s) in %s\n",
+                sim.telemetry().flightrec().dumps(),
+                stream_opt.flightrec_dir.c_str());
   }
   if (!spans_out.empty()) {
     sim.telemetry().spans().save_chrome_trace(spans_out);
     std::printf("  spans (%zu) written to %s (load in chrome://tracing)\n",
                 sim.telemetry().spans().records().size(), spans_out.c_str());
   }
-  const std::string metrics_out = args.get("metrics-out", "");
-  if (!metrics_out.empty()) {
-    write_metrics(report.metrics, metrics_out);
+  if (!stream_opt.metrics_out.empty()) {
+    // run() already wrote the final snapshot (and the periodic ones).
     std::printf("  metrics (%zu series) written to %s\n",
-                report.metrics.entries.size(), metrics_out.c_str());
+                report.metrics.entries.size(), stream_opt.metrics_out.c_str());
   }
   return 0;
 }
@@ -399,6 +477,11 @@ int cmd_traces(const Args& args) {
 int cmd_fleet(const Args& args) {
   const int racks = static_cast<int>(args.number("racks", 3.0));
   const double asymmetry = args.number("asymmetry", 0.5);
+  const double hours = args.number("hours", 24.0);
+  if (hours <= 0.0) {
+    std::fprintf(stderr, "fleet: --hours must be positive\n");
+    return 2;
+  }
   const Watts total_grid{args.number("grid", 800.0 * racks)};
   const GridShareMode mode = args.get("mode", "proportional") == "static"
                                  ? GridShareMode::kStatic
@@ -415,6 +498,9 @@ int cmd_fleet(const Args& args) {
   const std::string spans_out = args.get("spans-out", "");
   const bool ledger = !args.get("ledger", "").empty();
   const bool check = !args.get("check", "").empty();
+  const StreamOptions stream_opt = parse_stream_options(args);
+  // Enough solar-trace days to cover the whole run, plus one of slack.
+  const int solar_days = static_cast<int>(std::ceil(hours / 24.0)) + 1;
   std::vector<RackSimulator> sims;
   for (int i = 0; i < racks; ++i) {
     // Solar provisioning spread linearly around 1.8 kW by +/- asymmetry.
@@ -427,12 +513,14 @@ int cmd_fleet(const Args& args) {
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
     cfg.telemetry.loss_ledger = ledger;
     cfg.telemetry.spans = !spans_out.empty();
+    cfg.telemetry.rollup_window_min = stream_opt.rollup_window_min;
+    cfg.telemetry.flightrec_dir = stream_opt.flightrec_dir;
     cfg.check = check;
     cfg.faults = fault_plan;
     sims.emplace_back(
         std::move(rack),
         make_standard_plant(
-            generate_solar_trace(high_solar_model(solar_capacity), 2,
+            generate_solar_trace(high_solar_model(solar_capacity), solar_days,
                                  40 + static_cast<std::uint64_t>(i)),
             GridSpec{}),
         std::move(cfg));
@@ -442,13 +530,26 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
   fleet_cfg.check = check;
+  if (stream_opt.stream) {
+    fleet_cfg.trace_stream = telemetry::StreamSinkConfig{stream_opt.trace_out};
+  }
+  fleet_cfg.metrics_out = stream_opt.metrics_out;
+  fleet_cfg.metrics_flush_every = stream_opt.metrics_every;
   Fleet fleet{std::move(sims), fleet_cfg};
   fleet.pretrain();
-  const FleetReport report = fleet.run(Minutes{24.0 * 60.0});
+  FleetReport report;
+  try {
+    report = fleet.run(Minutes{hours * 60.0});
+  } catch (const check::InvariantViolation&) {
+    throw;  // the offending rack already dumped its flight record
+  } catch (const std::exception&) {
+    fleet.dump_flight_records("run_abort");
+    throw;
+  }
   std::printf("fleet of %d racks, %s grid sharing, %.0f W total grid, "
-              "%zu thread(s)\n",
+              "%zu thread(s), %.0f h\n",
               racks, to_string(mode).c_str(), total_grid.value(),
-              fleet.threads());
+              fleet.threads(), hours);
   std::printf("  total work:       %.0f\n", report.total_work);
   std::printf("  grid energy:      %.1f kWh ($%.2f)\n",
               report.grid_energy.value() / 1000.0, report.grid_cost);
@@ -473,22 +574,35 @@ int cmd_fleet(const Args& args) {
                 "passed\n",
                 checks, substeps);
   }
-  const std::string trace_out = args.get("trace-out", "");
-  if (!trace_out.empty()) {
-    fleet.save_trace_jsonl(trace_out);
-    std::printf("  merged trace written to %s\n", trace_out.c_str());
+  if (telemetry::StreamingTraceSink* sink = fleet.stream()) {
+    sink->close();
+    print_stream_stats(*sink);
+  } else if (!stream_opt.trace_out.empty()) {
+    fleet.save_trace_jsonl(stream_opt.trace_out);
+    std::printf("  merged trace written to %s\n",
+                stream_opt.trace_out.c_str());
+  }
+  if (!stream_opt.rollup_out.empty()) {
+    fleet.save_rollup_jsonl(stream_opt.rollup_out);
+    std::printf("  merged rollup series written to %s\n",
+                stream_opt.rollup_out.c_str());
+  }
+  if (!stream_opt.flightrec_dir.empty()) {
+    std::size_t dumps = 0;
+    for (std::size_t i = 0; i < report.racks.size(); ++i) {
+      dumps += fleet.rack(i).telemetry().flightrec().dumps();
+    }
+    std::printf("  flight recorder: %zu dump(s) in %s\n", dumps,
+                stream_opt.flightrec_dir.c_str());
   }
   if (!spans_out.empty()) {
     fleet.save_chrome_spans(spans_out);
     std::printf("  merged spans written to %s (one pid per rack)\n",
                 spans_out.c_str());
   }
-  const std::string metrics_out = args.get("metrics-out", "");
-  if (!metrics_out.empty()) {
-    const MetricsSnapshot merged = fleet.metrics_snapshot();
-    write_metrics(merged, metrics_out);
-    std::printf("  metrics (%zu series) written to %s\n",
-                merged.entries.size(), metrics_out.c_str());
+  if (!stream_opt.metrics_out.empty()) {
+    // run() already wrote the merged snapshot (and the periodic ones).
+    std::printf("  metrics written to %s\n", stream_opt.metrics_out.c_str());
   }
   return 0;
 }
