@@ -182,16 +182,30 @@ TraceData load_trace(const std::filesystem::path& path) {
     ++line_no;
     if (line.empty()) continue;
     json::Value value;
+    std::string parse_error;
     try {
       value = json::parse(line);
+      if (!value.is_object()) parse_error = "expected a JSON object";
     } catch (const json::JsonError& e) {
-      throw AnalyzerError("analyze: " + path.string() + ":" +
-                          std::to_string(line_no) + ": " + e.what());
+      parse_error = e.what();
     }
-    if (!value.is_object()) {
+    if (!parse_error.empty()) {
+      // A crash can tear the file's FINAL line mid-write; tolerate exactly
+      // that one (drop + count), while mid-file corruption stays an error.
+      std::string rest;
+      bool more_data = false;
+      while (std::getline(in, rest)) {
+        if (!rest.empty()) {
+          more_data = true;
+          break;
+        }
+      }
+      if (!more_data && saw_header) {
+        trace.torn_tail_lines = 1;
+        break;
+      }
       throw AnalyzerError("analyze: " + path.string() + ":" +
-                          std::to_string(line_no) +
-                          ": expected a JSON object");
+                          std::to_string(line_no) + ": " + parse_error);
     }
     if (!saw_header) {
       const json::Value* schema = value.find("schema");
@@ -230,6 +244,7 @@ TraceAnalysis analyze(const TraceData& trace) {
   TraceAnalysis analysis;
   analysis.schema_version = trace.schema_version;
   analysis.event_count = trace.events.size();
+  analysis.torn_tail_lines = trace.torn_tail_lines;
 
   // Pass 1: epoch records (ledger if present, epoch_plan fallback) and the
   // correlation series for the fault timeline.
@@ -403,6 +418,12 @@ void print_report(std::ostream& out, const TraceAnalysis& analysis) {
         << "*** every figure below is computed from a PARTIAL trace"
            " (raise the ring capacity or re-run with --stream on) ***\n\n";
   }
+  if (analysis.torn_tail_lines > 0) {
+    out << "*** WARNING: " << analysis.torn_tail_lines << " torn final line"
+        << (analysis.torn_tail_lines == 1 ? "" : "s")
+        << " dropped — the writing process likely crashed mid-write"
+           " (resume the run from its checkpoints to repair the file) ***\n\n";
+  }
   print_flightrecs(out, analysis.flightrecs);
   print_epu(out, analysis.epu);
   out << "\n";
@@ -419,6 +440,8 @@ DiffResult diff(const TraceAnalysis& base, const TraceAnalysis& other) {
   result.other_epu = other.epu.epu;
   result.base_truncated = base.truncated_dropped;
   result.other_truncated = other.truncated_dropped;
+  result.base_torn = base.torn_tail_lines;
+  result.other_torn = other.torn_tail_lines;
   // Per-window regression check: compare EPU window by window (matched on
   // start time) so a short-lived regression cannot hide inside whole-run
   // means.
@@ -461,13 +484,18 @@ void print_diff(std::ostream& out, const DiffResult& result,
       << tel::format_number(result.other_epu) << "   delta "
       << tel::format_number(result.epu_delta()) << "\n";
   if (result.truncated()) {
+    const bool base_partial =
+        result.base_truncated > 0 || result.base_torn > 0;
+    const bool other_partial =
+        result.other_truncated > 0 || result.other_torn > 0;
     out << "  NOTE: truncated trace on "
-        << (result.base_truncated > 0 && result.other_truncated > 0
-                ? "both sides"
-            : result.base_truncated > 0 ? "the base side"
-                                        : "the other side")
+        << (base_partial && other_partial ? "both sides"
+            : base_partial               ? "the base side"
+                                         : "the other side")
         << " (" << result.base_truncated << " / " << result.other_truncated
-        << " events dropped) — comparison covers partial data\n";
+        << " events dropped, " << result.base_torn << " / "
+        << result.other_torn << " torn tail lines) — comparison covers "
+           "partial data\n";
   }
   if (!result.buckets.empty()) {
     out << "  " << std::left << std::setw(20) << "bucket" << std::right

@@ -44,11 +44,16 @@ class AnalyzerError : public std::runtime_error {
 struct TraceData {
   int schema_version = 0;
   std::vector<json::Value> events;
+  /// 1 when the file's final line failed to parse (a crash tore it
+  /// mid-write); the line is dropped and counted instead of erroring.
+  std::size_t torn_tail_lines = 0;
 };
 
 /// Parse a JSONL trace file.  Throws AnalyzerError on I/O failure, a
 /// missing/foreign header line, an unsupported schema version, or a line
-/// that does not parse as a JSON object.
+/// that does not parse as a JSON object — except a torn FINAL line (the
+/// signature of a crash mid-write), which is tolerated, dropped and counted
+/// in TraceData::torn_tail_lines.
 [[nodiscard]] TraceData load_trace(const std::filesystem::path& path);
 
 /// One loss bucket's epoch-mean watts and share of mean supply.
@@ -121,6 +126,9 @@ struct TraceAnalysis {
   /// non-zero value means every downstream number is based on a partial
   /// trace (the report warns loudly and diff's CI gate fails).
   std::uint64_t truncated_dropped = 0;
+  /// Torn final lines dropped by load_trace (crash mid-write); the report
+  /// warns, and diff's CI gate treats it like truncation.
+  std::size_t torn_tail_lines = 0;
   EpuBreakdown epu;
   std::vector<FaultEntry> faults;
   std::vector<PhaseLatency> latencies;  ///< sorted by name
@@ -157,11 +165,16 @@ struct DiffResult {
   /// exceeds_threshold() reports failure regardless of the deltas.
   std::uint64_t base_truncated = 0;
   std::uint64_t other_truncated = 0;
+  /// Torn final lines on either side: a crash-interrupted trace is partial
+  /// data too, so the gate fails on it just like ring truncation.
+  std::size_t base_torn = 0;
+  std::size_t other_torn = 0;
   std::vector<BucketDelta> buckets;
   std::vector<RollupDelta> rollups;
   [[nodiscard]] double epu_delta() const { return other_epu - base_epu; }
   [[nodiscard]] bool truncated() const {
-    return base_truncated > 0 || other_truncated > 0;
+    return base_truncated > 0 || other_truncated > 0 || base_torn > 0 ||
+           other_torn > 0;
   }
 };
 

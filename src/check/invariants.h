@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "checkpoint/serializer.h"
 #include "power/energy_ledger.h"
 #include "power/power_bus.h"
 #include "server/rack.h"
@@ -115,6 +116,21 @@ class InvariantChecker {
   [[nodiscard]] std::uint64_t checks_passed() const { return checks_; }
   [[nodiscard]] std::uint64_t substeps_checked() const { return substeps_; }
   [[nodiscard]] std::uint64_t epochs_checked() const { return epochs_; }
+
+  /// Checkpoint the counters, so a resumed run's "invariants: N checks"
+  /// report line matches the uninterrupted run's.
+  void save_state(checkpoint::Writer& w) const {
+    w.u64(checks_);
+    w.u64(substeps_);
+    w.u64(epochs_);
+    w.i64(substep_in_epoch_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    checks_ = r.u64();
+    substeps_ = r.u64();
+    epochs_ = r.u64();
+    substep_in_epoch_ = static_cast<long>(r.i64());
+  }
 
  private:
   [[noreturn]] void fail(std::string_view name, std::string details,

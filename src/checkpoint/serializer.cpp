@@ -1,0 +1,116 @@
+#include "checkpoint/serializer.h"
+
+#include <cstring>
+
+namespace greenhetero::checkpoint {
+
+namespace {
+
+template <typename T>
+void append_le(std::string& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+void Writer::u32(std::uint32_t v) { append_le(buf_, v); }
+void Writer::u64(std::uint64_t v) { append_le(buf_, v); }
+void Writer::i64(std::int64_t v) {
+  append_le(buf_, static_cast<std::uint64_t>(v));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_le(buf_, bits);
+}
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::str(std::string_view v) {
+  u64(v.size());
+  buf_.append(v.data(), v.size());
+}
+
+const std::uint8_t* Reader::take(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw CheckpointError("checkpoint payload truncated: need " +
+                          std::to_string(n) + " bytes at offset " +
+                          std::to_string(pos_) + ", have " +
+                          std::to_string(data_.size() - pos_));
+  }
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t Reader::u8() { return *take(1); }
+std::uint32_t Reader::u32() { return read_le<std::uint32_t>(take(4)); }
+std::uint64_t Reader::u64() { return read_le<std::uint64_t>(take(8)); }
+std::int64_t Reader::i64() {
+  return static_cast<std::int64_t>(read_le<std::uint64_t>(take(8)));
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = read_le<std::uint64_t>(take(8));
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) {
+    throw CheckpointError("checkpoint payload corrupt: boolean byte " +
+                          std::to_string(v));
+  }
+  return v != 0;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) {
+    throw CheckpointError("checkpoint payload truncated: string of " +
+                          std::to_string(n) + " bytes, have " +
+                          std::to_string(remaining()));
+  }
+  const auto* p = take(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+std::size_t Reader::seq() {
+  const std::uint64_t n = u64();
+  // An element takes at least one byte, so a length beyond the remaining
+  // bytes is corruption — reject before a resize() tries to allocate it.
+  if (n > remaining()) {
+    throw CheckpointError("checkpoint payload corrupt: sequence of " +
+                          std::to_string(n) + " elements with " +
+                          std::to_string(remaining()) + " bytes left");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace greenhetero::checkpoint

@@ -130,6 +130,13 @@ class GreenHeteroController {
   /// Direct database access for benches that pre-train out of band.
   [[nodiscard]] PerfPowerDatabase& mutable_database() { return db_; }
 
+  /// Checkpoint everything the controller mutates over a run: database,
+  /// monitor RNG/dropout, predictors (retraining replaces them, so each is
+  /// saved polymorphically with its deployed parameters), histories, and
+  /// the health/safe-mode state.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
+
  private:
   void maybe_retrain_holt();
 

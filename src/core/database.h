@@ -21,6 +21,7 @@
 
 #include "util/csv.h"
 
+#include "checkpoint/serializer.h"
 #include "core/monitor.h"
 #include "server/server_spec.h"
 #include "util/polyfit.h"
@@ -98,6 +99,12 @@ class PerfPowerDatabase {
   [[nodiscard]] static PerfPowerDatabase load(
       const std::filesystem::path& path,
       std::size_t max_samples_per_record = 64);
+
+  /// Binary checkpoint of every record, fit coefficients included (the CSV
+  /// path re-fits on load; resume must restore the exact fit so the next
+  /// allocation is bit-identical).
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 
  private:
   void refit(ProfileRecord& record) const;

@@ -11,6 +11,7 @@
 // 1 means every supplied green watt ran a server.
 #pragma once
 
+#include "checkpoint/serializer.h"
 #include "util/units.h"
 
 namespace greenhetero {
@@ -32,6 +33,15 @@ class EpuMeter {
   /// Instantaneous EPU of a single observation (for per-epoch reporting).
   [[nodiscard]] static double instantaneous(Watts green_supply,
                                             Watts useful_draw);
+
+  void save_state(checkpoint::Writer& w) const {
+    w.f64(supplied_.value());
+    w.f64(useful_.value());
+  }
+  void load_state(checkpoint::Reader& r) {
+    supplied_ = WattHours{r.f64()};
+    useful_ = WattHours{r.f64()};
+  }
 
  private:
   WattHours supplied_{0.0};

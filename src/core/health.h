@@ -20,6 +20,8 @@
 
 #include <optional>
 
+#include "checkpoint/serializer.h"
+
 namespace greenhetero {
 
 enum class HealthState { kNormal, kDegraded, kSafe, kRecovering };
@@ -87,6 +89,21 @@ class HealthTracker {
   /// Feed one epoch's signals; returns the transition when the state
   /// changed.  Training epochs should not be fed (no meaningful feedback).
   std::optional<Transition> observe_epoch(const HealthSignals& signals);
+
+  void save_state(checkpoint::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.i64(consecutive_bad_);
+    w.i64(consecutive_good_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(HealthState::kRecovering)) {
+      throw checkpoint::CheckpointError("health: bad state tag");
+    }
+    state_ = static_cast<HealthState>(state);
+    consecutive_bad_ = static_cast<int>(r.i64());
+    consecutive_good_ = static_cast<int>(r.i64());
+  }
 
  private:
   HealthConfig config_;

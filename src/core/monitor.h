@@ -54,6 +54,17 @@ class Monitor {
   /// Total rack draw (noisy) — the demand series fed to the predictor.
   [[nodiscard]] Watts sample_rack_draw(const Rack& rack);
 
+  /// Checkpoint the noise stream position and the fault-mutable dropout
+  /// rate (noise_fraction comes from configuration).
+  void save_state(checkpoint::Writer& w) const {
+    w.f64(dropout_rate_);
+    rng_.save_state(w);
+  }
+  void load_state(checkpoint::Reader& r) {
+    dropout_rate_ = r.f64();
+    rng_.load_state(r);
+  }
+
  private:
   [[nodiscard]] double noisy(double value);
 

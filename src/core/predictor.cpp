@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "checkpoint/serializer.h"
+
 namespace greenhetero {
 
 void HoltParams::validate() const {
@@ -45,6 +47,27 @@ void HoltPredictor::reset() {
   count_ = 0;
 }
 
+PredictorKind HoltPredictor::kind() const { return PredictorKind::kHolt; }
+
+void HoltPredictor::save_state(checkpoint::Writer& w) const {
+  w.f64(params_.alpha);
+  w.f64(params_.beta);
+  w.f64(level_);
+  w.f64(trend_);
+  w.f64(previous_);
+  w.i64(count_);
+}
+
+void HoltPredictor::load_state(checkpoint::Reader& r) {
+  params_.alpha = r.f64();
+  params_.beta = r.f64();
+  params_.validate();
+  level_ = r.f64();
+  trend_ = r.f64();
+  previous_ = r.f64();
+  count_ = static_cast<int>(r.i64());
+}
+
 void LastValuePredictor::observe(double value) {
   last_ = value;
   seen_ = true;
@@ -60,6 +83,20 @@ double LastValuePredictor::predict() const {
 void LastValuePredictor::reset() {
   last_ = 0.0;
   seen_ = false;
+}
+
+PredictorKind LastValuePredictor::kind() const {
+  return PredictorKind::kLastValue;
+}
+
+void LastValuePredictor::save_state(checkpoint::Writer& w) const {
+  w.f64(last_);
+  w.boolean(seen_);
+}
+
+void LastValuePredictor::load_state(checkpoint::Reader& r) {
+  last_ = r.f64();
+  seen_ = r.boolean();
 }
 
 MovingAveragePredictor::MovingAveragePredictor(int window) : window_(window) {
@@ -87,6 +124,25 @@ double MovingAveragePredictor::predict() const {
 void MovingAveragePredictor::reset() {
   values_.clear();
   sum_ = 0.0;
+}
+
+PredictorKind MovingAveragePredictor::kind() const {
+  return PredictorKind::kMovingAverage;
+}
+
+void MovingAveragePredictor::save_state(checkpoint::Writer& w) const {
+  w.i64(window_);
+  checkpoint::save(w, values_);
+  w.f64(sum_);
+}
+
+void MovingAveragePredictor::load_state(checkpoint::Reader& r) {
+  window_ = static_cast<int>(r.i64());
+  if (window_ <= 0) {
+    throw checkpoint::CheckpointError("moving average: bad window");
+  }
+  checkpoint::load(r, values_);
+  sum_ = r.f64();
 }
 
 HoltWintersPredictor::HoltWintersPredictor(HoltParams params, int period,
@@ -146,6 +202,37 @@ void HoltWintersPredictor::reset() {
   count_ = 0;
 }
 
+PredictorKind HoltWintersPredictor::kind() const {
+  return PredictorKind::kHoltWinters;
+}
+
+void HoltWintersPredictor::save_state(checkpoint::Writer& w) const {
+  w.f64(params_.alpha);
+  w.f64(params_.beta);
+  w.i64(period_);
+  w.f64(delta_);
+  w.f64(level_);
+  w.f64(trend_);
+  checkpoint::save(w, season_);
+  w.i64(count_);
+}
+
+void HoltWintersPredictor::load_state(checkpoint::Reader& r) {
+  params_.alpha = r.f64();
+  params_.beta = r.f64();
+  params_.validate();
+  period_ = static_cast<int>(r.i64());
+  delta_ = r.f64();
+  level_ = r.f64();
+  trend_ = r.f64();
+  checkpoint::load(r, season_);
+  count_ = static_cast<int>(r.i64());
+  if (period_ < 2 ||
+      season_.size() != static_cast<std::size_t>(period_)) {
+    throw checkpoint::CheckpointError("holt-winters: bad period/season");
+  }
+}
+
 double holt_sse(std::span<const double> history, HoltParams params) {
   params.validate();
   if (history.size() < 3) {
@@ -191,6 +278,37 @@ std::unique_ptr<SeriesPredictor> make_predictor(PredictorKind kind,
       return std::make_unique<MovingAveragePredictor>(4);
   }
   throw PredictorError("unknown predictor kind");
+}
+
+void save_predictor(checkpoint::Writer& w,
+                    const SeriesPredictor& predictor) {
+  w.u8(static_cast<std::uint8_t>(predictor.kind()));
+  predictor.save_state(w);
+}
+
+std::unique_ptr<SeriesPredictor> load_predictor(checkpoint::Reader& r) {
+  const std::uint8_t tag = r.u8();
+  std::unique_ptr<SeriesPredictor> predictor;
+  switch (static_cast<PredictorKind>(tag)) {
+    case PredictorKind::kHolt:
+      predictor = std::make_unique<HoltPredictor>();
+      break;
+    case PredictorKind::kHoltWinters:
+      // Placeholder constructor arguments; load_state overwrites them.
+      predictor = std::make_unique<HoltWintersPredictor>(HoltParams{}, 2);
+      break;
+    case PredictorKind::kLastValue:
+      predictor = std::make_unique<LastValuePredictor>();
+      break;
+    case PredictorKind::kMovingAverage:
+      predictor = std::make_unique<MovingAveragePredictor>(1);
+      break;
+    default:
+      throw checkpoint::CheckpointError("predictor: bad kind tag " +
+                                        std::to_string(tag));
+  }
+  predictor->load_state(r);
+  return predictor;
 }
 
 HoltParams train_holt(std::span<const double> history, int grid_steps) {

@@ -19,7 +19,14 @@
 #include <string_view>
 #include <vector>
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero {
+
+enum class PredictorKind;
 
 class PredictorError : public std::runtime_error {
  public:
@@ -35,6 +42,14 @@ class SeriesPredictor {
   [[nodiscard]] virtual double predict() const = 0;
   [[nodiscard]] virtual bool ready() const = 0;
   virtual void reset() = 0;
+
+  /// Concrete model tag, so a checkpoint can reconstruct the right type
+  /// (retraining replaces predictor objects, so the deployed parameters
+  /// can differ from the configured ones).
+  [[nodiscard]] virtual PredictorKind kind() const = 0;
+  /// Checkpoint everything, constructor parameters included.
+  virtual void save_state(checkpoint::Writer& w) const = 0;
+  virtual void load_state(checkpoint::Reader& r) = 0;
 };
 
 struct HoltParams {
@@ -56,6 +71,10 @@ class HoltPredictor final : public SeriesPredictor {
   [[nodiscard]] double level() const { return level_; }
   [[nodiscard]] double trend() const { return trend_; }
 
+  [[nodiscard]] PredictorKind kind() const override;
+  void save_state(checkpoint::Writer& w) const override;
+  void load_state(checkpoint::Reader& r) override;
+
  private:
   HoltParams params_;
   double level_ = 0.0;
@@ -72,6 +91,10 @@ class LastValuePredictor final : public SeriesPredictor {
   [[nodiscard]] bool ready() const override { return seen_; }
   void reset() override;
 
+  [[nodiscard]] PredictorKind kind() const override;
+  void save_state(checkpoint::Writer& w) const override;
+  void load_state(checkpoint::Reader& r) override;
+
  private:
   double last_ = 0.0;
   bool seen_ = false;
@@ -86,6 +109,10 @@ class MovingAveragePredictor final : public SeriesPredictor {
   [[nodiscard]] double predict() const override;
   [[nodiscard]] bool ready() const override { return !values_.empty(); }
   void reset() override;
+
+  [[nodiscard]] PredictorKind kind() const override;
+  void save_state(checkpoint::Writer& w) const override;
+  void load_state(checkpoint::Reader& r) override;
 
  private:
   int window_;
@@ -114,6 +141,10 @@ class HoltWintersPredictor final : public SeriesPredictor {
   void reset() override;
 
   [[nodiscard]] int period() const { return period_; }
+
+  [[nodiscard]] PredictorKind kind() const override;
+  void save_state(checkpoint::Writer& w) const override;
+  void load_state(checkpoint::Reader& r) override;
 
  private:
   [[nodiscard]] double seasonal(int offset) const;
@@ -153,5 +184,13 @@ enum class PredictorKind {
 /// day); the moving-average window defaults to 4 epochs.
 [[nodiscard]] std::unique_ptr<SeriesPredictor> make_predictor(
     PredictorKind kind, int season_period, HoltParams params = {});
+
+/// Checkpoint a predictor polymorphically: a kind tag followed by the
+/// instance's save_state.  load_predictor reconstructs the concrete type
+/// and restores its full state (including constructor parameters, which
+/// retraining may have changed from the configured values).
+void save_predictor(checkpoint::Writer& w, const SeriesPredictor& predictor);
+[[nodiscard]] std::unique_ptr<SeriesPredictor> load_predictor(
+    checkpoint::Reader& r);
 
 }  // namespace greenhetero

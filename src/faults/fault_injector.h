@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "checkpoint/serializer.h"
 #include "faults/fault_plan.h"
 #include "util/units.h"
 
@@ -32,6 +33,25 @@ class FaultInjector {
   [[nodiscard]] bool exhausted() const { return next_ >= actions_.size(); }
   [[nodiscard]] std::size_t pending() const {
     return actions_.size() - next_;
+  }
+
+  /// Checkpoint the delivery cursor only — the action schedule itself is
+  /// rebuilt deterministically from the configured plan on resume.
+  void save_state(checkpoint::Writer& w) const {
+    w.u64(actions_.size());
+    w.u64(next_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    const auto count = static_cast<std::size_t>(r.u64());
+    if (count != actions_.size()) {
+      throw checkpoint::CheckpointError(
+          "fault injector: plan has " + std::to_string(actions_.size()) +
+          " actions, checkpoint recorded " + std::to_string(count));
+    }
+    next_ = static_cast<std::size_t>(r.u64());
+    if (next_ > actions_.size()) {
+      throw checkpoint::CheckpointError("fault injector: cursor out of range");
+    }
   }
 
  private:

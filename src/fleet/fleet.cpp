@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <iterator>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "check/invariants.h"
 #include "telemetry/metrics.h"
+#include "util/atomic_file.h"
 
 namespace greenhetero {
 
@@ -58,6 +59,9 @@ void FleetConfig::validate() const {
   }
   if (trace_stream && trace_stream->queue_capacity == 0) {
     throw FleetError("fleet: stream queue capacity must be positive");
+  }
+  if (!checkpoint_dir.empty() && checkpoint_every < 1) {
+    throw FleetError("fleet: checkpoint cadence must be at least 1 epoch");
   }
 }
 
@@ -142,16 +146,33 @@ FleetReport Fleet::run(Minutes duration) {
       std::llround(duration.value() / epoch.value()));
   const auto flush_every =
       static_cast<std::size_t>(config_.metrics_flush_every);
+  const auto checkpoint_every =
+      static_cast<std::size_t>(std::max(1, config_.checkpoint_every));
 
   FleetReport report;
   report.racks.resize(racks_.size());
+
+  // The per-rack epoch histories and the peak allocation live on the fleet
+  // so checkpoints capture them; a resumed run continues from the restored
+  // epoch with the completed records already in place.
+  std::size_t start_epoch = 0;
+  if (resumed_) {
+    start_epoch = racks_.front().epoch_index();
+    resumed_ = false;
+  } else {
+    rack_epochs_.assign(racks_.size(), {});
+    peak_grid_allocation_ = Watts{0.0};
+  }
+  if (rack_epochs_.size() != racks_.size()) {
+    rack_epochs_.assign(racks_.size(), {});
+  }
 
   // Scratch row reused every epoch: rack i's step lands in records[i], so
   // pool threads never touch a shared structure, and the merge below runs
   // in ascending rack order on this thread once the epoch barrier clears.
   std::vector<EpochRecord> records(racks_.size());
 
-  for (std::size_t e = 0; e < epochs; ++e) {
+  for (std::size_t e = start_epoch; e < epochs; ++e) {
     // Planning happens strictly between epochs: every rack has finished the
     // previous step (parallel_for is a barrier), so the shares are computed
     // from a consistent fleet snapshot no matter how many threads run.
@@ -175,9 +196,9 @@ FleetReport Fleet::run(Minutes duration) {
       for (std::size_t i = 0; i < racks_.size(); ++i) step_rack(i);
     }
     for (std::size_t i = 0; i < racks_.size(); ++i) {
-      report.racks[i].epochs.push_back(std::move(records[i]));
+      rack_epochs_[i].push_back(std::move(records[i]));
     }
-    report.peak_grid_allocation = max(report.peak_grid_allocation, allocated);
+    peak_grid_allocation_ = max(peak_grid_allocation_, allocated);
     if (config_.telemetry.enabled) {
       telemetry_->set_now(racks_.front().now() - epoch);
       telemetry_->metrics().counter("gh_fleet_epochs_total").increment();
@@ -198,6 +219,22 @@ FleetReport Fleet::run(Minutes duration) {
         e + 1 < epochs) {
       tel::save_metrics(metrics_snapshot(), config_.metrics_out);
     }
+    // Checkpoint at the epoch barrier: no pool thread is running, every
+    // ring has been drained into the sink, and no finalization has
+    // happened yet — the snapshot plus the truncated stream file
+    // reconstruct this exact moment at any thread count.  A stop request
+    // forces a final checkpoint, then falls through to normal finalization
+    // so the outputs stay standalone-valid; resume discards that tail.
+    const bool stop = config_.stop_flag &&
+                      config_.stop_flag->load(std::memory_order_relaxed);
+    if (!config_.checkpoint_dir.empty() &&
+        (stop || (e + 1) % checkpoint_every == 0)) {
+      write_checkpoint();
+    }
+    if (stop) {
+      report.interrupted = true;
+      break;
+    }
   }
 
   // Close trailing rollup windows (their events are stamped with the run's
@@ -209,8 +246,11 @@ FleetReport Fleet::run(Minutes duration) {
     tel::save_metrics(metrics_snapshot(), config_.metrics_out);
   }
 
+  report.peak_grid_allocation = peak_grid_allocation_;
   for (std::size_t i = 0; i < racks_.size(); ++i) {
     RunReport& r = report.racks[i];
+    r.epochs = rack_epochs_[i];
+    r.interrupted = report.interrupted;
     r.ledger = racks_[i].ledger();
     r.total_work = racks_[i].rack().total_work();
     r.overall_epu = racks_[i].overall_epu();
@@ -279,12 +319,14 @@ void Fleet::write_trace_jsonl(std::ostream& out) const {
 }
 
 void Fleet::save_trace_jsonl(const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw FleetError("fleet: cannot open trace output file: " +
-                     path.string());
-  }
+  std::ostringstream out;
   write_trace_jsonl(out);
+  try {
+    util::write_file_atomic(path, out.str());
+  } catch (const util::AtomicWriteError& e) {
+    throw FleetError("fleet: cannot write trace output file: " +
+                     std::string(e.what()));
+  }
 }
 
 void Fleet::write_chrome_spans(std::ostream& out) const {
@@ -301,12 +343,14 @@ void Fleet::write_chrome_spans(std::ostream& out) const {
 }
 
 void Fleet::save_chrome_spans(const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw FleetError("fleet: cannot open spans output file: " +
-                     path.string());
-  }
+  std::ostringstream out;
   write_chrome_spans(out);
+  try {
+    util::write_file_atomic(path, out.str());
+  } catch (const util::AtomicWriteError& e) {
+    throw FleetError("fleet: cannot write spans output file: " +
+                     std::string(e.what()));
+  }
 }
 
 void Fleet::write_rollup_jsonl(std::ostream& out) const {
@@ -334,12 +378,14 @@ void Fleet::write_rollup_jsonl(std::ostream& out) const {
 }
 
 void Fleet::save_rollup_jsonl(const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw FleetError("fleet: cannot open rollup output file: " +
-                     path.string());
-  }
+  std::ostringstream out;
   write_rollup_jsonl(out);
+  try {
+    util::write_file_atomic(path, out.str());
+  } catch (const util::AtomicWriteError& e) {
+    throw FleetError("fleet: cannot write rollup output file: " +
+                     std::string(e.what()));
+  }
 }
 
 std::vector<std::filesystem::path> Fleet::dump_flight_records(
@@ -350,6 +396,86 @@ std::vector<std::filesystem::path> Fleet::dump_flight_records(
     if (!path.empty()) paths.push_back(std::move(path));
   }
   return paths;
+}
+
+void Fleet::save_state(checkpoint::Writer& w) const {
+  w.seq(racks_.size());
+  telemetry_->save_state(w);
+  w.f64(peak_grid_allocation_.value());
+  w.u64(streamed_dropped_);
+  for (const RackSimulator& rack : racks_) rack.save_state(w);
+  for (const std::vector<EpochRecord>& epochs : rack_epochs_) {
+    w.seq(epochs.size());
+    for (const EpochRecord& record : epochs) {
+      greenhetero::save_state(w, record);
+    }
+  }
+}
+
+void Fleet::load_state(checkpoint::Reader& r) {
+  const std::size_t racks = r.seq();
+  if (racks != racks_.size()) {
+    throw checkpoint::CheckpointError(
+        "fleet snapshot holds " + std::to_string(racks) +
+        " racks but this fleet has " + std::to_string(racks_.size()));
+  }
+  telemetry_->load_state(r);
+  peak_grid_allocation_ = Watts{r.f64()};
+  streamed_dropped_ = r.u64();
+  for (RackSimulator& rack : racks_) rack.load_state(r);
+  rack_epochs_.assign(racks_.size(), {});
+  for (std::vector<EpochRecord>& epochs : rack_epochs_) {
+    const std::size_t count = r.seq();
+    epochs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EpochRecord record;
+      greenhetero::load_state(r, record);
+      epochs.push_back(std::move(record));
+    }
+  }
+}
+
+void Fleet::write_checkpoint() {
+  if (config_.checkpoint_dir.empty()) return;
+  // Flush first so the writer thread is idle and the sink's tellp() is the
+  // exact durable watermark of everything streamed so far.
+  if (stream_) stream_->flush();
+  checkpoint::Writer w;
+  w.u8(2);  // payload kind: fleet run
+  save_state(w);
+  w.boolean(static_cast<bool>(stream_));
+  if (stream_) stream_->save_state(w);
+  checkpoint::write_snapshot(config_.checkpoint_dir,
+                             racks_.front().epoch_index(), config_.config_hash,
+                             w.buffer(), config_.checkpoint_keep);
+}
+
+void Fleet::load_checkpoint(const checkpoint::Snapshot& snapshot) {
+  if (snapshot.config_hash != config_.config_hash) {
+    throw checkpoint::CheckpointError(
+        "checkpoint was taken under a different scenario configuration "
+        "(fingerprint mismatch); refusing to resume");
+  }
+  checkpoint::Reader r{snapshot.payload};
+  const std::uint8_t kind = r.u8();
+  if (kind != 2) {
+    throw checkpoint::CheckpointError(
+        "snapshot holds a standalone simulation, not a fleet run");
+  }
+  load_state(r);
+  const bool streamed = r.boolean();
+  if (streamed != static_cast<bool>(stream_)) {
+    throw checkpoint::CheckpointError(
+        streamed ? "checkpointed fleet streamed its trace; resume needs the "
+                   "same --trace-out stream configuration"
+                 : "checkpointed fleet did not stream; resume must not add "
+                   "a streaming sink");
+  }
+  if (stream_) stream_->load_state(r);
+  if (!r.done()) {
+    throw checkpoint::CheckpointError("snapshot has trailing bytes");
+  }
+  resumed_ = true;
 }
 
 void Fleet::drain_to_stream(double watermark) {

@@ -16,6 +16,7 @@
 //                        supply cede their grid share to starved ones.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -81,6 +82,23 @@ struct FleetConfig {
   /// at the end, so a long run's metrics survive an abort.
   std::string metrics_out;
   int metrics_flush_every = 128;
+  /// Durable checkpointing: when checkpoint_dir is non-empty, run() writes a
+  /// versioned, checksummed snapshot of the whole fleet (every rack's state,
+  /// the coordinator's telemetry, the merged sink's durable watermark) every
+  /// checkpoint_every epochs.  `greenhetero fleet --resume DIR` reloads the
+  /// latest valid snapshot and continues to byte-identical final outputs at
+  /// any thread count.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  /// Snapshots retained after each write; <= 0 keeps every snapshot.
+  int checkpoint_keep = 2;
+  /// Scenario fingerprint stored in every snapshot and verified on resume.
+  std::uint64_t config_hash = 0;
+  /// Cooperative stop flag (the CLI's SIGINT/SIGTERM handler sets it).
+  /// Checked at each epoch barrier: run() writes a final checkpoint (when
+  /// configured), finalizes outputs for the completed epochs and returns
+  /// with FleetReport::interrupted set.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   /// Fail fast on out-of-range knobs (negative or non-finite grid budget).
   /// Throws FleetError; rack-dependent invariants (matching epoch lengths)
@@ -90,6 +108,10 @@ struct FleetConfig {
 
 struct FleetReport {
   std::vector<RunReport> racks;
+  /// True when the run was cut short by a stop request; the report covers
+  /// only the completed epochs and a final checkpoint was written if
+  /// checkpointing was configured.
+  bool interrupted = false;
   double total_work = 0.0;
   WattHours grid_energy{0.0};
   double grid_cost = 0.0;
@@ -171,6 +193,23 @@ class Fleet {
     return stream_.get();
   }
 
+  /// Serialize the complete resumable fleet state: every rack's state, the
+  /// coordinator's telemetry, the per-rack epoch histories and the peak
+  /// grid allocation.  The streaming sink is handled by write_checkpoint /
+  /// load_checkpoint alongside.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
+
+  /// Write one snapshot of the whole fleet (including the merged sink's
+  /// durable watermark) to FleetConfig::checkpoint_dir.  Called by run() at
+  /// the configured cadence; callable directly at any epoch barrier.
+  void write_checkpoint();
+  /// Restore from a loaded snapshot: validates the payload kind and config
+  /// fingerprint, restores every rack and (in streaming mode) truncates +
+  /// reopens the merged sink file at its durable watermark.  The next run()
+  /// continues from the restored epoch.
+  void load_checkpoint(const checkpoint::Snapshot& snapshot);
+
  private:
   /// Drain the coordinator's + every rack's ring (epoch-major, coordinator
   /// first — the buffered writer's concatenation order) into the sink,
@@ -187,6 +226,14 @@ class Fleet {
   std::unique_ptr<telemetry::StreamingTraceSink> stream_;
   /// Ring evictions (all rings) already reported via note_dropped().
   std::uint64_t streamed_dropped_ = 0;
+  /// Per-rack completed-epoch histories.  Members (not run()-locals) so
+  /// checkpoints capture them and a resumed run reassembles the full
+  /// report, first epoch to last.
+  std::vector<std::vector<EpochRecord>> rack_epochs_;
+  Watts peak_grid_allocation_{0.0};
+  /// Set by load_checkpoint(); the next run() continues from the restored
+  /// epoch instead of starting a fresh report.
+  bool resumed_ = false;
 };
 
 }  // namespace greenhetero

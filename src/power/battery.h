@@ -9,6 +9,7 @@
 
 #include <stdexcept>
 
+#include "checkpoint/serializer.h"
 #include "util/units.h"
 
 namespace greenhetero {
@@ -121,6 +122,21 @@ class Battery {
   /// Total energy metered at the terminals since construction.
   [[nodiscard]] WattHours total_discharged() const { return discharged_; }
   [[nodiscard]] WattHours total_charged_input() const { return charged_in_; }
+
+  /// Checkpoint the mutable charge/wear/fault state (the spec is rebuilt
+  /// from configuration on resume).
+  void save_state(checkpoint::Writer& w) const {
+    w.f64(stored_.value());
+    w.f64(fault_derate_);
+    w.f64(discharged_.value());
+    w.f64(charged_in_.value());
+  }
+  void load_state(checkpoint::Reader& r) {
+    stored_ = WattHours{r.f64()};
+    fault_derate_ = r.f64();
+    discharged_ = WattHours{r.f64()};
+    charged_in_ = WattHours{r.f64()};
+  }
 
  private:
   BatterySpec spec_;

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "checkpoint/serializer.h"
 #include "power/power_bus.h"
 #include "util/units.h"
 
@@ -59,6 +60,29 @@ class EnergyLedger {
   /// |renewable_produced - (to_load + to_battery + curtailed)| in Wh; should
   /// be numerically ~0 after any run.
   [[nodiscard]] double conservation_error() const;
+
+  void save_state(checkpoint::Writer& w) const {
+    w.u64(steps_);
+    w.f64(elapsed_.value());
+    w.f64(renewable_.value());
+    w.f64(ren_to_load_.value());
+    w.f64(bat_to_load_.value());
+    w.f64(grid_to_load_.value());
+    w.f64(ren_to_bat_.value());
+    w.f64(grid_to_bat_.value());
+    w.f64(curtailed_.value());
+  }
+  void load_state(checkpoint::Reader& r) {
+    steps_ = static_cast<std::size_t>(r.u64());
+    elapsed_ = Minutes{r.f64()};
+    renewable_ = WattHours{r.f64()};
+    ren_to_load_ = WattHours{r.f64()};
+    bat_to_load_ = WattHours{r.f64()};
+    grid_to_load_ = WattHours{r.f64()};
+    ren_to_bat_ = WattHours{r.f64()};
+    grid_to_bat_ = WattHours{r.f64()};
+    curtailed_ = WattHours{r.f64()};
+  }
 
  private:
   std::size_t steps_ = 0;

@@ -9,6 +9,7 @@
 
 #include <stdexcept>
 
+#include "checkpoint/serializer.h"
 #include "util/units.h"
 
 namespace greenhetero {
@@ -68,6 +69,24 @@ class GridSupply {
 
   /// Billing: TOU-weighted energy cost plus demand charge on the peak.
   [[nodiscard]] double total_cost() const;
+
+  /// Checkpoint the metered totals, the fleet-set budget (set_budget
+  /// mutates the spec) and the outage flag; tariff fields are rebuilt from
+  /// configuration on resume.
+  void save_state(checkpoint::Writer& w) const {
+    w.f64(spec_.budget.value());
+    w.boolean(outage_);
+    w.f64(energy_.value());
+    w.f64(peak_energy_.value());
+    w.f64(peak_.value());
+  }
+  void load_state(checkpoint::Reader& r) {
+    spec_.budget = Watts{r.f64()};
+    outage_ = r.boolean();
+    energy_ = WattHours{r.f64()};
+    peak_energy_ = WattHours{r.f64()};
+    peak_ = Watts{r.f64()};
+  }
 
  private:
   GridSpec spec_;

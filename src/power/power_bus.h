@@ -105,6 +105,17 @@ class RackPowerPlant {
   /// PowerPlanError is thrown (a planning bug, not an operating condition).
   PowerFlows execute(PowerFlows plan, Minutes t, Minutes dt);
 
+  void save_state(checkpoint::Writer& w) const {
+    solar_.save_state(w);
+    battery_.save_state(w);
+    grid_.save_state(w);
+  }
+  void load_state(checkpoint::Reader& r) {
+    solar_.load_state(r);
+    battery_.load_state(r);
+    grid_.load_state(r);
+  }
+
  private:
   SolarArray solar_;
   Battery battery_;

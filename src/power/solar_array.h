@@ -5,6 +5,7 @@
 // the battery is full).
 #pragma once
 
+#include "checkpoint/serializer.h"
 #include "trace/trace.h"
 #include "util/units.h"
 
@@ -32,6 +33,19 @@ class SolarArray {
   [[nodiscard]] WattHours total_curtailed() const { return produced_ - used_; }
 
   [[nodiscard]] const PowerTrace& trace() const { return trace_; }
+
+  /// Checkpoint the metered totals and fault flag (the production trace is
+  /// regenerated from configuration on resume).
+  void save_state(checkpoint::Writer& w) const {
+    w.boolean(outage_);
+    w.f64(produced_.value());
+    w.f64(used_.value());
+  }
+  void load_state(checkpoint::Reader& r) {
+    outage_ = r.boolean();
+    produced_ = WattHours{r.f64()};
+    used_ = WattHours{r.f64()};
+  }
 
  private:
   PowerTrace trace_;

@@ -12,6 +12,7 @@
 
 #include <stdexcept>
 
+#include "checkpoint/serializer.h"
 #include "server/server_sim.h"
 #include "util/units.h"
 
@@ -38,6 +39,15 @@ class PowerCapController {
   int update(ServerSim& server, Watts cap, Minutes dt);
 
   void reset();
+
+  void save_state(checkpoint::Writer& w) const {
+    w.f64(average_.value());
+    w.boolean(seeded_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    average_ = Watts{r.f64()};
+    seeded_ = r.boolean();
+  }
 
  private:
   PowerCapConfig config_;

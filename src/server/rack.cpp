@@ -1,5 +1,7 @@
 #include "server/rack.h"
 
+#include "checkpoint/serializer.h"
+
 namespace greenhetero {
 
 Rack::Rack(std::vector<ServerGroup> groups, Workload workload,
@@ -247,6 +249,33 @@ std::span<const ServerSim> Rack::group_servers(std::size_t i) const {
   }
   return {servers_.data() + group_offsets_[i],
           group_offsets_[i + 1] - group_offsets_[i]};
+}
+
+void Rack::save_state(checkpoint::Writer& w) const {
+  w.seq(groups_.size());
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    w.i64(static_cast<std::int64_t>(workloads_[i]));
+    const std::span<const ServerSim> servers = group_servers(i);
+    w.seq(servers.size());
+    for (const ServerSim& server : servers) server.save_state(w);
+  }
+}
+
+void Rack::load_state(checkpoint::Reader& r) {
+  if (r.seq() != groups_.size()) {
+    throw checkpoint::CheckpointError("rack: group count mismatch");
+  }
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    const auto workload = static_cast<Workload>(r.i64());
+    if (workload != workloads_[i]) {
+      set_group_workload(i, workload);
+    }
+    const std::span<ServerSim> servers = group_servers(i);
+    if (r.seq() != servers.size()) {
+      throw checkpoint::CheckpointError("rack: server count mismatch");
+    }
+    for (ServerSim& server : servers) server.load_state(r);
+  }
 }
 
 }  // namespace greenhetero

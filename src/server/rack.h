@@ -18,6 +18,11 @@
 #include "workload/catalog.h"
 #include "workload/workload_spec.h"
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero {
 
 struct ServerGroup {
@@ -116,6 +121,13 @@ class Rack {
   void accumulate(Minutes dt);
   [[nodiscard]] WattHours total_energy() const;
   [[nodiscard]] double total_work() const;
+
+  /// Checkpoint per-group workloads plus every server's operating state.
+  /// Loading re-derives curves/ladders from the restored workloads (a
+  /// workload-schedule switch may have moved a group off its configured
+  /// workload) and then overwrites the server state the rebuild reset.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 
  private:
   [[nodiscard]] std::span<ServerSim> group_servers(std::size_t i);

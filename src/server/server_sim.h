@@ -11,6 +11,7 @@
 
 #include <optional>
 
+#include "checkpoint/serializer.h"
 #include "server/dvfs.h"
 #include "server/perf_curve.h"
 #include "server/server_spec.h"
@@ -70,6 +71,28 @@ class ServerSim {
   /// Work = throughput integrated over time (metric units * minutes / 60,
   /// i.e. metric-unit-hours).
   [[nodiscard]] double work_done() const { return work_; }
+
+  /// Checkpoint the operating state (spec/curve/ladder are rebuilt from the
+  /// restored workload before this is loaded).
+  void save_state(checkpoint::Writer& w) const {
+    w.i64(state_);
+    w.boolean(online_);
+    w.boolean(stuck_.has_value());
+    w.i64(stuck_.value_or(0));
+    w.f64(actuation_offset_.value());
+    w.f64(energy_.value());
+    w.f64(work_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    state_ = static_cast<int>(r.i64());
+    online_ = r.boolean();
+    const bool has_stuck = r.boolean();
+    const int stuck = static_cast<int>(r.i64());
+    stuck_ = has_stuck ? std::optional<int>(stuck) : std::nullopt;
+    actuation_offset_ = Watts{r.f64()};
+    energy_ = WattHours{r.f64()};
+    work_ = r.f64();
+  }
 
  private:
   ServerSpec spec_;

@@ -88,6 +88,10 @@ void SimConfig::validate() const {
     throw std::invalid_argument(
         "sim config: stream queue capacity must be positive");
   }
+  if (!checkpoint_dir.empty() && checkpoint_every < 1) {
+    throw std::invalid_argument(
+        "sim config: checkpoint cadence must be at least 1 epoch");
+  }
 }
 
 struct RackSimulator::EpochStats {
@@ -505,16 +509,46 @@ std::filesystem::path RackSimulator::dump_flight_record(
 
 RunReport RackSimulator::run(Minutes duration) {
   RunReport report;
-  const auto epochs = static_cast<std::size_t>(
+  const auto total_epochs = static_cast<std::size_t>(
       std::llround(duration.value() / clock_.epoch_length().value()));
   const auto flush_every =
       static_cast<std::size_t>(config_.metrics_flush_every);
-  for (std::size_t e = 0; e < epochs; ++e) {
-    report.epochs.push_back(step_epoch());
+  const auto checkpoint_every =
+      static_cast<std::size_t>(std::max(1, config_.checkpoint_every));
+  // The epoch history lives on the simulator so checkpoints capture it; a
+  // resumed run continues from the restored epoch with the completed
+  // records already in place, a fresh run starts over.
+  std::size_t start_epoch = 0;
+  if (resumed_) {
+    start_epoch = clock_.epoch_index();
+    resumed_ = false;
+  } else {
+    epochs_.clear();
+  }
+  for (std::size_t e = start_epoch; e < total_epochs; ++e) {
+    epochs_.push_back(step_epoch());
     drain_trace_to_stream();
     if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
-        e + 1 < epochs) {
+        e + 1 < total_epochs) {
       tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
+    }
+    // Checkpoint at the epoch barrier: the ring is drained, the sink is
+    // about to be flushed, and no finalization has happened yet, so the
+    // snapshot plus the truncated stream file reconstruct this exact
+    // moment.  A stop request forces a final checkpoint regardless of
+    // cadence, then falls through to normal finalization — the outputs
+    // stay standalone-valid and resume discards that tail anyway.
+    const bool stop = config_.stop_flag &&
+                      config_.stop_flag->load(std::memory_order_relaxed);
+    if (!config_.checkpoint_dir.empty() &&
+        (stop || (e + 1) % checkpoint_every == 0)) {
+      write_checkpoint();
+    }
+    if (stop) {
+      report.interrupted = true;
+      GH_WARN << "stop requested; run interrupted after epoch " << e + 1
+              << " of " << total_epochs;
+      break;
     }
   }
   flush_rollup();
@@ -524,6 +558,7 @@ RunReport RackSimulator::run(Minutes duration) {
     tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
   }
 
+  report.epochs = epochs_;
   report.ledger = ledger_;
   report.total_work = rack_.total_work();
   report.overall_epu = run_epu_.epu();
@@ -532,6 +567,111 @@ RunReport RackSimulator::run(Minutes duration) {
   report.grid_energy = plant_.grid().total_energy();
   report.metrics = telemetry_->metrics().snapshot();
   return report;
+}
+
+void RackSimulator::save_state(checkpoint::Writer& w) const {
+  clock_.save_state(w);
+  rack_.save_state(w);
+  plant_.save_state(w);
+  controller_.save_state(w);
+  ledger_.save_state(w);
+  run_epu_.save_state(w);
+  w.u64(static_cast<std::uint64_t>(next_switch_));
+  // rapl_ sizing, injector_ and checker_ engagement all derive from the
+  // (identical) config, so only engaged state is written.
+  for (const PowerCapController& cap : rapl_) cap.save_state(w);
+  if (injector_) injector_->save_state(w);
+  checkpoint::save(w, solar_sensor_stuck_
+                          ? std::optional<double>{solar_sensor_stuck_->value()}
+                          : std::nullopt);
+  w.u8(static_cast<std::uint8_t>(last_health_));
+  w.u64(streamed_dropped_);
+  if (checker_) checker_->save_state(w);
+  telemetry_->save_state(w);
+  w.seq(epochs_.size());
+  for (const EpochRecord& record : epochs_) {
+    greenhetero::save_state(w, record);
+  }
+}
+
+void RackSimulator::load_state(checkpoint::Reader& r) {
+  clock_.load_state(r);
+  rack_.load_state(r);
+  plant_.load_state(r);
+  controller_.load_state(r);
+  ledger_.load_state(r);
+  run_epu_.load_state(r);
+  next_switch_ = static_cast<std::size_t>(r.u64());
+  if (next_switch_ > config_.workload_schedule.size()) {
+    throw checkpoint::CheckpointError(
+        "simulator state: workload-switch cursor out of range");
+  }
+  for (PowerCapController& cap : rapl_) cap.load_state(r);
+  if (injector_) injector_->load_state(r);
+  std::optional<double> stuck;
+  checkpoint::load(r, stuck);
+  solar_sensor_stuck_ =
+      stuck ? std::optional<Watts>{Watts{*stuck}} : std::nullopt;
+  const std::uint8_t health = r.u8();
+  if (health > static_cast<std::uint8_t>(HealthState::kRecovering)) {
+    throw checkpoint::CheckpointError("simulator state: bad health state " +
+                                      std::to_string(health));
+  }
+  last_health_ = static_cast<HealthState>(health);
+  streamed_dropped_ = r.u64();
+  if (checker_) checker_->load_state(r);
+  telemetry_->load_state(r);
+  const std::size_t count = r.seq();
+  epochs_.clear();
+  epochs_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EpochRecord record;
+    greenhetero::load_state(r, record);
+    epochs_.push_back(std::move(record));
+  }
+}
+
+void RackSimulator::write_checkpoint() {
+  if (config_.checkpoint_dir.empty()) return;
+  // Flush first so the writer thread is idle and the sink's tellp() is the
+  // exact durable watermark of everything streamed so far.
+  if (stream_) stream_->flush();
+  checkpoint::Writer w;
+  w.u8(1);  // payload kind: standalone rack simulation
+  save_state(w);
+  w.boolean(static_cast<bool>(stream_));
+  if (stream_) stream_->save_state(w);
+  checkpoint::write_snapshot(config_.checkpoint_dir, clock_.epoch_index(),
+                             config_.config_hash, w.buffer(),
+                             config_.checkpoint_keep);
+}
+
+void RackSimulator::load_checkpoint(const checkpoint::Snapshot& snapshot) {
+  if (snapshot.config_hash != config_.config_hash) {
+    throw checkpoint::CheckpointError(
+        "checkpoint was taken under a different scenario configuration "
+        "(fingerprint mismatch); refusing to resume");
+  }
+  checkpoint::Reader r{snapshot.payload};
+  const std::uint8_t kind = r.u8();
+  if (kind != 1) {
+    throw checkpoint::CheckpointError(
+        "snapshot holds a fleet run, not a standalone simulation");
+  }
+  load_state(r);
+  const bool streamed = r.boolean();
+  if (streamed != static_cast<bool>(stream_)) {
+    throw checkpoint::CheckpointError(
+        streamed ? "checkpointed run streamed its trace; resume needs the "
+                   "same --trace-out stream configuration"
+                 : "checkpointed run did not stream; resume must not add a "
+                   "streaming sink");
+  }
+  if (stream_) stream_->load_state(r);
+  if (!r.done()) {
+    throw checkpoint::CheckpointError("snapshot has trailing bytes");
+  }
+  resumed_ = true;
 }
 
 void RackSimulator::run_training_epoch(const EpochPlan& plan,

@@ -13,6 +13,7 @@
 // and 10.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -20,6 +21,7 @@
 #include <string_view>
 
 #include "check/invariants.h"
+#include "checkpoint/checkpoint.h"
 #include "core/controller.h"
 #include "core/enforcer.h"
 #include "core/epu.h"
@@ -96,6 +98,26 @@ struct SimConfig {
   /// state or emits telemetry), so results are byte-identical either way;
   /// off (the default) costs one null-pointer test per substep.
   bool check = false;
+  /// Durable checkpointing: when checkpoint_dir is non-empty, run() writes a
+  /// versioned, checksummed snapshot of the complete resumable state every
+  /// checkpoint_every epochs (temp file + rename, so a crash never leaves a
+  /// torn checkpoint).  `greenhetero simulate --resume DIR` reloads the
+  /// latest valid snapshot and continues to a byte-identical final report.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  /// Snapshots retained after each write (older ones pruned); <= 0 keeps
+  /// every snapshot (the kill-at-every-epoch test matrix needs them all).
+  int checkpoint_keep = 2;
+  /// Fingerprint of the scenario configuration, stored in every snapshot and
+  /// verified on resume so a checkpoint cannot silently resume a different
+  /// scenario.  The CLI hashes its scenario-affecting flags; 0 skips none —
+  /// the check always runs, 0 simply has to match 0.
+  std::uint64_t config_hash = 0;
+  /// Cooperative stop flag (the CLI's SIGINT/SIGTERM handler sets it).
+  /// Checked at each epoch barrier: run() writes a final checkpoint (when
+  /// configured), finalizes outputs for the completed epochs and returns
+  /// with RunReport::interrupted set.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   /// Fail fast on configurations the engine cannot honour: non-positive
   /// substep, substep longer than the epoch, an unsorted workload schedule,
@@ -137,6 +159,10 @@ class RackSimulator {
   [[nodiscard]] const EnergyLedger& ledger() const { return ledger_; }
   [[nodiscard]] double overall_epu() const { return run_epu_.epu(); }
   [[nodiscard]] Minutes now() const { return clock_.now(); }
+  /// Completed epochs since construction (the checkpoint cadence index).
+  [[nodiscard]] std::size_t epoch_index() const {
+    return clock_.epoch_index();
+  }
 
   /// This simulator's telemetry context (metrics registry + trace ring).
   [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
@@ -171,6 +197,24 @@ class RackSimulator {
   [[nodiscard]] const check::InvariantChecker* checker() const {
     return checker_.get();
   }
+
+  /// Serialize the complete resumable state (everything except what the
+  /// configuration rebuilds deterministically) — RNG streams, sim clock,
+  /// rack/plant/controller state, fault cursor, telemetry, completed-epoch
+  /// history.  The streaming sink is NOT included; write_checkpoint /
+  /// load_checkpoint handle it alongside.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
+
+  /// Write one snapshot of the full state (including the streaming sink's
+  /// durable watermark) to SimConfig::checkpoint_dir.  Called by run() at
+  /// the configured cadence; callable directly at any epoch barrier.
+  void write_checkpoint();
+  /// Restore from a loaded snapshot: validates the payload kind and the
+  /// config fingerprint, restores the state and (in streaming mode)
+  /// truncates + reopens the sink file at its durable watermark.  The next
+  /// run() continues from the restored epoch.
+  void load_checkpoint(const checkpoint::Snapshot& snapshot);
 
  private:
   struct EpochStats;  // defined in the .cpp
@@ -227,6 +271,13 @@ class RackSimulator {
   /// Engaged only when SimConfig::check is set; the hot path tests the
   /// pointer once per substep when off.
   std::unique_ptr<check::InvariantChecker> checker_;
+  /// Completed-epoch history for the standalone run() report.  Lives on the
+  /// simulator (not run()'s stack) so checkpoints capture it and a resumed
+  /// run reproduces the full report, first epoch to last.
+  std::vector<EpochRecord> epochs_;
+  /// Set by load_checkpoint(); tells the next run() to continue from the
+  /// restored epoch instead of starting a fresh report.
+  bool resumed_ = false;
 };
 
 }  // namespace greenhetero

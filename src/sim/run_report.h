@@ -12,6 +12,11 @@
 #include "util/csv.h"
 #include "util/units.h"
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero {
 
 struct EpochRecord {
@@ -31,8 +36,17 @@ struct EpochRecord {
   Watts shortfall{0.0};         ///< epoch-mean unmet planned load
 };
 
+/// Checkpoint serialization of one epoch record (the resumable run keeps
+/// the completed-epoch history so the final report matches byte for byte).
+void save_state(checkpoint::Writer& w, const EpochRecord& record);
+void load_state(checkpoint::Reader& r, EpochRecord& record);
+
 struct RunReport {
   std::vector<EpochRecord> epochs;
+  /// True when the run was cut short by a stop request (SIGINT/SIGTERM):
+  /// the report covers only the completed epochs, and a final checkpoint
+  /// was written if checkpointing was configured.
+  bool interrupted = false;
   EnergyLedger ledger;
   double total_work = 0.0;      ///< metric-unit-hours of useful work
   double overall_epu = 0.0;     ///< energy-weighted EPU of the whole run

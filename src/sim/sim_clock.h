@@ -6,6 +6,11 @@
 
 #include "util/units.h"
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero {
 
 class SimClock {
@@ -25,6 +30,9 @@ class SimClock {
   bool advance_substep();
 
   void reset();
+
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 
  private:
   Minutes epoch_;

@@ -1,9 +1,9 @@
 #include "telemetry/flight_recorder.h"
 
-#include <fstream>
 #include <stdexcept>
 
 #include "telemetry/metrics.h"
+#include "util/atomic_file.h"
 
 namespace greenhetero::telemetry {
 
@@ -72,24 +72,14 @@ std::filesystem::path FlightRecorder::dump(
     buffer += event.to_json();
     buffer += '\n';
   }
-  {
-    std::ofstream out(trace_path);
-    if (!out) {
-      throw std::runtime_error("flight recorder: cannot open '" +
-                               trace_path.string() + "' for writing");
-    }
-    const std::lock_guard<std::mutex> lock(trace_writer_mutex());
-    out << buffer;
-  }
-  {
-    const std::filesystem::path metrics_path =
-        dir_ / (stem + "-metrics.json");
-    std::ofstream out(metrics_path);
-    if (!out) {
-      throw std::runtime_error("flight recorder: cannot open '" +
-                               metrics_path.string() + "' for writing");
-    }
-    out << metrics.to_json();
+  // Temp-file + rename: a crash (or a second signal) mid-dump can never
+  // leave a torn dump next to the evidence it was meant to preserve.
+  try {
+    util::write_file_atomic(trace_path, buffer);
+    util::write_file_atomic(dir_ / (stem + "-metrics.json"),
+                            metrics.to_json());
+  } catch (const util::AtomicWriteError& e) {
+    throw std::runtime_error("flight recorder: " + std::string(e.what()));
   }
   return trace_path;
 }

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "checkpoint/serializer.h"
 #include "telemetry/tracing.h"
 
 namespace greenhetero::telemetry {
@@ -51,6 +52,24 @@ class FlightRecorder {
                              double sim_minutes,
                              const MetricsSnapshot& metrics,
                              const std::vector<TraceEvent>& context_rows);
+
+  /// Checkpoint the ring contents and the dump sequence number (capacity
+  /// and directory come from configuration).
+  void save_state(checkpoint::Writer& w) const {
+    w.seq(ring_.size());
+    for (const TraceEvent& event : ring_) event.save_state(w);
+    w.i64(seq_);
+  }
+  void load_state(checkpoint::Reader& r) {
+    const std::size_t count = r.seq();
+    ring_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      TraceEvent event;
+      event.load_state(r);
+      ring_.push_back(std::move(event));
+    }
+    seq_ = static_cast<int>(r.i64());
+  }
 
  private:
   std::size_t capacity_;

@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "checkpoint/serializer.h"
+
 namespace greenhetero::telemetry {
 
 /// Where a supplied-but-not-consumed watt went.  Order is the waterfall
@@ -132,6 +134,50 @@ class LossLedger {
     return epochs_;
   }
   void clear();
+
+  /// Checkpoint the full ledger: an epoch may be mid-accumulation when the
+  /// snapshot lands (it never is at the epoch barrier, but the fields are
+  /// cheap and the invariant is "resume = exact state").
+  void save_state(checkpoint::Writer& w) const {
+    w.boolean(open_);
+    w.i64(steps_);
+    w.f64(start_min_);
+    w.f64(rack_peak_w_);
+    w.f64(predicted_renewable_w_);
+    w.f64(planned_green_w_);
+    w.f64(supply_sum_);
+    w.f64(useful_sum_);
+    for (double v : bucket_sums_) w.f64(v);
+    w.seq(epochs_.size());
+    for (const EpochLossRecord& rec : epochs_) {
+      w.f64(rec.start_min);
+      w.f64(rec.supply_w);
+      w.f64(rec.useful_w);
+      for (double v : rec.buckets) w.f64(v);
+    }
+  }
+  void load_state(checkpoint::Reader& r) {
+    open_ = r.boolean();
+    steps_ = static_cast<int>(r.i64());
+    start_min_ = r.f64();
+    rack_peak_w_ = r.f64();
+    predicted_renewable_w_ = r.f64();
+    planned_green_w_ = r.f64();
+    supply_sum_ = r.f64();
+    useful_sum_ = r.f64();
+    for (double& v : bucket_sums_) v = r.f64();
+    const std::size_t count = r.seq();
+    epochs_.clear();
+    epochs_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EpochLossRecord rec;
+      rec.start_min = r.f64();
+      rec.supply_w = r.f64();
+      rec.useful_w = r.f64();
+      for (double& v : rec.buckets) v = r.f64();
+      epochs_.push_back(rec);
+    }
+  }
 
  private:
   bool open_ = false;

@@ -7,7 +7,9 @@
 #include <fstream>
 #include <limits>
 
+#include "checkpoint/serializer.h"
 #include "telemetry/tracing.h"
+#include "util/atomic_file.h"
 
 namespace greenhetero::telemetry {
 
@@ -58,6 +60,17 @@ void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
+}
+
+void Histogram::restore(const std::vector<std::uint64_t>& buckets,
+                        std::uint64_t count, double sum) {
+  if (buckets.size() != bounds_.size() + 1) {
+    throw TelemetryError("histogram restore: bucket count mismatch");
+  }
+  const std::lock_guard<std::mutex> lock(*mutex_);
+  counts_ = buckets;
+  count_ = count;
+  sum_ = sum;
 }
 
 std::span<const double> latency_buckets_ns() {
@@ -491,20 +504,74 @@ void save_metrics(const MetricsSnapshot& snapshot,
   }
   // Temp-and-rename: a run killed mid-flush must leave the previous
   // complete snapshot, never a torn file.
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      throw TelemetryError("cannot open metrics output file: " +
-                           tmp.string());
-    }
-    out << body;
-    if (!out) {
-      throw TelemetryError("write to metrics output file failed: " +
-                           tmp.string());
+  try {
+    util::write_file_atomic(path, body);
+  } catch (const util::AtomicWriteError& e) {
+    throw TelemetryError(e.what());
+  }
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot& snapshot) {
+  for (const SnapshotEntry& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        counter(entry.name, entry.labels).restore(entry.value);
+        break;
+      case MetricKind::kGauge:
+        gauge(entry.name, entry.labels).set(entry.value);
+        break;
+      case MetricKind::kHistogram:
+        histogram(entry.name, entry.bounds, entry.labels)
+            .restore(entry.buckets, entry.count, entry.sum);
+        break;
     }
   }
-  std::filesystem::rename(tmp, path);
+}
+
+void save_state(checkpoint::Writer& w, const MetricsSnapshot& snapshot) {
+  w.seq(snapshot.entries.size());
+  for (const SnapshotEntry& entry : snapshot.entries) {
+    w.str(entry.name);
+    w.seq(entry.labels.size());
+    for (const auto& [key, value] : entry.labels) {
+      w.str(key);
+      w.str(value);
+    }
+    w.u8(static_cast<std::uint8_t>(entry.kind));
+    w.f64(entry.value);
+    checkpoint::save(w, entry.bounds);
+    checkpoint::save(w, entry.buckets);
+    w.u64(entry.count);
+    w.f64(entry.sum);
+  }
+}
+
+void load_state(checkpoint::Reader& r, MetricsSnapshot& snapshot) {
+  const std::size_t entries = r.seq();
+  snapshot.entries.clear();
+  snapshot.entries.reserve(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    SnapshotEntry entry;
+    entry.name = r.str();
+    const std::size_t labels = r.seq();
+    entry.labels.reserve(labels);
+    for (std::size_t j = 0; j < labels; ++j) {
+      std::string key = r.str();
+      entry.labels.emplace_back(std::move(key), r.str());
+    }
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(MetricKind::kHistogram)) {
+      throw checkpoint::CheckpointError("metrics snapshot: bad kind tag " +
+                                        std::to_string(kind));
+    }
+    entry.kind = static_cast<MetricKind>(kind);
+    entry.value = r.f64();
+    checkpoint::load(r, entry.bounds);
+    checkpoint::load(r, entry.buckets);
+    entry.count = r.u64();
+    entry.sum = r.f64();
+    snapshot.entries.push_back(std::move(entry));
+  }
 }
 
 }  // namespace greenhetero::telemetry

@@ -34,6 +34,11 @@
 #include <utility>
 #include <vector>
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero::telemetry {
 
 class TelemetryError : public std::runtime_error {
@@ -62,6 +67,10 @@ class Counter {
     return value_.load(std::memory_order_relaxed);
   }
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  /// Checkpoint restore: overwrite the running total.
+  void restore(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
@@ -113,6 +122,10 @@ class Histogram {
   /// largest finite bound.
   [[nodiscard]] double quantile(double q) const;
   void reset();
+  /// Checkpoint restore: overwrite bins/count/sum.  `buckets.size()` must
+  /// equal upper_bounds().size() + 1 (throws TelemetryError otherwise).
+  void restore(const std::vector<std::uint64_t>& buckets, std::uint64_t count,
+               double sum);
 
  private:
   std::vector<double> bounds_;  ///< sorted, strictly increasing
@@ -184,6 +197,11 @@ struct MetricsSnapshot {
 void save_metrics(const MetricsSnapshot& snapshot,
                   const std::filesystem::path& path);
 
+/// Checkpoint serialization of a frozen snapshot (the registry itself
+/// round-trips as snapshot() -> save -> load -> restore()).
+void save_state(checkpoint::Writer& w, const MetricsSnapshot& snapshot);
+void load_state(checkpoint::Reader& r, MetricsSnapshot& snapshot);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -215,6 +233,10 @@ class MetricsRegistry {
   [[nodiscard]] MetricsSnapshot snapshot() const;
   /// Zero every series; registrations (and interned strings) survive.
   void reset();
+  /// Checkpoint restore: re-register every series in `snapshot` (fetch-or-
+  /// create, so pre-registered series keep their identity) and overwrite its
+  /// value(s).  Series not present in the snapshot are left untouched.
+  void restore(const MetricsSnapshot& snapshot);
 
  private:
   struct Series {

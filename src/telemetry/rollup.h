@@ -89,6 +89,11 @@ class Rollup {
   /// --rollup-out SERIES.jsonl format, itself a valid analyzer input.
   void write_jsonl(std::ostream& out, int rack_id) const;
 
+  /// Checkpoint the open window's running sums, its pending span samples
+  /// and the closed-window history (window_min comes from configuration).
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
+
  private:
   [[nodiscard]] RollupWindow close_window(double emitted_t);
   void open_window(double start_min);

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracing.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace greenhetero::telemetry {
@@ -91,12 +93,13 @@ void SpanCollector::write_chrome_trace(std::ostream& out) const {
 
 void SpanCollector::save_chrome_trace(
     const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("span collector: cannot open '" + path.string() +
-                             "' for writing");
-  }
+  std::ostringstream out;
   write_chrome_trace(out);
+  try {
+    util::write_file_atomic(path, out.str());
+  } catch (const util::AtomicWriteError& e) {
+    throw std::runtime_error("span collector: " + std::string(e.what()));
+  }
 }
 
 #if GH_TELEMETRY_ENABLED

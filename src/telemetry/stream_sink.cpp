@@ -1,9 +1,12 @@
 #include "telemetry/stream_sink.h"
 
 #include <algorithm>
+#include <ios>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
+#include "checkpoint/serializer.h"
 #include "telemetry/metrics.h"
 
 namespace greenhetero::telemetry {
@@ -24,12 +27,14 @@ StreamingTraceSink::StreamingTraceSink(StreamSinkConfig config,
     throw std::invalid_argument(
         "stream sink: queue capacity must be positive");
   }
-  out_.open(config_.path);
-  if (!out_) {
-    throw std::runtime_error("stream sink: cannot open '" +
-                             config_.path.string() + "' for writing");
+  if (!config_.resume) {
+    out_.open(config_.path);
+    if (!out_) {
+      throw std::runtime_error("stream sink: cannot open '" +
+                               config_.path.string() + "' for writing");
+    }
+    out_ << trace_header_json() << '\n';
   }
-  out_ << trace_header_json() << '\n';
   writer_ = std::thread([this] { writer_loop(); });
 }
 
@@ -212,6 +217,61 @@ std::size_t StreamingTraceSink::peak_queue_depth() const {
 
 void StreamingTraceSink::throw_if_failed() {
   if (failed_) throw std::runtime_error(error_);
+}
+
+void StreamingTraceSink::save_state(checkpoint::Writer& w) {
+  // flush() just ran: the queue is empty and the writer thread idle, so
+  // out_/last_written_t_ are safe to read here and tellp() marks exactly
+  // the bytes that are durable.
+  w.u64(static_cast<std::uint64_t>(std::streamoff(out_.tellp())));
+  w.f64(last_written_t_);
+  w.u64(dropped_total_);
+  w.seq(pending_.size());
+  for (const TraceEvent& event : pending_) event.save_state(w);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  w.u64(stalls_);
+  w.u64(events_written_);
+}
+
+void StreamingTraceSink::load_state(checkpoint::Reader& r) {
+  const std::uint64_t offset = r.u64();
+  last_written_t_ = r.f64();
+  dropped_total_ = r.u64();
+  const std::size_t count = r.seq();
+  pending_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    event.load_state(r);
+    pending_.push_back(std::move(event));
+  }
+  const std::uint64_t stalls = r.u64();
+  const std::uint64_t written = r.u64();
+  // Drop whatever the crashed run appended past the checkpoint (possibly a
+  // torn line) and continue from the durable watermark.
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(config_.path, ec);
+  if (ec) {
+    throw std::runtime_error("stream sink: cannot stat '" +
+                             config_.path.string() + "': " + ec.message());
+  }
+  if (size < offset) {
+    throw std::runtime_error(
+        "stream sink: '" + config_.path.string() +
+        "' is shorter than the checkpointed watermark — wrong file?");
+  }
+  std::filesystem::resize_file(config_.path, offset, ec);
+  if (ec) {
+    throw std::runtime_error("stream sink: cannot truncate '" +
+                             config_.path.string() + "': " + ec.message());
+  }
+  out_.open(config_.path, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("stream sink: cannot reopen '" +
+                             config_.path.string() + "' for append");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stalls_ = stalls;
+  events_written_ = written;
 }
 
 }  // namespace greenhetero::telemetry

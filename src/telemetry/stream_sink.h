@@ -44,6 +44,11 @@
 
 #include "telemetry/tracing.h"
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero::telemetry {
 
 class MetricsRegistry;
@@ -54,6 +59,11 @@ struct StreamSinkConfig {
   /// exceed it blocks until the writer catches up (one stall counted per
   /// wait).  Peak sink memory ~= queue_capacity * mean event bytes.
   std::size_t queue_capacity = 4096;
+  /// Resume mode: the constructor neither opens the file nor writes the
+  /// schema header; load_state() truncates the existing file back to the
+  /// checkpointed durable offset and reopens it for append.  No events may
+  /// be pushed before load_state() runs.
+  bool resume = false;
 };
 
 class StreamingTraceSink {
@@ -98,6 +108,16 @@ class StreamingTraceSink {
   [[nodiscard]] std::uint64_t stalls() const;
   [[nodiscard]] std::uint64_t events_written() const;
   [[nodiscard]] std::size_t peak_queue_depth() const;
+
+  /// Checkpoint the sink: the durable byte offset (caller MUST flush()
+  /// immediately before, so the writer thread is idle and tellp() is the
+  /// exact watermark), the footer bookkeeping and the push_merge reorder
+  /// buffer.  Non-const because tellp() is not.
+  void save_state(checkpoint::Writer& w);
+  /// Restore a resume-mode sink: truncate the file back to the recorded
+  /// offset (a crash may have appended a torn tail past the checkpoint)
+  /// and reopen it for append.  Must run before any push.
+  void load_state(checkpoint::Reader& r);
 
  private:
   void writer_loop();

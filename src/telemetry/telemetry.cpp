@@ -35,6 +35,26 @@ void Telemetry::emit(std::string phase, TraceFields fields) {
   trace_.push(std::move(event));
 }
 
+void Telemetry::save_state(checkpoint::Writer& w) const {
+  telemetry::save_state(w, metrics_.snapshot());
+  trace_.save_state(w);
+  loss_.save_state(w);
+  rollup_.save_state(w);
+  flightrec_.save_state(w);
+  w.f64(now_.value());
+}
+
+void Telemetry::load_state(checkpoint::Reader& r) {
+  MetricsSnapshot snapshot;
+  telemetry::load_state(r, snapshot);
+  metrics_.restore(snapshot);
+  trace_.load_state(r);
+  loss_.load_state(r);
+  rollup_.load_state(r);
+  flightrec_.load_state(r);
+  now_ = Minutes{r.f64()};
+}
+
 Telemetry* current() { return g_current; }
 
 LossLedger* loss_ledger() {

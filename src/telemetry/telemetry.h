@@ -101,6 +101,13 @@ class Telemetry {
   /// the flight-recorder ring when that feature is on).
   void emit(std::string phase, TraceFields fields);
 
+  /// Checkpoint every sim-clock-driven component: metrics (as a snapshot),
+  /// trace ring, loss ledger, rollup, flight recorder and the current
+  /// timestamp.  Spans are deliberately skipped — they carry wall-clock
+  /// nanoseconds and are excluded from byte-identity guarantees anyway.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
+
  private:
   TelemetryConfig config_;
   MetricsRegistry metrics_;

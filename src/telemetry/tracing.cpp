@@ -6,7 +6,11 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <sstream>
+
+#include "checkpoint/serializer.h"
 #include "telemetry/metrics.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace greenhetero::telemetry {
@@ -184,12 +188,13 @@ void TraceRing::write_jsonl(std::ostream& out) const {
 }
 
 void TraceRing::save_jsonl(const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("trace ring: cannot open '" + path.string() +
-                             "' for writing");
-  }
+  std::ostringstream out;
   write_jsonl(out);
+  try {
+    util::write_file_atomic(path, out.str());
+  } catch (const util::AtomicWriteError& e) {
+    throw std::runtime_error("trace ring: " + std::string(e.what()));
+  }
 }
 
 void TraceRing::clear() {
@@ -198,6 +203,102 @@ void TraceRing::clear() {
   warned_ = false;
   approx_bytes_ = 0;
   peak_bytes_ = 0;
+}
+
+void TraceValue::save_state(checkpoint::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
+  switch (kind_) {
+    case Kind::kDouble:
+      w.f64(number_);
+      break;
+    case Kind::kInt:
+      w.i64(integer_);
+      break;
+    case Kind::kBool:
+      w.boolean(boolean_);
+      break;
+    case Kind::kString:
+      w.str(string_);
+      break;
+    case Kind::kArray:
+      checkpoint::save(w, array_);
+      break;
+  }
+}
+
+TraceValue TraceValue::load_state(checkpoint::Reader& r) {
+  TraceValue value;
+  const std::uint8_t tag = r.u8();
+  if (tag > static_cast<std::uint8_t>(Kind::kArray)) {
+    throw checkpoint::CheckpointError("trace value: bad kind tag " +
+                                      std::to_string(tag));
+  }
+  value.kind_ = static_cast<Kind>(tag);
+  switch (value.kind_) {
+    case Kind::kDouble:
+      value.number_ = r.f64();
+      break;
+    case Kind::kInt:
+      value.integer_ = r.i64();
+      break;
+    case Kind::kBool:
+      value.boolean_ = r.boolean();
+      break;
+    case Kind::kString:
+      value.string_ = r.str();
+      break;
+    case Kind::kArray:
+      checkpoint::load(r, value.array_);
+      break;
+  }
+  return value;
+}
+
+void TraceEvent::save_state(checkpoint::Writer& w) const {
+  w.f64(sim_minutes);
+  w.i64(rack_id);
+  w.str(phase);
+  w.seq(fields.size());
+  for (const auto& [key, value] : fields) {
+    w.str(key);
+    value.save_state(w);
+  }
+}
+
+void TraceEvent::load_state(checkpoint::Reader& r) {
+  sim_minutes = r.f64();
+  rack_id = static_cast<int>(r.i64());
+  phase = r.str();
+  const std::size_t count = r.seq();
+  fields.clear();
+  fields.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string key = r.str();
+    fields.emplace_back(std::move(key), TraceValue::load_state(r));
+  }
+}
+
+void TraceRing::save_state(checkpoint::Writer& w) const {
+  w.seq(events_.size());
+  for (const TraceEvent& event : events_) event.save_state(w);
+  w.u64(dropped_);
+  w.boolean(warned_);
+  w.u64(approx_bytes_);
+  w.u64(peak_bytes_);
+}
+
+void TraceRing::load_state(checkpoint::Reader& r) {
+  const std::size_t count = r.seq();
+  events_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    event.load_state(r);
+    events_.push_back(std::move(event));
+  }
+  dropped_ = r.u64();
+  warned_ = r.boolean();
+  approx_bytes_ = static_cast<std::size_t>(r.u64());
+  peak_bytes_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace greenhetero::telemetry

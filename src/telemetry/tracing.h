@@ -20,6 +20,11 @@
 #include <utility>
 #include <vector>
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero::telemetry {
 
 /// Version of the JSONL trace schema.  Bumped when the header or the shape
@@ -65,8 +70,14 @@ class TraceValue {
   [[nodiscard]] const std::string& as_string() const { return string_; }
   [[nodiscard]] const std::vector<double>& as_array() const { return array_; }
 
+  /// Checkpoint support (the Kind discriminant is private, so the value
+  /// serializes itself).
+  void save_state(checkpoint::Writer& w) const;
+  [[nodiscard]] static TraceValue load_state(checkpoint::Reader& r);
+
  private:
   enum class Kind { kDouble, kInt, kBool, kString, kArray };
+  TraceValue() : kind_(Kind::kDouble) {}
   Kind kind_;
   double number_ = 0.0;
   std::int64_t integer_ = 0;
@@ -90,6 +101,9 @@ struct TraceEvent {
   /// the basis of gh_trace_buffer_bytes and the streaming sink's queue
   /// accounting, so "bounded memory" means bounded in these units.
   [[nodiscard]] std::size_t approx_bytes() const;
+
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 };
 
 /// The `trace_truncated` footer appended to exports whose ring evicted
@@ -131,6 +145,11 @@ class TraceRing {
   void write_jsonl(std::ostream& out) const;
   void save_jsonl(const std::filesystem::path& path) const;
   void clear();
+
+  /// Checkpoint buffered events plus the cumulative drop/byte accounting
+  /// (capacity comes from configuration).
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 
  private:
   std::size_t capacity_;

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.h"
+
 namespace greenhetero {
 
 namespace {
@@ -161,11 +163,13 @@ std::string CsvTable::to_string() const {
 }
 
 void CsvTable::save(const std::filesystem::path& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw CsvError("csv: cannot write " + path.string());
+  // Temp-file + rename: a crash mid-save must never replace a good file
+  // (the perf-power database persists across runs through this path).
+  try {
+    util::write_file_atomic(path, to_string());
+  } catch (const util::AtomicWriteError& e) {
+    throw CsvError("csv: cannot write " + path.string() + ": " + e.what());
   }
-  out << to_string();
 }
 
 }  // namespace greenhetero

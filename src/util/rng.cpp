@@ -1,5 +1,9 @@
 #include "util/rng.h"
 
+#include <sstream>
+
+#include "checkpoint/serializer.h"
+
 namespace greenhetero {
 
 double Rng::uniform(double lo, double hi) {
@@ -30,6 +34,24 @@ Rng Rng::fork(std::uint64_t label) const {
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   z = z ^ (z >> 31);
   return Rng{z};
+}
+
+void Rng::save_state(checkpoint::Writer& w) const {
+  w.u64(seed_);
+  // The standard guarantees operator<< / operator>> round-trip the engine
+  // exactly; the textual image is locale-independent digits and spaces.
+  std::ostringstream state;
+  state << engine_;
+  w.str(state.str());
+}
+
+void Rng::load_state(checkpoint::Reader& r) {
+  seed_ = r.u64();
+  std::istringstream state(r.str());
+  state >> engine_;
+  if (state.fail()) {
+    throw checkpoint::CheckpointError("rng: malformed engine state image");
+  }
 }
 
 }  // namespace greenhetero

@@ -8,6 +8,11 @@
 #include <cstdint>
 #include <random>
 
+namespace greenhetero::checkpoint {
+class Writer;
+class Reader;
+}  // namespace greenhetero::checkpoint
+
 namespace greenhetero {
 
 /// Seeded pseudo-random source.  A thin wrapper over std::mt19937_64 with the
@@ -32,6 +37,11 @@ class Rng {
   /// on (master seed, label), not on how much of this generator has been
   /// consumed, so forking is order-insensitive.
   [[nodiscard]] Rng fork(std::uint64_t label) const;
+
+  /// Checkpoint the engine state (the mt19937_64 textual state image plus
+  /// the fork seed) so a resumed run continues the exact stream.
+  void save_state(checkpoint::Writer& w) const;
+  void load_state(checkpoint::Reader& r);
 
  private:
   std::mt19937_64 engine_;

@@ -9,6 +9,8 @@
 //                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
 //                         [--flightrec-dir DIR] [--ledger on]
 //                         [--spans-out FILE.json] [--check on]
+//                         [--checkpoint-dir DIR] [--checkpoint-every N]
+//                         [--checkpoint-keep K] [--resume DIR]
 //   greenhetero analyze   --trace RUN.jsonl [--diff BASELINE.jsonl]
 //                         [--threshold T]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
@@ -23,8 +25,12 @@
 //                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
 //                         [--flightrec-dir DIR] [--ledger on]
 //                         [--spans-out FILE.json] [--check on]
+//                         [--checkpoint-dir DIR] [--checkpoint-every N]
+//                         [--checkpoint-keep K] [--resume DIR]
 //   greenhetero fuzz      [--seed S] [--runs N] [--run R] [--racks N]
 //                         [--epochs E] [--max-faults F]
+//   greenhetero fuzz      --crash [--seed S] [--runs N] [--max-kills K]
+//                         [--crash-dir DIR]
 //   greenhetero info      (servers, workloads, combinations, telemetry)
 //
 // --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
@@ -69,18 +75,40 @@
 //
 // analyze exits 0 when --diff stays within --threshold (default 0.01) and
 // 3 when it drifts beyond it — the CI trace gate keys off that.
+//
+// --checkpoint-dir enables durable checkpointing: every --checkpoint-every
+// epochs (default 1) the complete resumable state — RNG streams, clock,
+// battery/server/controller state, fault cursors, telemetry, streamed-file
+// watermarks — is written as a versioned, checksummed snapshot (temp file +
+// rename; the newest --checkpoint-keep are retained).  --resume DIR reloads
+// the latest valid snapshot and continues the run; final reports, traces,
+// rollups and metrics come out byte-identical to an uninterrupted run at
+// any thread count.  SIGINT/SIGTERM stop the run at the next epoch barrier:
+// a last checkpoint is written, outputs are finalized for the completed
+// epochs and the process exits 5.
+//
+// fuzz --crash drives real `fleet` child processes, SIGKILLs them at random
+// points, resumes them via --resume and byte-compares the outputs against
+// an uninterrupted reference; exits 4 on any divergence.
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "analysis/trace_analyzer.h"
+#include "check/crash.h"
 #include "check/fuzzer.h"
+#include "checkpoint/checkpoint.h"
 #include "core/policies.h"
 #include "faults/fault_plan.h"
 #include "fleet/fleet.h"
@@ -91,6 +119,7 @@
 #include "trace/solar.h"
 #include "trace/statistics.h"
 #include "trace/wind.h"
+#include "util/atomic_file.h"
 #include "util/logging.h"
 
 namespace {
@@ -119,13 +148,104 @@ Args parse_args(int argc, char** argv, int first) {
       std::exit(2);
     }
     key = key.substr(2);
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
-      std::exit(2);
+    // A flag followed by another flag (or by nothing) is a bare switch:
+    // `--check` reads as `--check on`.  No value ever starts with "--".
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args.options[key] = "on";
+      continue;
     }
     args.options[key] = argv[++i];
   }
   return args;
+}
+
+/// Scenario fingerprint: FNV-1a over every (sorted) option that shapes the
+/// simulation itself.  Output destinations, checkpoint knobs and the thread
+/// count are excluded — changing where results land (or how many workers
+/// compute them; results are byte-identical by contract) must not
+/// invalidate a resume, while changing the scenario must.
+std::uint64_t scenario_hash(const Args& args) {
+  static const char* kExcluded[] = {
+      "trace-out",  "rollup-out",     "metrics-out",      "metrics-every",
+      "spans-out",  "csv",            "flightrec-dir",    "stream",
+      "out",        "checkpoint-dir", "checkpoint-every", "checkpoint-keep",
+      "resume",     "threads",        "repro-out"};
+  std::string canon;
+  for (const auto& [key, value] : args.options) {
+    bool excluded = false;
+    for (const char* e : kExcluded) {
+      if (key == e) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+    canon += key;
+    canon += '=';
+    canon += value;
+    canon += '\n';
+  }
+  return checkpoint::fnv1a(canon);
+}
+
+/// Set by the SIGINT/SIGTERM handler; the simulator/fleet polls it at every
+/// epoch barrier, writes a final checkpoint and finalizes what completed.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_stop_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+/// Exit code for a run cut short by SIGINT/SIGTERM (outputs are finalized
+/// for the completed epochs and a last checkpoint was written).
+constexpr int kExitInterrupted = 5;
+
+/// Shared by simulate and fleet: resolve --checkpoint-dir / --resume into
+/// (directory, latest snapshot).  --resume DIR implies checkpointing into
+/// DIR; an empty or invalid directory warns and starts fresh (a crash may
+/// land before the first checkpoint ever gets written).
+struct ResumeOptions {
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep = 2;
+  std::optional<checkpoint::Snapshot> snapshot;
+};
+
+ResumeOptions parse_resume_options(const Args& args) {
+  ResumeOptions opt;
+  opt.checkpoint_dir = args.get("checkpoint-dir", "");
+  opt.checkpoint_every =
+      static_cast<int>(args.number("checkpoint-every", 1.0));
+  opt.checkpoint_keep =
+      static_cast<int>(args.number("checkpoint-keep", 2.0));
+  const std::string resume_dir = args.get("resume", "");
+  if (resume_dir.empty()) return opt;
+  if (opt.checkpoint_dir.empty()) opt.checkpoint_dir = resume_dir;
+  opt.snapshot = checkpoint::load_latest(resume_dir);
+  if (!opt.snapshot) {
+    std::fprintf(stderr,
+                 "resume: no valid snapshot in %s; starting fresh (will "
+                 "checkpoint into it)\n",
+                 resume_dir.c_str());
+  }
+  return opt;
+}
+
+/// The path of this very binary (for the crash fuzzer's re-exec); falls
+/// back to argv[0] where /proc/self/exe is unavailable.
+std::string g_argv0;
+
+std::string self_exe_path() {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !self.empty()) return self.string();
+  return g_argv0;
 }
 
 /// Shared by simulate and fleet: the streaming / rollup / flight-recorder
@@ -243,9 +363,20 @@ int cmd_simulate(const Args& args) {
   const StreamOptions stream_opt = parse_stream_options(args);
   cfg.telemetry.rollup_window_min = stream_opt.rollup_window_min;
   cfg.telemetry.flightrec_dir = stream_opt.flightrec_dir;
+  const ResumeOptions resume_opt = parse_resume_options(args);
   if (stream_opt.stream) {
-    cfg.trace_stream = telemetry::StreamSinkConfig{stream_opt.trace_out};
+    telemetry::StreamSinkConfig sink_cfg{stream_opt.trace_out};
+    // Resume mode defers the open/header; load_checkpoint truncates the
+    // existing file to the durable watermark and reopens it for append.
+    sink_cfg.resume = resume_opt.snapshot.has_value();
+    cfg.trace_stream = sink_cfg;
   }
+  cfg.checkpoint_dir = resume_opt.checkpoint_dir;
+  cfg.checkpoint_every = resume_opt.checkpoint_every;
+  cfg.checkpoint_keep = resume_opt.checkpoint_keep;
+  cfg.config_hash = scenario_hash(args);
+  cfg.stop_flag = &g_stop;
+  install_stop_handlers();
   cfg.metrics_out = stream_opt.metrics_out;
   cfg.metrics_flush_every = stream_opt.metrics_every;
   const std::string faults = args.get("faults", "");
@@ -276,7 +407,17 @@ int cmd_simulate(const Args& args) {
                     RackPowerPlant{SolarArray{solar}, Battery{battery},
                                    GridSupply{grid}},
                     std::move(cfg)};
+  // pretrain() always runs: load_checkpoint overwrites its effects (the
+  // database, RNG streams and rack state all come from the snapshot), so
+  // fresh and resumed runs take the identical construction path.
   sim.pretrain();
+  if (resume_opt.snapshot) {
+    sim.load_checkpoint(*resume_opt.snapshot);
+    std::printf("resumed from %s (epoch %llu)\n",
+                resume_opt.snapshot->path.string().c_str(),
+                static_cast<unsigned long long>(
+                    resume_opt.snapshot->epoch_index));
+  }
   RunReport report;
   try {
     report = sim.run(Minutes{days * 24.0 * 60.0});
@@ -326,12 +467,9 @@ int cmd_simulate(const Args& args) {
                 sim.telemetry().trace().size(), stream_opt.trace_out.c_str());
   }
   if (!stream_opt.rollup_out.empty()) {
-    std::ofstream out(stream_opt.rollup_out);
-    if (!out) {
-      throw std::runtime_error("cannot open rollup output file: " +
-                               stream_opt.rollup_out);
-    }
+    std::ostringstream out;
     sim.telemetry().rollup().write_jsonl(out, sim.telemetry().rack_id());
+    util::write_file_atomic(stream_opt.rollup_out, out.str());
     std::printf("  rollup series (%zu windows) written to %s\n",
                 sim.telemetry().rollup().windows().size(),
                 stream_opt.rollup_out.c_str());
@@ -350,6 +488,16 @@ int cmd_simulate(const Args& args) {
     // run() already wrote the final snapshot (and the periodic ones).
     std::printf("  metrics (%zu series) written to %s\n",
                 report.metrics.entries.size(), stream_opt.metrics_out.c_str());
+  }
+  if (report.interrupted) {
+    sim.dump_flight_record("interrupted");
+    std::printf("interrupted after %zu epoch(s); outputs cover the completed "
+                "prefix%s\n",
+                report.epochs.size(),
+                resume_opt.checkpoint_dir.empty()
+                    ? ""
+                    : ", resume with --resume");
+    return kExitInterrupted;
   }
   return 0;
 }
@@ -530,13 +678,31 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
   fleet_cfg.check = check;
+  const ResumeOptions resume_opt = parse_resume_options(args);
   if (stream_opt.stream) {
-    fleet_cfg.trace_stream = telemetry::StreamSinkConfig{stream_opt.trace_out};
+    telemetry::StreamSinkConfig sink_cfg{stream_opt.trace_out};
+    sink_cfg.resume = resume_opt.snapshot.has_value();
+    fleet_cfg.trace_stream = sink_cfg;
   }
+  fleet_cfg.checkpoint_dir = resume_opt.checkpoint_dir;
+  fleet_cfg.checkpoint_every = resume_opt.checkpoint_every;
+  fleet_cfg.checkpoint_keep = resume_opt.checkpoint_keep;
+  fleet_cfg.config_hash = scenario_hash(args);
+  fleet_cfg.stop_flag = &g_stop;
+  install_stop_handlers();
   fleet_cfg.metrics_out = stream_opt.metrics_out;
   fleet_cfg.metrics_flush_every = stream_opt.metrics_every;
   Fleet fleet{std::move(sims), fleet_cfg};
+  // pretrain() always runs: a snapshot overwrites its effects, keeping the
+  // fresh and resumed construction paths identical.
   fleet.pretrain();
+  if (resume_opt.snapshot) {
+    fleet.load_checkpoint(*resume_opt.snapshot);
+    std::printf("resumed from %s (epoch %llu)\n",
+                resume_opt.snapshot->path.string().c_str(),
+                static_cast<unsigned long long>(
+                    resume_opt.snapshot->epoch_index));
+  }
   FleetReport report;
   try {
     report = fleet.run(Minutes{hours * 60.0});
@@ -604,10 +770,49 @@ int cmd_fleet(const Args& args) {
     // run() already wrote the merged snapshot (and the periodic ones).
     std::printf("  metrics written to %s\n", stream_opt.metrics_out.c_str());
   }
+  if (report.interrupted) {
+    fleet.dump_flight_records("interrupted");
+    std::printf("interrupted; outputs cover the completed epochs%s\n",
+                resume_opt.checkpoint_dir.empty() ? ""
+                                                  : ", resume with --resume");
+    return kExitInterrupted;
+  }
   return 0;
 }
 
 int cmd_fuzz(const Args& args) {
+  if (!args.get("crash", "").empty()) {
+    // Crash-recovery mode: SIGKILL real fleet child processes mid-run,
+    // resume them from their checkpoints and byte-compare the outputs
+    // against an uninterrupted reference.
+    check::CrashFuzzOptions options;
+    options.binary = self_exe_path();
+    options.work_dir = args.get("crash-dir", "crash-fuzz");
+    options.seed = static_cast<std::uint64_t>(args.number("seed", 1.0));
+    options.runs = static_cast<int>(args.number("runs", 5.0));
+    options.max_kills = static_cast<int>(args.number("max-kills", 3.0));
+    options.log = &std::cout;
+    const check::CrashFuzzReport report = check::run_crash_fuzzer(options);
+    if (report.ok() && report.runs_executed > 0) {
+      std::printf("crash fuzz: %d run(s) clean, %d kill(s) delivered, %d "
+                  "resume(s) (seed %llu)\n",
+                  report.runs_executed, report.kills_delivered,
+                  report.resumes,
+                  static_cast<unsigned long long>(options.seed));
+      return 0;
+    }
+    if (report.runs_executed == 0) {
+      std::printf("crash fuzz: skipped (platform unsupported)\n");
+      return 0;
+    }
+    for (const std::string& failure : report.failures) {
+      std::printf("crash fuzz: %s\n", failure.c_str());
+    }
+    std::printf("crash fuzz: %d of %d run(s) FAILED; outputs kept under %s\n",
+                report.runs_failed, report.runs_executed,
+                options.work_dir.string().c_str());
+    return 4;
+  }
   // Fault begin/end warnings from randomized plans would drown the per-run
   // progress lines; failures surface through the fuzz report instead.
   Logger::instance().set_level(LogLevel::kError);
@@ -633,12 +838,9 @@ int cmd_fuzz(const Args& args) {
               report.shrunk->scenario.command_line().c_str());
   const std::string repro_out = args.get("repro-out", "");
   if (!repro_out.empty()) {
-    std::ofstream out(repro_out);
-    if (!out) {
-      throw std::runtime_error("cannot open repro output file: " + repro_out);
-    }
-    out << report.shrunk->scenario.command_line() << "\n"
-        << report.shrunk->what << "\n";
+    util::write_file_atomic(repro_out,
+                            report.shrunk->scenario.command_line() + "\n" +
+                                report.shrunk->what + "\n");
     std::printf("fuzz: repro written to %s\n", repro_out.c_str());
   }
   return 4;
@@ -658,6 +860,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  g_argv0 = argv[0];
   const std::string command = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
