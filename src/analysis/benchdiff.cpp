@@ -1,0 +1,205 @@
+#include "analysis/benchdiff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+#include "telemetry/tracing.h"
+
+namespace greenhetero::analysis {
+
+namespace tel = telemetry;
+
+namespace {
+
+bool gated_key(std::string_view key, bool& lower_better) {
+  if (key.ends_with("_ns")) {
+    lower_better = true;
+    return true;
+  }
+  if (key.ends_with("_per_sec")) {
+    lower_better = false;
+    return true;
+  }
+  return false;
+}
+
+const json::Value* find_number(const json::Value& report,
+                               const std::string& key) {
+  const json::Value* v = report.find(key);
+  return v != nullptr && v->is_number() ? v : nullptr;
+}
+
+/// Fixed-width rendering for the drift column ("+15.5%", "-12.3%").
+std::string format_drift(double drift) {
+  if (!std::isfinite(drift)) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", drift * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+double parse_bench_threshold(const std::string& text) {
+  std::string number = text;
+  double scale = 1.0;
+  if (!number.empty() && number.back() == '%') {
+    number.pop_back();
+    scale = 0.01;
+  }
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != number.size() || number.empty() || !std::isfinite(value) ||
+      value < 0.0) {
+    throw AnalyzerError("benchdiff: threshold must be a non-negative "
+                        "fraction or percentage (e.g. 0.15 or 15%), got '" +
+                        text + "'");
+  }
+  return value * scale;
+}
+
+json::Value load_bench_report(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw AnalyzerError("benchdiff: cannot open bench report: " +
+                        path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::parse(buffer.str());
+  } catch (const json::JsonError& e) {
+    throw AnalyzerError("benchdiff: " + path.string() + ": " + e.what());
+  }
+  if (!doc.is_object()) {
+    throw AnalyzerError("benchdiff: " + path.string() +
+                        ": expected one JSON object (a BENCH_*.json report)");
+  }
+  return doc;
+}
+
+BenchComparison compare_bench(const json::Value& current,
+                              const json::Value& baseline, double threshold) {
+  BenchComparison comparison;
+  comparison.bench_name = current.string_or("bench", "?");
+  comparison.threshold = threshold;
+  for (const json::Member& member : current.as_object()) {
+    bool lower_better = true;
+    if (!gated_key(member.first, lower_better) ||
+        !member.second.is_number()) {
+      continue;
+    }
+    const json::Value* base = find_number(baseline, member.first);
+    if (base == nullptr) {
+      comparison.unbaselined.push_back(member.first);
+      continue;
+    }
+    BenchMetricDelta row;
+    row.key = member.first;
+    row.base = base->as_number();
+    row.current = member.second.as_number();
+    row.lower_better = lower_better;
+    // A non-positive baseline cannot anchor a relative comparison (a zero
+    // would divide out; the measurement itself is broken) — report the row
+    // as regressed so someone looks at it.
+    if (!(row.base > 0.0) || !std::isfinite(row.base) ||
+        !std::isfinite(row.current)) {
+      row.drift = std::numeric_limits<double>::infinity();
+      row.regressed = true;
+    } else {
+      row.drift = lower_better ? (row.current - row.base) / row.base
+                               : (row.base - row.current) / row.base;
+      row.regressed = row.drift > threshold;
+    }
+    comparison.rows.push_back(std::move(row));
+  }
+  for (const json::Member& member : baseline.as_object()) {
+    bool lower_better = true;
+    if (!gated_key(member.first, lower_better) ||
+        !member.second.is_number()) {
+      continue;
+    }
+    if (find_number(current, member.first) == nullptr) {
+      comparison.missing.push_back(member.first);
+    }
+  }
+  return comparison;
+}
+
+void print_benchdiff(std::ostream& out, const BenchComparison& comparison) {
+  out << "Bench drift: " << comparison.bench_name << " (threshold "
+      << tel::format_number(comparison.threshold * 100.0) << "%)\n"
+      << "  " << std::left << std::setw(28) << "metric" << std::right
+      << std::setw(14) << "baseline" << std::setw(14) << "current"
+      << std::setw(10) << "drift" << "  verdict\n";
+  for (const BenchMetricDelta& row : comparison.rows) {
+    out << "  " << std::left << std::setw(28) << row.key << std::right
+        << std::setw(14) << tel::format_number(row.base) << std::setw(14)
+        << tel::format_number(row.current) << std::setw(10)
+        << format_drift(row.drift) << "  "
+        << (row.regressed ? "REGRESSED"
+                          : (row.drift < 0.0 ? "improved" : "ok"))
+        << "\n";
+  }
+  for (const std::string& key : comparison.missing) {
+    out << "  " << std::left << std::setw(28) << key
+        << "  MISSING from current report (baseline had it)\n";
+  }
+  for (const std::string& key : comparison.unbaselined) {
+    out << "  " << std::left << std::setw(28) << key
+        << "  no baseline yet (informational)\n";
+  }
+  out << (comparison.drifted() ? "DRIFT over threshold\n"
+                               : "within threshold\n");
+}
+
+std::string trajectory_row(const BenchComparison& comparison,
+                           const std::string& date,
+                           const std::string& build_info_json) {
+  std::string out = "{\"date\":";
+  tel::append_json_escaped(out, date);
+  out += ",\"bench\":";
+  tel::append_json_escaped(out, comparison.bench_name);
+  out += ",\"threshold\":" + tel::format_number(comparison.threshold);
+  out += ",\"drift\":";
+  out += comparison.drifted() ? "true" : "false";
+  out += ",\"build\":" + build_info_json;
+  out += ",\"metrics\":{";
+  bool first = true;
+  for (const BenchMetricDelta& row : comparison.rows) {
+    if (!first) out += ',';
+    first = false;
+    tel::append_json_escaped(out, row.key);
+    out += ':' + tel::format_number(row.current);
+  }
+  out += "}}";
+  return out;
+}
+
+void append_trajectory(const std::filesystem::path& path,
+                       const std::string& row) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    throw AnalyzerError("benchdiff: cannot open trajectory file for append: " +
+                        path.string());
+  }
+  out << row << '\n';
+  if (!out.flush()) {
+    throw AnalyzerError("benchdiff: write to trajectory file failed: " +
+                        path.string());
+  }
+}
+
+}  // namespace greenhetero::analysis

@@ -1,0 +1,99 @@
+// Continuous-bench regression gate behind `greenhetero benchdiff`.
+//
+// Compares a freshly produced BENCH_<name>.json (bench_common.h's
+// BenchReport format: one flat JSON object of named figures) against a
+// committed baseline and applies a relative drift threshold to the keys
+// with a known "better" direction:
+//
+//   *_ns       latencies — lower is better; drift = (cur - base) / base
+//   *_per_sec  throughputs — higher is better; drift = (base - cur) / base
+//
+// Every other key (figure-of-merit gains, EPU vectors, wall_seconds) is
+// informational and never gates — benchmark *results* are covered by the
+// differential oracle and golden traces; this gate is purely about
+// performance.  A gated key that exists in the baseline but vanished from
+// the current report also counts as drift (a silently dropped measurement
+// must not read as a pass), while a brand-new key just has no baseline yet.
+//
+// The CLI turns a drifted comparison into exit code 3, mirroring the
+// `analyze --diff` gate, and can append one dated row per comparison to a
+// committed bench/TRAJECTORY.jsonl so the repo carries its own performance
+// history.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_analyzer.h"
+#include "util/json.h"
+
+namespace greenhetero::analysis {
+
+/// One gated metric's comparison.
+struct BenchMetricDelta {
+  std::string key;
+  double base = 0.0;
+  double current = 0.0;
+  bool lower_better = true;
+  /// Signed relative drift in the *bad* direction (positive = regression):
+  /// (cur-base)/base for latencies, (base-cur)/base for throughputs.
+  double drift = 0.0;
+  bool regressed = false;
+};
+
+struct BenchComparison {
+  std::string bench_name;  ///< the reports' "bench" field (current side)
+  double threshold = 0.0;
+  std::vector<BenchMetricDelta> rows;  ///< gated keys present on both sides
+  /// Gated keys present in the baseline but missing from the current
+  /// report; non-empty counts as drift.
+  std::vector<std::string> missing;
+  /// Gated keys present in the current report but not in the baseline
+  /// (informational — new measurements with no history yet).
+  std::vector<std::string> unbaselined;
+
+  [[nodiscard]] bool drifted() const {
+    if (!missing.empty()) return true;
+    for (const BenchMetricDelta& row : rows) {
+      if (row.regressed) return true;
+    }
+    return false;
+  }
+};
+
+/// Parse "15%" or "0.15" into the fraction 0.15.  Throws AnalyzerError on
+/// anything non-numeric or negative.
+[[nodiscard]] double parse_bench_threshold(const std::string& text);
+
+/// Load one BENCH_*.json report (a single flat JSON object).  Throws
+/// AnalyzerError on I/O failure or anything that is not a JSON object.
+[[nodiscard]] json::Value load_bench_report(
+    const std::filesystem::path& path);
+
+/// Compare the gated keys of `current` against `baseline` at the relative
+/// drift `threshold` (a fraction, e.g. 0.15 for 15%).
+[[nodiscard]] BenchComparison compare_bench(const json::Value& current,
+                                            const json::Value& baseline,
+                                            double threshold);
+
+/// Human-readable comparison table plus the verdict line.
+void print_benchdiff(std::ostream& out, const BenchComparison& comparison);
+
+/// One TRAJECTORY.jsonl row (no trailing newline): the date, the bench
+/// name, the build-info JSON (telemetry::build_info_json()), the verdict
+/// and every gated current value — enough to plot the repo's performance
+/// history without re-running old commits.
+[[nodiscard]] std::string trajectory_row(const BenchComparison& comparison,
+                                         const std::string& date,
+                                         const std::string& build_info_json);
+
+/// Append `row` (+ '\n') to `path`, creating the file if needed.  Throws
+/// AnalyzerError on I/O failure.  Plain append, not atomic-rewrite: the
+/// trajectory is an add-only log and rewriting it would race concurrent
+/// bench jobs.
+void append_trajectory(const std::filesystem::path& path,
+                       const std::string& row);
+
+}  // namespace greenhetero::analysis

@@ -135,6 +135,8 @@ std::string filter_metrics(const std::string& text) {
     if (line.find("_ns") != std::string::npos) continue;
     if (line.find("gh_trace_stalls") != std::string::npos) continue;
     if (line.find("gh_trace_queue_depth") != std::string::npos) continue;
+    if (line.find("gh_trace_queue_residency") != std::string::npos) continue;
+    if (line.find("gh_rack_epochs_per_sec") != std::string::npos) continue;
     out += line;
     out += '\n';
   }

@@ -26,6 +26,11 @@ std::vector<Watts> Enforcer::apply_allocation(Rack& rack,
   }
   if (telemetry::Telemetry* t = telemetry::current()) {
     t->metrics().counter("gh_enforcements_total").increment();
+    // One DVFS-ladder quantization pass per group budget handed to the
+    // rack (enforce_allocation snaps every group onto its ladder).
+    t->metrics()
+        .counter("gh_dvfs_quantization_passes_total")
+        .increment(static_cast<double>(group_power.size()));
     std::vector<double> group_w;
     group_w.reserve(group_power.size());
     for (Watts w : group_power) group_w.push_back(w.value());

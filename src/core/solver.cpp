@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "telemetry/probe.h"
 #include "telemetry/telemetry.h"
@@ -123,13 +124,20 @@ namespace {
 
 /// Counter + trace event for one solver entry-point call (no-op outside a
 /// telemetry scope; benches hammering the backends directly stay clean).
+/// `iterations` is the backend's unit of search work — objective /
+/// marginal-gain evaluations — so gh_solver_iterations_total divided by
+/// gh_solver_calls_total exposes each path's per-call search cost.
 void report_solve(const char* backend, std::span<const GroupModel> groups,
-                  Watts total_supply, const Allocation& result) {
+                  Watts total_supply, const Allocation& result,
+                  std::uint64_t iterations) {
   telemetry::Telemetry* t = telemetry::current();
   if (t == nullptr) return;
   t->metrics()
       .counter("gh_solver_calls_total", {{"backend", backend}})
       .increment();
+  t->metrics()
+      .counter("gh_solver_iterations_total", {{"backend", backend}})
+      .increment(static_cast<double>(iterations));
   t->emit("solve", {{"backend", backend},
                     {"groups", groups.size()},
                     {"supply_w", total_supply.value()},
@@ -176,15 +184,18 @@ void sanitize_allocation(std::span<const GroupModel> groups, Watts total,
 
 }  // namespace
 
-/// The grid-refine production backend behind Solver::solve.
+/// The grid-refine production backend behind Solver::solve.  `evals`
+/// counts objective evaluations for gh_solver_iterations_total.
 static Allocation solve_grid_refine(std::span<const GroupModel> groups,
-                                    Watts total_supply) {
+                                    Watts total_supply,
+                                    std::uint64_t& evals) {
   validate_inputs(groups, total_supply);
   const Watts total = total_supply;
 
   if (groups.size() == 1) {
     const double r = cap_ratio(groups[0], total);
     Allocation best{{r}, group_perf(groups[0], r, total), {}};
+    ++evals;
     return best;
   }
 
@@ -194,6 +205,7 @@ static Allocation solve_grid_refine(std::span<const GroupModel> groups,
     const double cap0 = cap_ratio(g0, total);
     const double cap1 = cap_ratio(g1, total);
     const auto objective = [&](double r0) {
+      ++evals;
       const double r1 = std::min(1.0 - r0, cap1);
       return group_perf(g0, r0, total) + group_perf(g1, r1, total);
     };
@@ -222,6 +234,7 @@ static Allocation solve_grid_refine(std::span<const GroupModel> groups,
   const double cap1 = cap_ratio(groups[1], total);
   const double cap2 = cap_ratio(groups[2], total);
   const auto objective = [&](double r0, double r1) {
+    ++evals;
     const double r2 = std::min(std::max(0.0, 1.0 - r0 - r1), cap2);
     return group_perf(groups[0], r0, total) +
            group_perf(groups[1], r1, total) +
@@ -245,9 +258,10 @@ static Allocation solve_grid_refine(std::span<const GroupModel> groups,
 Allocation Solver::solve(std::span<const GroupModel> groups,
                          Watts total_supply) {
   GH_PROBE("gh_solver_solve_ns");
-  Allocation result = solve_grid_refine(groups, total_supply);
+  std::uint64_t evals = 0;
+  Allocation result = solve_grid_refine(groups, total_supply, evals);
   sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, result);
-  report_solve("grid_refine", groups, total_supply, result);
+  report_solve("grid_refine", groups, total_supply, result, evals);
   return result;
 }
 
@@ -277,7 +291,9 @@ Allocation Solver::solve_subset(std::span<const GroupModel> groups,
   GH_PROBE("gh_solver_solve_subset_ns");
   validate_inputs(groups, total_supply);
   const Watts total = total_supply;
+  std::uint64_t evals = 0;
   const auto subset_perf = [&](std::size_t g, double ratio) {
+    ++evals;
     return best_subset_perf(groups[g], total * std::max(0.0, ratio));
   };
 
@@ -349,7 +365,7 @@ Allocation Solver::solve_subset(std::span<const GroupModel> groups,
   // Subset performance is computed against activation counts, so a repair
   // must not overwrite it with the whole-group estimate.
   sanitize_allocation(groups, total_supply, /*recompute_perf=*/false, best);
-  report_solve("subset", groups, total_supply, best);
+  report_solve("subset", groups, total_supply, best, evals);
   return best;
 }
 
@@ -374,6 +390,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
 
   std::vector<double> ratios(groups.size(), 0.0);
   double remaining = 1.0;
+  std::uint64_t evals = 0;
 
   // Greedy water-filling: each step gives one quantum (or, for a sleeping
   // group, the whole activation chunk up to its floor) to the group with
@@ -396,6 +413,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
       }
       spend = std::min({spend, remaining, cap - ratios[i]});
       if (spend <= 1e-12) continue;
+      ++evals;
       const double gain = group_perf(g, ratios[i] + spend, total) -
                           group_perf(g, ratios[i], total);
       const double rate = gain / spend;
@@ -424,6 +442,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
         const double cap_i = std::min(pool, cap_ratio(gi, total));
         const double cap_j = cap_ratio(gj, total);
         const auto objective = [&](double ri) {
+          ++evals;
           const double rj = std::min(pool - ri, cap_j);
           return group_perf(gi, ri, total) + group_perf(gj, rj, total);
         };
@@ -462,7 +481,7 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
   Allocation result{std::move(ratios), 0.0, {}};
   result.predicted_perf = evaluate(groups, result.ratios, total);
   sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, result);
-  report_solve("waterfill", groups, total_supply, result);
+  report_solve("waterfill", groups, total_supply, result, evals);
   return result;
 }
 
@@ -476,7 +495,9 @@ Allocation Solver::solve_grid(std::span<const GroupModel> groups,
   const int steps = static_cast<int>(std::lround(1.0 / granularity));
   Allocation best;
   best.predicted_perf = -1.0;
+  std::uint64_t evals = 0;
   const auto consider = [&](const std::vector<double>& ratios) {
+    ++evals;
     const double perf = evaluate(groups, ratios, total_supply);
     if (perf > best.predicted_perf) {
       best = Allocation{ratios, perf, {}};
@@ -500,7 +521,7 @@ Allocation Solver::solve_grid(std::span<const GroupModel> groups,
   };
   enumerate(enumerate, 0, steps);
   sanitize_allocation(groups, total_supply, /*recompute_perf=*/true, best);
-  report_solve("grid", groups, total_supply, best);
+  report_solve("grid", groups, total_supply, best, evals);
   return best;
 }
 
@@ -546,6 +567,17 @@ Allocation Solver::solve_analytic_2(std::span<const GroupModel> groups,
   }
   Allocation result{{r0, r1}, 0.0, {}};
   result.predicted_perf = evaluate(groups, result.ratios, total_supply);
+  // Counters only, no "solve" trace event: the analytic path also runs as
+  // an inner candidate of grid_refine, and a nested event would change the
+  // golden traces.  One closed-form evaluation = one iteration.
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->metrics()
+        .counter("gh_solver_calls_total", {{"backend", "analytic_2"}})
+        .increment();
+    t->metrics()
+        .counter("gh_solver_iterations_total", {{"backend", "analytic_2"}})
+        .increment();
+  }
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iterator>
 #include <limits>
@@ -172,6 +173,25 @@ FleetReport Fleet::run(Minutes duration) {
   // in ascending rack order on this thread once the epoch barrier clears.
   std::vector<EpochRecord> records(racks_.size());
 
+  // Fleet throughput gauge: rack-epochs stepped this run() over its wall
+  // time.  Wall-clock, so excluded from byte-identity comparisons like the
+  // gh_*_ns series.
+  const std::chrono::steady_clock::time_point run_begin =
+      std::chrono::steady_clock::now();
+  std::size_t rack_epochs_stepped = 0;
+  const auto update_throughput = [&] {
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - run_begin)
+                            .count();
+    if (rack_epochs_stepped == 0 || secs <= 0.0 ||
+        !config_.telemetry.enabled) {
+      return;
+    }
+    telemetry_->metrics()
+        .gauge("gh_rack_epochs_per_sec")
+        .set(static_cast<double>(rack_epochs_stepped) / secs);
+  };
+
   for (std::size_t e = start_epoch; e < epochs; ++e) {
     // Planning happens strictly between epochs: every rack has finished the
     // previous step (parallel_for is a barrier), so the shares are computed
@@ -198,6 +218,7 @@ FleetReport Fleet::run(Minutes duration) {
     for (std::size_t i = 0; i < racks_.size(); ++i) {
       rack_epochs_[i].push_back(std::move(records[i]));
     }
+    rack_epochs_stepped += racks_.size();
     peak_grid_allocation_ = max(peak_grid_allocation_, allocated);
     if (config_.telemetry.enabled) {
       telemetry_->set_now(racks_.front().now() - epoch);
@@ -217,7 +238,9 @@ FleetReport Fleet::run(Minutes duration) {
     drain_to_stream(racks_.front().now().value());
     if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
         e + 1 < epochs) {
-      tel::save_metrics(metrics_snapshot(), config_.metrics_out);
+      update_throughput();
+      tel::save_metrics(metrics_snapshot(), config_.metrics_out,
+                        /*human_sibling=*/true);
     }
     // Checkpoint at the epoch barrier: no pool thread is running, every
     // ring has been drained into the sink, and no finalization has
@@ -242,8 +265,10 @@ FleetReport Fleet::run(Minutes duration) {
   for (RackSimulator& rack : racks_) rack.flush_rollup();
   drain_to_stream(std::numeric_limits<double>::infinity());
   if (stream_) stream_->flush();
+  update_throughput();
   if (!config_.metrics_out.empty()) {
-    tel::save_metrics(metrics_snapshot(), config_.metrics_out);
+    tel::save_metrics(metrics_snapshot(), config_.metrics_out,
+                      /*human_sibling=*/true);
   }
 
   report.peak_grid_allocation = peak_grid_allocation_;
@@ -325,6 +350,27 @@ void Fleet::save_trace_jsonl(const std::filesystem::path& path) const {
     util::write_file_atomic(path, out.str());
   } catch (const util::AtomicWriteError& e) {
     throw FleetError("fleet: cannot write trace output file: " +
+                     std::string(e.what()));
+  }
+}
+
+tel::ProfileReport Fleet::profile_report() const {
+  // Coordinator first, then racks in ascending order: the merge is keyed by
+  // phase path (a std::map), so the result is the same set either way, but
+  // fixing the order keeps call counts deterministic even if a future node
+  // field becomes order-sensitive.
+  tel::ProfileReport merged = telemetry_->profiler().report();
+  for (const RackSimulator& rack : racks_) {
+    tel::merge_profile(merged, rack.telemetry().profiler().report());
+  }
+  return merged;
+}
+
+void Fleet::save_profile_json(const std::filesystem::path& path) const {
+  try {
+    tel::save_profile_json(profile_report(), path);
+  } catch (const tel::TelemetryError& e) {
+    throw FleetError("fleet: cannot write profile output file: " +
                      std::string(e.what()));
   }
 }

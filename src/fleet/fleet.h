@@ -173,6 +173,13 @@ class Fleet {
   void write_chrome_spans(std::ostream& out) const;
   void save_chrome_spans(const std::filesystem::path& path) const;
 
+  /// Merged profiler tree: the coordinator's phases plus every rack's,
+  /// folded together in ascending rack order.  Each rack's epoch runs on
+  /// exactly one thread and the merge happens after the epoch barrier, so
+  /// every field except the wall/CPU timings is identical at any --threads.
+  [[nodiscard]] telemetry::ProfileReport profile_report() const;
+  void save_profile_json(const std::filesystem::path& path) const;
+
   /// Merged rollup series across every rack, ordered by (window start, rack)
   /// — the fleet --rollup-out format; a valid analyzer input on its own.
   /// Requires racks configured with rollup_window_min > 0; run() flushes

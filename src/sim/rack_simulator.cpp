@@ -1,6 +1,7 @@
 #include "sim/rack_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "telemetry/probe.h"
@@ -525,12 +526,31 @@ RunReport RackSimulator::run(Minutes duration) {
   } else {
     epochs_.clear();
   }
+  // Throughput gauge: epochs stepped in *this* run() over its wall time.
+  // Wall-clock, so — like the gh_*_ns series — it sits outside the
+  // byte-identity comparisons (the crash fuzzer and the parallel-fleet
+  // test filter it out).
+  const std::chrono::steady_clock::time_point run_begin =
+      std::chrono::steady_clock::now();
+  std::size_t stepped = 0;
+  const auto update_throughput = [&] {
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - run_begin)
+                            .count();
+    if (stepped == 0 || secs <= 0.0 || !telemetry_->config().enabled) return;
+    telemetry_->metrics()
+        .gauge("gh_rack_epochs_per_sec")
+        .set(static_cast<double>(stepped) / secs);
+  };
   for (std::size_t e = start_epoch; e < total_epochs; ++e) {
     epochs_.push_back(step_epoch());
+    ++stepped;
     drain_trace_to_stream();
     if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
         e + 1 < total_epochs) {
-      tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
+      update_throughput();
+      tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out,
+                        /*human_sibling=*/true);
     }
     // Checkpoint at the epoch barrier: the ring is drained, the sink is
     // about to be flushed, and no finalization has happened yet, so the
@@ -554,8 +574,10 @@ RunReport RackSimulator::run(Minutes duration) {
   flush_rollup();
   drain_trace_to_stream();
   if (stream_) stream_->flush();
+  update_throughput();
   if (!config_.metrics_out.empty()) {
-    tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out);
+    tel::save_metrics(telemetry_->metrics().snapshot(), config_.metrics_out,
+                      /*human_sibling=*/true);
   }
 
   report.epochs = epochs_;
@@ -851,6 +873,10 @@ PowerFlows RackSimulator::execute_substep(const SourceDecision& decision,
              << factor;
     if (Telemetry* t = tel::current()) {
       t->metrics().counter("gh_degraded_substeps_total").increment();
+      // The emergency re-enforcement above quantised every group again.
+      t->metrics()
+          .counter("gh_dvfs_quantization_passes_total")
+          .increment(static_cast<double>(group_power.size()));
     }
   }
 

@@ -93,6 +93,19 @@ std::span<const double> watt_buckets() {
   return kBuckets;
 }
 
+std::span<const double> queue_depth_buckets() {
+  static const std::array<double, 17> kBuckets = [] {
+    std::array<double, 17> b{};
+    double edge = 1.0;
+    for (double& v : b) {
+      v = edge;
+      edge *= 2.0;
+    }
+    return b;
+  }();
+  return kBuckets;
+}
+
 double histogram_quantile(std::span<const double> bounds,
                           std::span<const std::uint64_t> buckets, double q) {
   std::uint64_t total = 0;
@@ -492,13 +505,15 @@ void MetricsRegistry::reset() {
 }
 
 void save_metrics(const MetricsSnapshot& snapshot,
-                  const std::filesystem::path& path) {
+                  const std::filesystem::path& path, bool human_sibling) {
   const std::string name = path.string();
   std::string body;
+  bool is_human = false;
   if (name.ends_with(".json")) {
     body = snapshot.to_json();
   } else if (name.ends_with(".txt")) {
     body = snapshot.to_human();
+    is_human = true;
   } else {
     body = snapshot.to_prometheus();
   }
@@ -506,6 +521,11 @@ void save_metrics(const MetricsSnapshot& snapshot,
   // complete snapshot, never a torn file.
   try {
     util::write_file_atomic(path, body);
+    if (human_sibling && !is_human) {
+      std::filesystem::path sibling = path;
+      sibling.replace_extension(".txt");
+      util::write_file_atomic(sibling, snapshot.to_human());
+    }
   } catch (const util::AtomicWriteError& e) {
     throw TelemetryError(e.what());
   }

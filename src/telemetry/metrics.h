@@ -144,6 +144,10 @@ class Histogram {
 /// Default bounds for power prediction errors (watts, decade steps).
 [[nodiscard]] std::span<const double> watt_buckets();
 
+/// Default bounds for queue-occupancy histograms (events, powers of two up
+/// to the streaming sink's default capacity).
+[[nodiscard]] std::span<const double> queue_depth_buckets();
+
 /// The interpolation underlying Histogram::quantile, usable on snapshot
 /// payloads (bounds + per-bucket counts) after the live histogram is gone.
 [[nodiscard]] double histogram_quantile(std::span<const double> bounds,
@@ -194,8 +198,15 @@ struct MetricsSnapshot {
 /// sibling temp file first and renames it into place, so the periodic
 /// mid-run flush (SimConfig/FleetConfig metrics_flush_every) always leaves
 /// a complete snapshot on disk even if the run dies mid-write.
+///
+/// With `human_sibling` set (the run loops' flush path), a machine-format
+/// `path` additionally refreshes the human-readable table at the same path
+/// with a ".txt" extension — same atomic-write discipline — so the dump a
+/// human tails mid-run never goes stale while the JSON snapshot advances.
+/// A `path` that is already ".txt" writes one file, not two.
 void save_metrics(const MetricsSnapshot& snapshot,
-                  const std::filesystem::path& path);
+                  const std::filesystem::path& path,
+                  bool human_sibling = false);
 
 /// Checkpoint serialization of a frozen snapshot (the registry itself
 /// round-trips as snapshot() -> save -> load -> restore()).

@@ -106,16 +106,25 @@ void SpanCollector::save_chrome_trace(
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   Telemetry* t = current();
-  if (t == nullptr || !t->config().spans) return;
-  sink_ = t;
-  depth_ = t->spans().begin();
-  sim_begin_min_ = t->now().value();
-  wall_begin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       std::chrono::steady_clock::now().time_since_epoch())
-                       .count();
+  if (t == nullptr) return;
+  if (t->config().spans) {
+    sink_ = t;
+    depth_ = t->spans().begin();
+    sim_begin_min_ = t->now().value();
+    wall_begin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  }
+  // The profiler frame opens last (and closes first in the destructor) so
+  // the span bookkeeping above stays outside the frame's measurements.
+  if (t->profiler().enabled()) {
+    profiler_ = &t->profiler();
+    profiler_->begin(name_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (profiler_ != nullptr) profiler_->end();
   if (sink_ == nullptr) return;
   const std::int64_t wall_end_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -78,9 +78,13 @@ void write_chrome_trace(std::ostream& out, std::span<const SpanRecord> spans);
 namespace greenhetero::telemetry {
 
 class Telemetry;  // defined in telemetry/telemetry.h
+class Profiler;   // defined in telemetry/profiler.h
 
 /// RAII span tied to the ambient Telemetry; inert when there is no ambient
-/// context or spans are disabled in its config.
+/// context or both spans and the profiler are disabled in its config.  The
+/// two features are independent: `sink_` is set only when span records are
+/// on, `profiler_` only when profiling is — either alone activates the
+/// scope.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -90,6 +94,7 @@ class ScopedSpan {
 
  private:
   Telemetry* sink_ = nullptr;
+  Profiler* profiler_ = nullptr;
   const char* name_;
   int depth_ = 0;
   double sim_begin_min_ = 0.0;

@@ -107,6 +107,13 @@ void StreamingTraceSink::enqueue(std::vector<TraceEvent> events) {
           .set(static_cast<double>(queue_.size()));
       metrics_->counter("gh_trace_events_streamed_total")
           .increment(static_cast<double>(take));
+      // Residency: the depth each producer batch left behind.  A
+      // distribution living near the capacity bound means the writer, not
+      // the simulation, is the bottleneck.  Wall-clock-dependent (the
+      // writer drains asynchronously), so excluded from byte-identity
+      // comparisons like the stall/depth series.
+      metrics_->histogram("gh_trace_queue_residency", queue_depth_buckets())
+          .observe(static_cast<double>(queue_.size()));
     }
     lock.unlock();
     work_cv_.notify_one();

@@ -11,7 +11,8 @@ Telemetry::Telemetry(TelemetryConfig config)
       trace_(config.trace_capacity),
       spans_(config.span_capacity),
       rollup_(config.rollup_window_min),
-      flightrec_(config.flightrec_capacity, config.flightrec_dir) {}
+      flightrec_(config.flightrec_capacity, config.flightrec_dir),
+      profiler_(config.profile) {}
 
 BuildInfo build_info() {
   BuildInfo info;
@@ -23,6 +24,18 @@ BuildInfo build_info() {
   info.trace_schema_version = kTraceSchemaVersion;
   info.builtin_metric_count = builtin_metrics().size();
   return info;
+}
+
+std::string build_info_json() {
+  const BuildInfo info = build_info();
+  std::string out = "{\"probes_enabled\":";
+  out += info.probes_enabled ? "true" : "false";
+  out += ",\"trace_schema_version\":";
+  out += std::to_string(info.trace_schema_version);
+  out += ",\"builtin_metric_count\":";
+  out += std::to_string(info.builtin_metric_count);
+  out += '}';
+  return out;
 }
 
 void Telemetry::emit(std::string phase, TraceFields fields) {

@@ -21,6 +21,7 @@
 #include "telemetry/flight_recorder.h"
 #include "telemetry/ledger.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/rollup.h"
 #include "telemetry/span.h"
 #include "telemetry/tracing.h"
@@ -48,6 +49,12 @@ struct TelemetryConfig {
   bool spans = false;
   /// Completed spans kept per context (~9 spans/epoch).
   std::size_t span_capacity = std::size_t{1} << 16;
+  /// Opt-in: the in-process profiler (profiler.h).  Every GH_SPAN scope
+  /// then attributes wall ns, thread-CPU ns and allocation bytes/counts to
+  /// its phase path.  Independent of `spans` (profiling needs no span
+  /// records); off by default — the *_ns outputs are wall-clock and sit
+  /// outside byte-identity guarantees, like span events.
+  bool profile = false;
   /// Opt-in: fixed-window rollup aggregation in minutes (0 disables).
   /// Each closed window lands as a "rollup" trace event and is retained
   /// for the --rollup-out series file.
@@ -70,6 +77,11 @@ struct BuildInfo {
 
 [[nodiscard]] BuildInfo build_info();
 
+/// build_info() as one compact JSON object.  `greenhetero info --json` and
+/// the benchdiff trajectory rows share it, so every trajectory entry records
+/// which build configuration produced its numbers.
+[[nodiscard]] std::string build_info_json();
+
 class Telemetry {
  public:
   explicit Telemetry(TelemetryConfig config = {});
@@ -89,6 +101,8 @@ class Telemetry {
   [[nodiscard]] const FlightRecorder& flightrec() const {
     return flightrec_;
   }
+  [[nodiscard]] Profiler& profiler() { return profiler_; }
+  [[nodiscard]] const Profiler& profiler() const { return profiler_; }
 
   [[nodiscard]] int rack_id() const { return config_.rack_id; }
   void set_rack_id(int id) { config_.rack_id = id; }
@@ -103,8 +117,9 @@ class Telemetry {
 
   /// Checkpoint every sim-clock-driven component: metrics (as a snapshot),
   /// trace ring, loss ledger, rollup, flight recorder and the current
-  /// timestamp.  Spans are deliberately skipped — they carry wall-clock
-  /// nanoseconds and are excluded from byte-identity guarantees anyway.
+  /// timestamp.  Spans and the profiler are deliberately skipped — both
+  /// carry wall-clock nanoseconds and are excluded from byte-identity
+  /// guarantees anyway.
   void save_state(checkpoint::Writer& w) const;
   void load_state(checkpoint::Reader& r);
 
@@ -116,6 +131,7 @@ class Telemetry {
   SpanCollector spans_;
   Rollup rollup_;
   FlightRecorder flightrec_;
+  Profiler profiler_;
   Minutes now_{0.0};
 };
 

@@ -1,0 +1,173 @@
+// The benchdiff gate: threshold parsing, the directional drift rules for
+// *_ns (lower better) and *_per_sec (higher better) figures, the
+// missing-measurement policy, and the trajectory row format the committed
+// bench/TRAJECTORY.jsonl accumulates.
+#include "analysis/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace greenhetero::analysis {
+namespace {
+
+json::Value bench(const std::string& body) {
+  return json::parse("{\"bench\":\"solver_micro\"," + body + "}");
+}
+
+TEST(BenchThreshold, ParsesFractionsAndPercentages) {
+  EXPECT_DOUBLE_EQ(parse_bench_threshold("0.15"), 0.15);
+  EXPECT_DOUBLE_EQ(parse_bench_threshold("15%"), 0.15);
+  EXPECT_DOUBLE_EQ(parse_bench_threshold("0"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_bench_threshold("2.5%"), 0.025);
+}
+
+TEST(BenchThreshold, RejectsGarbage) {
+  EXPECT_THROW((void)parse_bench_threshold("fast"), AnalyzerError);
+  EXPECT_THROW((void)parse_bench_threshold("-0.1"), AnalyzerError);
+  EXPECT_THROW((void)parse_bench_threshold("15%%"), AnalyzerError);
+  EXPECT_THROW((void)parse_bench_threshold(""), AnalyzerError);
+  EXPECT_THROW((void)parse_bench_threshold("0.1x"), AnalyzerError);
+}
+
+TEST(BenchCompare, LatencyRegressionGates) {
+  const BenchComparison c =
+      compare_bench(bench("\"solve_ns\":120.0"), bench("\"solve_ns\":100.0"),
+                    0.15);
+  ASSERT_EQ(c.rows.size(), 1u);
+  EXPECT_TRUE(c.rows[0].lower_better);
+  EXPECT_NEAR(c.rows[0].drift, 0.20, 1e-12);
+  EXPECT_TRUE(c.rows[0].regressed);
+  EXPECT_TRUE(c.drifted());
+}
+
+TEST(BenchCompare, LatencyWithinThresholdPasses) {
+  const BenchComparison c =
+      compare_bench(bench("\"solve_ns\":110.0"), bench("\"solve_ns\":100.0"),
+                    0.15);
+  EXPECT_FALSE(c.rows[0].regressed);
+  EXPECT_FALSE(c.drifted());
+}
+
+TEST(BenchCompare, LatencyImprovementNeverGates) {
+  // 10x faster is a huge |delta| but the right direction.
+  const BenchComparison c =
+      compare_bench(bench("\"solve_ns\":10.0"), bench("\"solve_ns\":100.0"),
+                    0.15);
+  EXPECT_LT(c.rows[0].drift, 0.0);
+  EXPECT_FALSE(c.drifted());
+}
+
+TEST(BenchCompare, ThroughputDirectionIsInverted) {
+  // Falling epochs/sec is the regression; rising is the improvement.
+  const BenchComparison slow = compare_bench(
+      bench("\"rack_epochs_per_sec\":800.0"),
+      bench("\"rack_epochs_per_sec\":1000.0"), 0.15);
+  ASSERT_EQ(slow.rows.size(), 1u);
+  EXPECT_FALSE(slow.rows[0].lower_better);
+  EXPECT_NEAR(slow.rows[0].drift, 0.20, 1e-12);
+  EXPECT_TRUE(slow.drifted());
+
+  const BenchComparison fast = compare_bench(
+      bench("\"rack_epochs_per_sec\":2000.0"),
+      bench("\"rack_epochs_per_sec\":1000.0"), 0.15);
+  EXPECT_FALSE(fast.drifted());
+}
+
+TEST(BenchCompare, UngatedKeysAreIgnored) {
+  // Figures of merit (gains, EPU, wall_seconds) and strings never gate.
+  const BenchComparison c = compare_bench(
+      bench("\"gain_level_2\":0.5,\"wall_seconds\":99.0,\"best\":\"X\""),
+      bench("\"gain_level_2\":2.0,\"wall_seconds\":1.0,\"best\":\"Y\""),
+      0.01);
+  EXPECT_TRUE(c.rows.empty());
+  EXPECT_FALSE(c.drifted());
+}
+
+TEST(BenchCompare, MissingGatedKeyCountsAsDrift) {
+  const BenchComparison c = compare_bench(
+      bench("\"other_ns\":1.0"), bench("\"solve_ns\":100.0"), 0.15);
+  ASSERT_EQ(c.missing.size(), 1u);
+  EXPECT_EQ(c.missing[0], "solve_ns");
+  EXPECT_TRUE(c.drifted());
+  // The new key has no baseline: informational, not gating.
+  ASSERT_EQ(c.unbaselined.size(), 1u);
+  EXPECT_EQ(c.unbaselined[0], "other_ns");
+}
+
+TEST(BenchCompare, NonPositiveBaselineGates) {
+  const BenchComparison c = compare_bench(
+      bench("\"solve_ns\":100.0"), bench("\"solve_ns\":0.0"), 0.15);
+  ASSERT_EQ(c.rows.size(), 1u);
+  EXPECT_TRUE(c.rows[0].regressed);
+  EXPECT_TRUE(c.drifted());
+}
+
+TEST(BenchCompare, PrintReportsVerdicts) {
+  const BenchComparison c = compare_bench(
+      bench("\"solve_ns\":120.0,\"fast_ns\":50.0"),
+      bench("\"solve_ns\":100.0,\"fast_ns\":100.0"), 0.15);
+  std::ostringstream out;
+  print_benchdiff(out, c);
+  EXPECT_NE(out.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.str().find("improved"), std::string::npos);
+  EXPECT_NE(out.str().find("DRIFT over threshold"), std::string::npos);
+}
+
+TEST(BenchTrajectory, RowIsDeterministicJson) {
+  const BenchComparison c = compare_bench(
+      bench("\"solve_ns\":120.0"), bench("\"solve_ns\":100.0"), 0.15);
+  const std::string row =
+      trajectory_row(c, "2026-08-09", "{\"probes_enabled\":true}");
+  EXPECT_EQ(row,
+            "{\"date\":\"2026-08-09\",\"bench\":\"solver_micro\","
+            "\"threshold\":0.15,\"drift\":true,"
+            "\"build\":{\"probes_enabled\":true},"
+            "\"metrics\":{\"solve_ns\":120}}");
+  // Every row must itself parse (the trajectory is JSONL).
+  EXPECT_NO_THROW((void)json::parse(row));
+}
+
+TEST(BenchTrajectory, AppendsOneLinePerRow) {
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} /
+      "greenhetero_trajectory_test.jsonl";
+  std::filesystem::remove(path);
+  append_trajectory(path, "{\"date\":\"2026-08-08\"}");
+  append_trajectory(path, "{\"date\":\"2026-08-09\"}");
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW((void)json::parse(line));
+  }
+  EXPECT_EQ(lines, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(BenchLoad, RejectsMissingAndMalformedFiles) {
+  const std::filesystem::path dir{::testing::TempDir()};
+  EXPECT_THROW((void)load_bench_report(dir / "nope_does_not_exist.json"),
+               AnalyzerError);
+  const std::filesystem::path bad = dir / "greenhetero_bad_bench.json";
+  std::ofstream(bad) << "[1,2,3]";
+  EXPECT_THROW((void)load_bench_report(bad), AnalyzerError);
+  std::filesystem::remove(bad);
+}
+
+TEST(BenchLoad, ReadsBenchReportObjects) {
+  const std::filesystem::path path =
+      std::filesystem::path{::testing::TempDir()} /
+      "greenhetero_good_bench.json";
+  std::ofstream(path) << "{\"bench\":\"x\",\"a_ns\":1.5}";
+  const json::Value doc = load_bench_report(path);
+  EXPECT_EQ(doc.string_or("bench", ""), "x");
+  EXPECT_DOUBLE_EQ(doc.number_or("a_ns", 0.0), 1.5);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace greenhetero::analysis

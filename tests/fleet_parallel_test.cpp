@@ -44,12 +44,15 @@ struct RunArtifacts {
   std::string metrics;  ///< fleet-wide snapshot, wall-clock series removed
 };
 
-/// Prometheus rendering of the snapshot minus wall-clock latency series
-/// (their *_ns histograms depend on machine timing, not the simulation).
+/// Prometheus rendering of the snapshot minus wall-clock series (the *_ns
+/// latency histograms, the *_per_sec throughput gauges and the async
+/// queue-residency histogram depend on machine timing, not the simulation).
 std::string deterministic_prometheus(const MetricsSnapshot& snapshot) {
   MetricsSnapshot filtered;
   for (const telemetry::SnapshotEntry& entry : snapshot.entries) {
     if (entry.name.ends_with("_ns")) continue;
+    if (entry.name.ends_with("_per_sec")) continue;
+    if (entry.name == "gh_trace_queue_residency") continue;
     filtered.entries.push_back(entry);
   }
   return filtered.to_prometheus();

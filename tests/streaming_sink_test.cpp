@@ -531,6 +531,48 @@ TEST(MetricsFlush, RunLeavesACompleteSnapshotAndNoTempFile) {
   EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
 }
 
+TEST(MetricsFlush, HumanSiblingRidesAlongWithMachineFormats) {
+  ScratchDir scratch;
+  telemetry::MetricsRegistry registry;
+  registry.counter("gh_test_total").increment();
+  const MetricsSnapshot snapshot = registry.snapshot();
+
+  // Machine-readable flush also refreshes the human-readable .txt sibling.
+  const fs::path as_prom = scratch / "metrics.prom";
+  telemetry::save_metrics(snapshot, as_prom, /*human_sibling=*/true);
+  const fs::path sibling = scratch / "metrics.txt";
+  ASSERT_TRUE(fs::exists(sibling));
+  const std::string sibling_body = read_file(sibling);
+  EXPECT_NE(sibling_body.find("gh_test_total"), std::string::npos);
+  EXPECT_NE(sibling_body, read_file(as_prom));
+  // Sibling writes go through the same temp-and-rename path.
+  EXPECT_FALSE(fs::exists(sibling.string() + ".tmp"));
+
+  // A .txt primary IS the human format: no second file appears.
+  const fs::path as_text = scratch / "solo.txt";
+  telemetry::save_metrics(snapshot, as_text, /*human_sibling=*/true);
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(as_text.parent_path())) {
+    if (entry.path().filename().string().starts_with("solo")) ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(MetricsFlush, RunRefreshesTheHumanSibling) {
+  ScratchDir scratch;
+  const fs::path path = scratch / "metrics.prom";
+  SimConfig cfg;
+  cfg.metrics_out = path.string();
+  cfg.metrics_flush_every = 4;
+  RackSimulator sim = make_sim(std::move(cfg));
+  sim.pretrain();
+  sim.run(Minutes{6.0 * 60.0});
+  const fs::path sibling = scratch / "metrics.txt";
+  ASSERT_TRUE(fs::exists(sibling));
+  EXPECT_NE(read_file(sibling).find("gh_trace_buffer_bytes"),
+            std::string::npos);
+}
+
 TEST(MetricsFlush, SaveMetricsPicksTheFormatByExtension) {
   ScratchDir scratch;
   telemetry::MetricsRegistry registry;

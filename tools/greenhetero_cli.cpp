@@ -8,11 +8,12 @@
 //                         [--metrics-out FILE] [--metrics-every N]
 //                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
 //                         [--flightrec-dir DIR] [--ledger on]
-//                         [--spans-out FILE.json] [--check on]
+//                         [--spans-out FILE.json] [--profile-out FILE.json]
+//                         [--check on]
 //                         [--checkpoint-dir DIR] [--checkpoint-every N]
 //                         [--checkpoint-keep K] [--resume DIR]
-//   greenhetero analyze   --trace RUN.jsonl [--diff BASELINE.jsonl]
-//                         [--threshold T]
+//   greenhetero analyze   [--trace RUN.jsonl] [--diff BASELINE.jsonl]
+//                         [--threshold T] [--perf PROF.json] [--top N]
 //   greenhetero policies  [--workload W] [--budget W] [--comb CombN]
 //   greenhetero solve     [--workload W] [--budget W] [--comb CombN]
 //   greenhetero traces    [--trace high|low|load|wind] [--days N]
@@ -24,14 +25,18 @@
 //                         [--metrics-out FILE] [--metrics-every N]
 //                         [--rollup-out FILE.jsonl] [--rollup-window MIN]
 //                         [--flightrec-dir DIR] [--ledger on]
-//                         [--spans-out FILE.json] [--check on]
+//                         [--spans-out FILE.json] [--profile-out FILE.json]
+//                         [--check on]
 //                         [--checkpoint-dir DIR] [--checkpoint-every N]
 //                         [--checkpoint-keep K] [--resume DIR]
 //   greenhetero fuzz      [--seed S] [--runs N] [--run R] [--racks N]
 //                         [--epochs E] [--max-faults F]
 //   greenhetero fuzz      --crash [--seed S] [--runs N] [--max-kills K]
 //                         [--crash-dir DIR]
-//   greenhetero info      (servers, workloads, combinations, telemetry)
+//   greenhetero benchdiff CURRENT.json BASELINE.json [--threshold T]
+//                         [--trajectory FILE.jsonl] [--date YYYY-MM-DD]
+//   greenhetero info      [--json]  (servers, workloads, combinations,
+//                         telemetry/build flags)
 //
 // --metrics-out picks its format by extension: ".json" exports JSON, ".txt"
 // a human-readable table (histograms with p50/p90/p99), anything else
@@ -73,8 +78,20 @@
 // invariants on, cross-checks the solver against the brute-force oracle,
 // and on failure prints a shrunk repro command line; exits 4 on failure.
 //
+// --profile-out enables the in-process profiler: every GH_SPAN phase gets
+// wall ns, thread-CPU ns and allocation bytes/counts attributed to its span
+// path, and the merged phase tree lands in FILE.json at the end of the run.
+// Everything except the *_ns timings is byte-identical at any --threads;
+// `analyze --perf FILE.json` renders it (--top N hot phases, default 10).
+//
 // analyze exits 0 when --diff stays within --threshold (default 0.01) and
 // 3 when it drifts beyond it — the CI trace gate keys off that.
+//
+// benchdiff applies the same exit-code contract to performance: it compares
+// the *_ns (lower better) and *_per_sec (higher better) figures of a fresh
+// BENCH_*.json against a committed baseline and exits 3 when any drifts past
+// --threshold (default 10%; accepts "0.15" or "15%").  --trajectory appends
+// one dated row (metrics + build info) to the committed history log.
 //
 // --checkpoint-dir enables durable checkpointing: every --checkpoint-every
 // epochs (default 1) the complete resumable state — RNG streams, clock,
@@ -100,11 +117,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <ctime>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "analysis/benchdiff.h"
+#include "analysis/perf_report.h"
 #include "analysis/trace_analyzer.h"
 #include "check/crash.h"
 #include "check/fuzzer.h"
@@ -169,7 +189,7 @@ std::uint64_t scenario_hash(const Args& args) {
       "trace-out",  "rollup-out",     "metrics-out",      "metrics-every",
       "spans-out",  "csv",            "flightrec-dir",    "stream",
       "out",        "checkpoint-dir", "checkpoint-every", "checkpoint-keep",
-      "resume",     "threads",        "repro-out"};
+      "resume",     "threads",        "repro-out",        "profile-out"};
   std::string canon;
   for (const auto& [key, value] : args.options) {
     bool excluded = false;
@@ -307,7 +327,13 @@ Workload parse_workload(const Args& args) {
   return workload_by_name(args.get("workload", "SPECjbb"));
 }
 
-int cmd_info() {
+int cmd_info(const Args& args) {
+  if (!args.get("json", "").empty()) {
+    // Machine-readable build/feature flags; benchdiff --trajectory embeds
+    // the same object so every history row records its build.
+    std::printf("%s\n", telemetry::build_info_json().c_str());
+    return 0;
+  }
   std::printf("Servers (Table II):\n");
   for (const auto& s : all_server_specs()) {
     std::printf("  %-16s %d sockets, %4d cores @ %.3f GHz, %3.0f-%3.0f W\n",
@@ -360,6 +386,8 @@ int cmd_simulate(const Args& args) {
   cfg.check = !args.get("check", "").empty();
   const std::string spans_out = args.get("spans-out", "");
   cfg.telemetry.spans = !spans_out.empty();
+  const std::string profile_out = args.get("profile-out", "");
+  cfg.telemetry.profile = !profile_out.empty();
   const StreamOptions stream_opt = parse_stream_options(args);
   cfg.telemetry.rollup_window_min = stream_opt.rollup_window_min;
   cfg.telemetry.flightrec_dir = stream_opt.flightrec_dir;
@@ -484,6 +512,14 @@ int cmd_simulate(const Args& args) {
     std::printf("  spans (%zu) written to %s (load in chrome://tracing)\n",
                 sim.telemetry().spans().records().size(), spans_out.c_str());
   }
+  if (!profile_out.empty()) {
+    telemetry::save_profile_json(sim.telemetry().profiler().report(),
+                                 profile_out);
+    std::printf("  profile (%zu phases) written to %s (inspect with "
+                "`greenhetero analyze --perf`)\n",
+                sim.telemetry().profiler().report().size(),
+                profile_out.c_str());
+  }
   if (!stream_opt.metrics_out.empty()) {
     // run() already wrote the final snapshot (and the periodic ones).
     std::printf("  metrics (%zu series) written to %s\n",
@@ -504,20 +540,32 @@ int cmd_simulate(const Args& args) {
 
 int cmd_analyze(const Args& args) {
   const std::string trace_path = args.get("trace", "");
-  if (trace_path.empty()) {
-    std::fprintf(stderr, "analyze: --trace FILE.jsonl is required\n");
+  const std::string perf_path = args.get("perf", "");
+  if (trace_path.empty() && perf_path.empty()) {
+    std::fprintf(stderr,
+                 "analyze: --trace FILE.jsonl or --perf PROF.json is "
+                 "required\n");
     return 2;
   }
-  const analysis::TraceAnalysis run =
-      analysis::analyze(analysis::load_trace(trace_path));
-  print_report(std::cout, run);
+  std::optional<analysis::TraceAnalysis> run;
+  if (!trace_path.empty()) {
+    run = analysis::analyze(analysis::load_trace(trace_path));
+    print_report(std::cout, *run);
+  }
+  if (!perf_path.empty()) {
+    const analysis::PerfProfile profile = analysis::load_profile(perf_path);
+    if (run) std::cout << "\n";
+    analysis::print_perf_report(
+        std::cout, profile,
+        static_cast<std::size_t>(args.number("top", 10.0)));
+  }
 
   const std::string baseline_path = args.get("diff", "");
-  if (baseline_path.empty()) return 0;
+  if (baseline_path.empty() || !run) return 0;
   const analysis::TraceAnalysis baseline =
       analysis::analyze(analysis::load_trace(baseline_path));
   const double threshold = args.number("threshold", 0.01);
-  const analysis::DiffResult result = analysis::diff(baseline, run);
+  const analysis::DiffResult result = analysis::diff(baseline, *run);
   std::cout << "\n";
   print_diff(std::cout, result, threshold);
   return analysis::exceeds_threshold(result, threshold) ? 3 : 0;
@@ -644,6 +692,7 @@ int cmd_fleet(const Args& args) {
   }
 
   const std::string spans_out = args.get("spans-out", "");
+  const std::string profile_out = args.get("profile-out", "");
   const bool ledger = !args.get("ledger", "").empty();
   const bool check = !args.get("check", "").empty();
   const StreamOptions stream_opt = parse_stream_options(args);
@@ -661,6 +710,7 @@ int cmd_fleet(const Args& args) {
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
     cfg.telemetry.loss_ledger = ledger;
     cfg.telemetry.spans = !spans_out.empty();
+    cfg.telemetry.profile = !profile_out.empty();
     cfg.telemetry.rollup_window_min = stream_opt.rollup_window_min;
     cfg.telemetry.flightrec_dir = stream_opt.flightrec_dir;
     cfg.check = check;
@@ -678,6 +728,7 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
   fleet_cfg.check = check;
+  fleet_cfg.telemetry.profile = !profile_out.empty();
   const ResumeOptions resume_opt = parse_resume_options(args);
   if (stream_opt.stream) {
     telemetry::StreamSinkConfig sink_cfg{stream_opt.trace_out};
@@ -766,6 +817,12 @@ int cmd_fleet(const Args& args) {
     std::printf("  merged spans written to %s (one pid per rack)\n",
                 spans_out.c_str());
   }
+  if (!profile_out.empty()) {
+    fleet.save_profile_json(profile_out);
+    std::printf("  merged profile (%zu phases) written to %s (inspect with "
+                "`greenhetero analyze --perf`)\n",
+                fleet.profile_report().size(), profile_out.c_str());
+  }
   if (!stream_opt.metrics_out.empty()) {
     // run() already wrote the merged snapshot (and the periodic ones).
     std::printf("  metrics written to %s\n", stream_opt.metrics_out.c_str());
@@ -846,11 +903,54 @@ int cmd_fuzz(const Args& args) {
   return 4;
 }
 
+/// Dispatched before parse_args (which rejects positional arguments): the
+/// two report paths are positionals, everything after them is ordinary
+/// --flag parsing.
+int cmd_benchdiff(int argc, char** argv) {
+  if (argc < 4 || std::strncmp(argv[2], "--", 2) == 0 ||
+      std::strncmp(argv[3], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: greenhetero benchdiff CURRENT.json BASELINE.json "
+                 "[--threshold T] [--trajectory FILE.jsonl] "
+                 "[--date YYYY-MM-DD]\n");
+    return 2;
+  }
+  const Args args = parse_args(argc, argv, 4);
+  const double threshold =
+      analysis::parse_bench_threshold(args.get("threshold", "10%"));
+  const analysis::BenchComparison comparison = analysis::compare_bench(
+      analysis::load_bench_report(argv[2]),
+      analysis::load_bench_report(argv[3]), threshold);
+  analysis::print_benchdiff(std::cout, comparison);
+
+  const std::string trajectory = args.get("trajectory", "");
+  if (!trajectory.empty()) {
+    std::string date = args.get("date", "");
+    if (date.empty()) {
+      const std::time_t now = std::time(nullptr);
+      std::tm tm{};
+#if defined(_WIN32)
+      gmtime_s(&tm, &now);
+#else
+      gmtime_r(&now, &tm);
+#endif
+      char buffer[16];
+      std::strftime(buffer, sizeof(buffer), "%Y-%m-%d", &tm);
+      date = buffer;
+    }
+    analysis::append_trajectory(
+        trajectory, analysis::trajectory_row(comparison, date,
+                                             telemetry::build_info_json()));
+    std::printf("trajectory row appended to %s\n", trajectory.c_str());
+  }
+  return comparison.drifted() ? 3 : 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: greenhetero "
-               "<simulate|fleet|fuzz|analyze|policies|solve|traces|info> "
-               "[--option value ...]\n");
+               "<simulate|fleet|fuzz|analyze|benchdiff|policies|solve|traces|"
+               "info> [--option value ...]\n");
 }
 
 }  // namespace
@@ -862,9 +962,12 @@ int main(int argc, char** argv) {
   }
   g_argv0 = argv[0];
   const std::string command = argv[1];
-  const Args args = parse_args(argc, argv, 2);
   try {
-    if (command == "info") return cmd_info();
+    // benchdiff takes positional file arguments, so it dispatches before
+    // the --flag-only parse below.
+    if (command == "benchdiff") return cmd_benchdiff(argc, argv);
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "info") return cmd_info(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "policies") return cmd_policies(args);
