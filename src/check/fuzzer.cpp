@@ -41,7 +41,11 @@ constexpr std::array<ServerModel, 5> kCpuModels = {
 
 /// Everything derived for one rack.  Derivation draws only from the rack's
 /// own fork of the run RNG, so racks are independent and prefix-stable.
-RackSimulator make_rack_sim(const FuzzScenario& scenario, int rack_index) {
+/// `warm_start` only matters in solver mode, where the scenario is executed
+/// both warm and cold; it is applied after every RNG draw so both variants
+/// derive byte-identical racks.
+RackSimulator make_rack_sim(const FuzzScenario& scenario, int rack_index,
+                            bool warm_start = true) {
   Rng rack_rng = Rng(scenario.seed)
                      .fork(static_cast<std::uint64_t>(scenario.run_index))
                      .fork(1000 + static_cast<std::uint64_t>(rack_index));
@@ -106,6 +110,18 @@ RackSimulator make_rack_sim(const FuzzScenario& scenario, int rack_index) {
     cfg.faults = std::move(plan);
   }
 
+  if (scenario.solver) {
+    // Solver-focused mode: force a solver-driven policy onto the analytic
+    // backend (alternating the two solver-driven kinds across racks) so the
+    // warm/cold/batched variants exercise solve_analytic_n every epoch.
+    // The override consumes no RNG draws, so the rest of the derivation
+    // stays identical to the non-solver scenario with the same coordinates.
+    cfg.controller.policy = rack_index % 2 == 0 ? PolicyKind::kGreenHetero
+                                                : PolicyKind::kGreenHeteroA;
+    cfg.controller.solver_backend = SolverBackend::kAnalyticN;
+    cfg.controller.solver_warm_start = warm_start;
+  }
+
   const Watts capacity{rack_rng.uniform(600.0, 3000.0)};
   const SolarModel solar_model = rack_rng.bernoulli(0.5)
                                      ? high_solar_model(capacity)
@@ -148,16 +164,18 @@ struct ExecutionArtifacts {
   std::vector<double> overall_epu;
 };
 
-ExecutionArtifacts execute(const FuzzScenario& scenario, std::size_t threads) {
+ExecutionArtifacts execute(const FuzzScenario& scenario, std::size_t threads,
+                           bool warm_start = true, bool batch_solve = false) {
   const FleetParams params = derive_fleet_params(scenario);
   std::vector<RackSimulator> racks;
   for (int r = 0; r < scenario.racks; ++r) {
-    racks.push_back(make_rack_sim(scenario, r));
+    racks.push_back(make_rack_sim(scenario, r, warm_start));
   }
   FleetConfig cfg;
   cfg.total_grid_budget = params.total_grid_budget;
   cfg.mode = params.mode;
   cfg.threads = threads;
+  cfg.batch_solve = batch_solve;
   cfg.check = true;
   Fleet fleet{std::move(racks), cfg};
   if (params.pretrain) fleet.pretrain();
@@ -294,6 +312,7 @@ std::string FuzzScenario::command_line() const {
   out << "greenhetero fuzz --seed " << seed << " --runs 1 --run " << run_index
       << " --racks " << racks << " --epochs " << epochs;
   if (max_faults >= 0) out << " --max-faults " << max_faults;
+  if (solver) out << " --solver on";
   return out.str();
 }
 
@@ -317,11 +336,51 @@ std::optional<std::string> run_scenario(const FuzzScenario& scenario,
     return complaint;
   }
 
-  // Differential-oracle spot check on the run's own side instances.
+  if (scenario.solver) {
+    // Solver mode: the warm sequential run above is the reference; cold
+    // (warm start off) and batched executions at 1 and 4 threads must all
+    // reproduce it byte for byte — that is the warm-start and presolve
+    // contract of the analytic backend, checked in vivo.
+    struct SolverVariant {
+      const char* name;
+      std::size_t threads;
+      bool warm_start;
+      bool batch_solve;
+    };
+    constexpr SolverVariant kVariants[] = {
+        {"cold solve, 1 thread", 1, false, false},
+        {"cold solve, 4 threads", 4, false, false},
+        {"batched solve, 1 thread", 1, true, true},
+        {"batched solve, 4 threads", 4, true, true},
+    };
+    for (const SolverVariant& variant : kVariants) {
+      ExecutionArtifacts other;
+      try {
+        other = execute(scenario, variant.threads, variant.warm_start,
+                        variant.batch_solve);
+      } catch (const std::exception& e) {
+        return std::string(variant.name) + " aborted: " + e.what();
+      }
+      if (auto divergence = compare_executions(sequential, other)) {
+        return std::string(variant.name) + " vs warm reference: " +
+               *divergence;
+      }
+    }
+  }
+
+  // Differential-oracle spot check on the run's own side instances; solver
+  // mode samples more instances at a larger group count, exercising the
+  // analytic backend's active-set sweep (oracle check (f)) harder.
+  OracleConfig oracle_config;
+  int oracle_runs = 2;
+  if (scenario.solver) {
+    oracle_config.max_groups = 4;
+    oracle_runs = 8;
+  }
   const OracleReport oracle = run_oracle(
       scenario.seed * 0x9E3779B97F4A7C15ULL +
           static_cast<std::uint64_t>(scenario.run_index),
-      2);
+      oracle_runs, oracle_config);
   if (!oracle.ok()) {
     return "oracle disagreement: " + oracle.disagreements.front().describe();
   }
@@ -394,11 +453,12 @@ FuzzReport run_fuzzer(const FuzzOptions& options) {
     if (options.racks >= 0) scenario.racks = options.racks;
     if (options.epochs >= 0) scenario.epochs = options.epochs;
     if (options.max_faults >= 0) scenario.max_faults = options.max_faults;
+    scenario.solver = options.solver;
 
     if (options.log) {
       *options.log << "fuzz: run " << run_index << " (racks="
                    << scenario.racks << ", epochs=" << scenario.epochs
-                   << ")\n";
+                   << (scenario.solver ? ", solver mode" : "") << ")\n";
     }
     ++report.runs_executed;
     const std::optional<std::string> failure =

@@ -37,6 +37,13 @@ struct FuzzScenario {
   int epochs = 4;
   /// Number of fault events kept from the derived plan; -1 = all of them.
   int max_faults = -1;
+  /// Solver-focused mode: every rack runs a solver-driven policy on the
+  /// analytic backend, and the scenario is additionally executed cold
+  /// (warm start off) and with the batched fleet pre-pass, all of which
+  /// must be byte-identical to the warm sequential reference at 1 and 4
+  /// threads.  The per-run differential oracle also samples more instances
+  /// at a larger group count in this mode.
+  bool solver = false;
 
   /// The exact CLI invocation that replays this scenario.
   [[nodiscard]] std::string command_line() const;
@@ -57,6 +64,8 @@ struct FuzzOptions {
   int racks = -1;
   int epochs = -1;
   int max_faults = -1;
+  /// Solver-focused mode (see FuzzScenario::solver).
+  bool solver = false;
   /// Progress / failure narration (null = silent).
   std::ostream* log = nullptr;
   AllocationMutation allocation_mutation;

@@ -111,7 +111,11 @@ using SolveFn =
 /// fast solver's claimed objective and the oracle's independent evaluation
 /// of its ratios, (c) the fast solver not falling below the brute-force
 /// grid optimum, (d) the subset-activation solver dominating the
-/// whole-group optimum, and (e) EpuMeter matching the reference accumulator.
+/// whole-group optimum, (e) EpuMeter matching the reference accumulator,
+/// and (f) the closed-form analytic backend (Solver::solve_analytic_n)
+/// matching the oracle to near machine precision, dominating both the
+/// grid-refine solver and the brute-force optimum, and reproducing its own
+/// solution bit for bit under a warm-start hint.
 [[nodiscard]] OracleReport run_oracle(std::uint64_t seed, int runs,
                                       const OracleConfig& config = {},
                                       const SolveFn& solve_fn = {});

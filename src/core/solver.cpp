@@ -1,8 +1,11 @@
 #include "core/solver.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "telemetry/probe.h"
 #include "telemetry/telemetry.h"
@@ -68,6 +71,9 @@ void validate_group(const GroupModel& g, std::size_t index) {
         std::to_string(g.max_power.value()) + "] W)");
   }
 }
+
+/// Active-set sweep budget: 2^16 subsets is the exhaustive-search cap.
+constexpr std::size_t kMaxAnalyticGroups = 16;
 
 void validate_inputs(std::span<const GroupModel> groups, Watts total_supply,
                      std::size_t max_groups = 3) {
@@ -219,10 +225,13 @@ static Allocation solve_grid_refine(std::span<const GroupModel> groups,
     };
     for (double k : kink_ratios(g0, total)) consider(k);
     for (double k : kink_ratios(g1, total)) consider(1.0 - k);
-    // Analytic interior candidate (fast path oracle).
+    // Analytic interior candidate (fast path oracle).  Near-degenerate
+    // curvature pairs have no usable interior solution (nullopt) and the
+    // scan above already covers them.
     if (g0.fit.a < 0.0 && g1.fit.a < 0.0) {
-      const Allocation analytic = Solver::solve_analytic_2(groups, total);
-      consider(analytic.ratios[0]);
+      if (const auto analytic = Solver::solve_analytic_2(groups, total)) {
+        consider(analytic->ratios[0]);
+      }
     }
     const double r0 = opt.x;
     const double r1 = std::min(1.0 - r0, cap1);
@@ -272,8 +281,19 @@ double Solver::best_subset_perf(const GroupModel& group, Watts group_budget,
   }
   double best = 0.0;
   int best_k = 0;
+  // Tolerance for a candidate count that lands a hair below the idle floor:
+  // k * min_power divided back by k can dip one ULP under min_power, and
+  // perf_at's off-below-idle cliff would zero a feasible activation.  The
+  // snap window matches the invariant checker's power tolerance (1e-6 W),
+  // so enforcement accepts the snapped plan.  (The saturation boundary has
+  // no cliff — perf_at is flat there — so only the floor needs the snap.)
+  constexpr double kFloorSnapW = 1e-6;
   for (int k = 1; k <= group.count; ++k) {
-    const Watts per_server = group_budget / static_cast<double>(k);
+    Watts per_server = group_budget / static_cast<double>(k);
+    if (per_server.value() < group.min_power.value() &&
+        group.min_power.value() - per_server.value() <= kFloorSnapW) {
+      per_server = group.min_power;
+    }
     const double perf = static_cast<double>(k) * group.perf_at(per_server);
     if (perf > best) {
       best = perf;
@@ -378,6 +398,15 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
     return solve(groups, total_supply);
   }
   GH_PROBE("gh_solver_solve_n_ns");
+  if (groups.size() <= kMaxAnalyticGroups) {
+    // The closed-form KKT sweep is exact wherever its mask width allows;
+    // the greedy water-filling below survives only for wider instances.
+    // (The greedy path can lose real performance on activation missteps a
+    // pairwise exchange cannot repair — e.g. spending the supply on two
+    // small groups when one large group's all-or-nothing floor was the
+    // optimum — so it must not be preferred when exactness is available.)
+    return solve_analytic_n(groups, total_supply);
+  }
   if (total_supply.value() <= 0.0) {
     throw SolverError("solver: total supply must be positive");
   }
@@ -426,6 +455,39 @@ Allocation Solver::solve_n(std::span<const GroupModel> groups,
     if (best == groups.size()) break;  // nobody gains: leave it for charging
     ratios[best] += best_spend;
     remaining -= best_spend;
+  }
+
+  // The greedy loop can strand the final residual: when every unsaturated
+  // group is within one quantum of its cap, the per-group `spend` shrinks
+  // until the gain cancels to zero in float and the loop exits with
+  // `remaining` unspent even though an unclamped group could still use it.
+  // Hand the whole residual to the group that gains most from it (ties and
+  // zero-gain cancellation go to the first unclamped group).
+  if (remaining > 1e-12) {
+    std::size_t best = groups.size();
+    double best_gain = -1.0;
+    double best_spend = 0.0;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      const GroupModel& g = groups[i];
+      const double spend =
+          std::min(remaining, cap_ratio(g, total) - ratios[i]);
+      if (spend <= 1e-12) continue;
+      // Skip groups the residual cannot activate (still below the floor).
+      const double floor_ratio = ratio_for(g, g.min_power, total);
+      if (ratios[i] + spend < floor_ratio - 1e-12) continue;
+      ++evals;
+      const double gain = group_perf(g, ratios[i] + spend, total) -
+                          group_perf(g, ratios[i], total);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+        best_spend = spend;
+      }
+    }
+    if (best != groups.size() && best_gain >= 0.0) {
+      ratios[best] += best_spend;
+      remaining -= best_spend;
+    }
   }
 
   // Pairwise-exchange refinement: greedy activation can strand a high-floor
@@ -525,8 +587,837 @@ Allocation Solver::solve_grid(std::span<const GroupModel> groups,
   return best;
 }
 
-Allocation Solver::solve_analytic_2(std::span<const GroupModel> groups,
-                                    Watts total_supply) {
+// ---------------------------------------------------------------------------
+// Closed-form KKT / water-filling backend (solve_analytic_n, solve_batch).
+//
+// Each group's feasible per-server power is {0} ∪ [lo, hi]: the idle cliff
+// makes the problem non-convex, but once an *active set* is fixed (which
+// groups get any power at all) the objective is a sum of clamped quadratics
+// and the KKT conditions solve it in closed form.  The backend enumerates
+// active sets (pruned by a weak-duality bound built from the full set's
+// multiplier), water-fills each set's strictly concave members by sweeping
+// the Lagrange multiplier down the sorted marginal-utility breakpoints, and
+// enumerates endpoint configurations for degenerate (near-linear / convex)
+// members.  Every candidate is validated against the full clamped objective
+// through the same ratio round-trip evaluate() performs, so the winning
+// value is exactly what the caller will observe.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Curvature above this is treated as degenerate (near-linear or convex):
+/// the interior stationary point either does not exist or hides behind an
+/// ill-conditioned division by 2a, so the group is handled by endpoint
+/// enumeration instead of water-filling.
+constexpr double kEdgeCurvature = -1e-6;
+
+/// Endpoint-configuration budget per active set.  More than 8 degenerate
+/// members is pathological; the overflow is pinned at its better endpoint
+/// (the candidate is still validated against the clamped objective).
+constexpr int kMaxEdgeBits = 8;
+
+/// Raw scalars of one group.  Both entry points (GroupModel spans and the
+/// SoA batch) convert into this, so their float arithmetic — and therefore
+/// their results — are bit-identical.
+struct RawGroup {
+  double n;      ///< server count
+  double a, b, c;
+  double min_w;  ///< the off-below-idle cliff
+  double max_w;
+};
+
+/// Mirror of GroupModel::perf_at on raw scalars: same operations in the
+/// same order, so scalar evaluation matches Solver::evaluate bit-for-bit.
+double perf_scalar(const RawGroup& g, double per_server) {
+  if (per_server < g.min_w) return 0.0;
+  const double x = std::min(per_server, g.max_w);
+  return std::max((g.a * x + g.b) * x + g.c, 0.0);
+}
+
+/// Mirror of group_perf (including the ratio -> per-server round trip).
+double group_perf_scalar(const RawGroup& g, double ratio, double total) {
+  const double per_server = ratio * total / g.n;
+  return g.n * perf_scalar(g, per_server);
+}
+
+/// Mirror of Solver::evaluate over raw scalars.
+double evaluate_scalar(std::span<const RawGroup> raw,
+                       std::span<const double> ratios, double total) {
+  double perf = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    perf += group_perf_scalar(raw[i], ratios[i], total);
+  }
+  return perf;
+}
+
+/// One group's precomputed analytic view.
+struct AnalyticGroup {
+  RawGroup raw{};
+  double lo = 0.0;    ///< effective floor: cliff, lifted to the fit's first
+                      ///< zero when Perf(min_w) clamps to 0
+  double hi = 0.0;    ///< saturation: beyond this more watts buy nothing
+  double w_lo = 0.0;  ///< n * lo
+  double w_hi = 0.0;  ///< n * hi
+  double f_lo = 0.0;  ///< clamped per-server Perf at lo
+  double f_hi = 0.0;  ///< clamped per-server Perf at hi
+  double d_lo = 0.0;  ///< fit slope at lo (the marginal entering the range)
+  double d_hi = 0.0;  ///< fit slope at hi
+  double na = 0.0;     ///< n / (2a) (0 when the curvature vanishes)
+  double nb = 0.0;     ///< n * b / (2a)
+  double inv_2a = 0.0; ///< 1 / (2a) — the water-filling response slope
+  double z = 0.0;     ///< n * Perf at 0 W (non-zero only when min_w == 0)
+  double u = 0.0;     ///< n * max(f_lo, f_hi) - z: crude subset bound term
+  std::size_t index = 0;  ///< position in the caller's group list
+  bool edge = false;      ///< degenerate curvature: endpoint treatment
+};
+
+/// Build the analytic view of one (already validated) group.  Returns false
+/// when the group cannot contribute positive performance anywhere in its
+/// range — it is left out of the active-set sweep and always gets ratio 0.
+bool analytic_precompute(const RawGroup& raw, std::size_t index,
+                         AnalyticGroup& g) {
+  g = AnalyticGroup{};
+  g.raw = raw;
+  g.index = index;
+  const auto fit = [&](double x) { return (raw.a * x + raw.b) * x + raw.c; };
+  // Saturation (GroupModel::saturation_power semantics).
+  double hi = raw.max_w;
+  if (raw.a < 0.0) {
+    const double vertex = -raw.b / (2.0 * raw.a);
+    if (vertex > raw.min_w && vertex < raw.max_w) hi = vertex;
+  }
+  double lo = raw.min_w;
+  if (fit(raw.min_w) < 0.0) {
+    if (fit(hi) <= 0.0) return false;  // Perf <= 0 on the whole useful range
+    // The fit's first zero in (min_w, hi]: powering the group below it
+    // yields zero Perf, so the effective floor moves up to the root.
+    // Stable roots via the q-formula; linear root when curvature vanishes.
+    double root = hi;
+    if (std::fabs(raw.a) > 1e-300) {
+      const double disc = raw.b * raw.b - 4.0 * raw.a * raw.c;
+      if (disc > 0.0) {
+        const double q =
+            -0.5 * (raw.b + std::copysign(std::sqrt(disc), raw.b));
+        double found = std::numeric_limits<double>::infinity();
+        const double r1 = q / raw.a;
+        const double r2 =
+            q != 0.0 ? raw.c / q : std::numeric_limits<double>::infinity();
+        for (double r : {r1, r2}) {
+          if (std::isfinite(r) && r > raw.min_w && r <= hi && r < found) {
+            found = r;
+          }
+        }
+        if (std::isfinite(found)) root = found;
+      }
+    } else if (raw.b != 0.0) {
+      const double r = -raw.c / raw.b;
+      if (std::isfinite(r) && r > raw.min_w && r <= hi) root = r;
+    }
+    lo = root;
+  }
+  if (lo > hi) lo = hi;
+  g.lo = lo;
+  g.hi = hi;
+  g.w_lo = raw.n * lo;
+  g.w_hi = raw.n * hi;
+  g.f_lo = perf_scalar(raw, lo);
+  g.f_hi = perf_scalar(raw, hi);
+  g.z = raw.n * perf_scalar(raw, 0.0);
+  g.u = raw.n * std::max(g.f_lo, g.f_hi) - g.z;
+  if (raw.n * std::max(g.f_lo, g.f_hi) <= 0.0) return false;
+  g.d_lo = 2.0 * raw.a * lo + raw.b;
+  g.d_hi = 2.0 * raw.a * hi + raw.b;
+  if (raw.a != 0.0) {
+    g.inv_2a = 1.0 / (2.0 * raw.a);
+    g.na = raw.n / (2.0 * raw.a);
+    g.nb = raw.n * raw.b / (2.0 * raw.a);
+  }
+  g.edge = raw.a >= kEdgeCurvature;
+  return true;
+}
+
+/// The best candidate seen so far: its clamped-objective value, its ratio
+/// vector (sized for the caller's full group list), and the multiplier of
+/// the configuration that produced it (used for the dual pruning bound).
+struct BestCandidate {
+  double value = -std::numeric_limits<double>::infinity();
+  std::vector<double> ratios;
+  double lambda = 0.0;
+};
+
+/// Reusable buffers so a fleet-sized batch allocates O(max groups), not
+/// O(total groups).
+struct AnalyticScratch {
+  std::vector<AnalyticGroup> groups;  ///< useful groups only
+  std::vector<double> cand_ratios;
+  BestCandidate best;
+  BestCandidate probe;  ///< throwaway target for the warm-start evaluation
+  std::vector<std::uint32_t> solved;  ///< masks solved by the enumeration
+};
+
+/// Convert a per-server candidate (indexed like `gs`, 0 = inactive) into
+/// ratios and return its value through the same ratio round-trip
+/// evaluate() performs.  A ratio meant to put a group exactly on a floor
+/// can land one ULP below it after the round trip, which the idle cliff
+/// would punish with the whole group's performance — nudge such ratios up
+/// until the round trip clears the cliff.
+double assemble_candidate(const std::vector<AnalyticGroup>& gs,
+                          std::size_t total_groups, double P,
+                          std::span<const double> per_server,
+                          std::vector<double>& ratios) {
+  ratios.assign(total_groups, 0.0);
+  for (std::size_t j = 0; j < gs.size(); ++j) {
+    const AnalyticGroup& g = gs[j];
+    const double p = per_server[j];
+    if (p <= 0.0) continue;
+    double ratio = g.raw.n * p / P;
+    if (p >= g.raw.min_w) {
+      for (int guard = 0;
+           guard < 4 && ratio * P / g.raw.n < g.raw.min_w; ++guard) {
+        ratio = std::nextafter(ratio, 2.0);
+      }
+    }
+    ratios[g.index] = ratio;
+  }
+  double value = 0.0;
+  for (const AnalyticGroup& g : gs) {
+    value += group_perf_scalar(g.raw, ratios[g.index], P);
+  }
+  return value;
+}
+
+/// Solve one active set: enumerate its endpoint configurations, water-fill
+/// the strictly concave members per configuration, validate every candidate
+/// and merge improvements into `best` (strict >, so the first achiever of
+/// the optimum wins regardless of what pruning skipped).  Returns the best
+/// value this mask achieved, or -inf when its floors alone blow the budget.
+double solve_mask(const std::vector<AnalyticGroup>& gs,
+                  std::size_t total_groups, double P, std::uint32_t mask,
+                  std::uint64_t& evals, std::vector<double>& cand_ratios,
+                  BestCandidate& best) {
+  std::array<std::uint8_t, kMaxAnalyticGroups> concave{};
+  std::array<std::uint8_t, kMaxAnalyticGroups> edge{};
+  std::array<std::uint8_t, kMaxAnalyticGroups> pinned{};
+  int n_concave = 0, n_edge = 0, n_pinned = 0;
+  double floor_w = 0.0;
+  for (std::uint32_t mm = mask; mm != 0; mm &= mm - 1) {
+    const int j = std::countr_zero(mm);
+    const AnalyticGroup& g = gs[static_cast<std::size_t>(j)];
+    floor_w += g.w_lo;
+    if (g.hi - g.lo < 1e-12) {
+      pinned[n_pinned++] = static_cast<std::uint8_t>(j);
+    } else if (g.edge) {
+      edge[n_edge++] = static_cast<std::uint8_t>(j);
+    } else {
+      concave[n_concave++] = static_cast<std::uint8_t>(j);
+    }
+  }
+  if (floor_w > P) return -std::numeric_limits<double>::infinity();
+
+  double concave_floor = 0.0;
+  for (int k = 0; k < n_concave; ++k) {
+    concave_floor += gs[concave[static_cast<std::size_t>(k)]].w_lo;
+  }
+
+  double mask_best = -std::numeric_limits<double>::infinity();
+  std::array<double, kMaxAnalyticGroups> p{};
+
+  const auto consider = [&](double lambda) {
+    ++evals;
+    const double value =
+        assemble_candidate(gs, total_groups, P,
+                           {p.data(), gs.size()}, cand_ratios);
+    if (value > mask_best) mask_best = value;
+    if (value > best.value) {
+      best.value = value;
+      best.lambda = lambda;
+      std::swap(best.ratios, cand_ratios);
+    }
+  };
+
+  /// Concave members' per-server response at multiplier λ, written into p.
+  const auto place_concave = [&](double lambda) {
+    double used = 0.0;
+    for (int k = 0; k < n_concave; ++k) {
+      const std::uint8_t j = concave[static_cast<std::size_t>(k)];
+      const AnalyticGroup& g = gs[j];
+      double pj = g.lo;
+      if (g.d_lo > 0.0) {
+        pj = std::clamp((lambda - g.raw.b) * g.inv_2a, g.lo, g.hi);
+      }
+      p[j] = pj;
+      used += g.raw.n * pj;
+    }
+    return used;
+  };
+
+  // Outer loop: which degenerate member (if any) absorbs the budget at an
+  // interior point.  A convex member can sit strictly inside (lo, hi) at
+  // the optimum only as the single budget-balancing absorber — two interior
+  // convex members could trade watts for a second-order gain — so trying
+  // one absorber at a time is exhaustive.  A near-linear absorber fills at
+  // its flat marginal λ = b instead of via the 1/(2a) root machinery.
+  for (int absorber = -1; absorber < n_edge; ++absorber) {
+    const AnalyticGroup* ab = nullptr;
+    std::uint8_t ab_index = 0;
+    if (absorber >= 0) {
+      ab_index = edge[static_cast<std::size_t>(absorber)];
+      ab = &gs[ab_index];
+    }
+    std::array<std::uint8_t, kMaxAnalyticGroups> free_edges{};
+    int n_free = 0;
+    for (int k = 0; k < n_edge; ++k) {
+      if (k != absorber) free_edges[n_free++] = edge[static_cast<std::size_t>(k)];
+    }
+    const int cfg_bits = std::min(n_free, kMaxEdgeBits);
+
+    for (int cfg = 0; cfg < (1 << cfg_bits); ++cfg) {
+      p.fill(0.0);
+      double fixed_w = 0.0;
+      for (int k = 0; k < n_pinned; ++k) {
+        const AnalyticGroup& g = gs[pinned[static_cast<std::size_t>(k)]];
+        p[pinned[static_cast<std::size_t>(k)]] = g.lo;
+        fixed_w += g.w_lo;
+      }
+      for (int k = 0; k < n_free; ++k) {
+        const AnalyticGroup& g = gs[free_edges[static_cast<std::size_t>(k)]];
+        const bool at_hi = k < cfg_bits ? ((cfg >> k) & 1) != 0
+                                        : g.f_hi > g.f_lo;
+        p[free_edges[static_cast<std::size_t>(k)]] = at_hi ? g.hi : g.lo;
+        fixed_w += at_hi ? g.w_hi : g.w_lo;
+      }
+      if (fixed_w + concave_floor + (ab != nullptr ? ab->w_lo : 0.0) > P) {
+        continue;  // this configuration overdraws even at the floors
+      }
+      const double budget = P - fixed_w;
+
+      if (ab != nullptr && ab->raw.a < 1e-6) {
+        // Near-linear absorber: its marginal is essentially the constant b,
+        // so dV/dλ flips sign exactly at λ = b — the joint optimum fills
+        // the concave members to that marginal and hands the remainder to
+        // the absorber.  (This sidesteps the ill-conditioned 1/(2a) root
+        // machinery entirely; the O(|a|·range²) curvature term is far
+        // below the oracle's tolerance.)
+        const double lambda = std::max(ab->raw.b, 0.0);
+        const double used = place_concave(lambda);
+        const double leftover = budget - used;
+        if (leftover >= ab->w_lo - 1e-9) {
+          p[ab_index] =
+              std::min(ab->hi, std::max(ab->lo, leftover / ab->raw.n));
+          consider(lambda);
+        }
+        continue;
+      }
+
+      // λ-breakpoint sweep.  Each member's per-server response
+      // p_i(λ) = clamp((λ - b_i) / (2 a_i), lo_i, hi_i) is piecewise linear
+      // in λ, so the set's total draw is too; walk λ down the sorted
+      // breakpoints (the fit marginals at each member's lo and hi) and
+      // solve each linear segment for budget crossings.  Without an
+      // absorber the draw is monotone (first crossing wins); the convex
+      // absorber's draw *rises* with λ, so every segment's root is a KKT
+      // candidate and all of them are evaluated.
+      struct Breakpoint {
+        double lam;
+        std::uint8_t j;
+        std::uint8_t kind;  ///< 0/1 concave leaves-lo/saturates;
+                            ///< 2/3 absorber leaves-hi/reaches-lo
+      };
+      std::array<Breakpoint, 2 * kMaxAnalyticGroups + 2> bps;
+      int n_bps = 0;
+      double w_base = concave_floor;  // watts of members clamped at an endpoint
+      double sum_a = 0.0;             // Σ n/(2a) over free members
+      double sum_b = 0.0;             // Σ n*b/(2a) over free members
+      for (int k = 0; k < n_concave; ++k) {
+        const std::uint8_t j = concave[static_cast<std::size_t>(k)];
+        const AnalyticGroup& g = gs[j];
+        if (g.d_lo <= 0.0) continue;  // marginal never positive: stays at lo
+        bps[n_bps++] = {g.d_lo, j, 0};
+        if (g.d_hi > 0.0) bps[n_bps++] = {g.d_hi, j, 1};
+      }
+      if (ab != nullptr) {
+        w_base += ab->w_hi;  // at λ = ∞ a convex absorber clamps at hi
+        const std::uint8_t j = edge[static_cast<std::size_t>(absorber)];
+        if (ab->d_hi > 0.0) bps[n_bps++] = {ab->d_hi, j, 2};
+        if (ab->d_lo > 0.0) bps[n_bps++] = {ab->d_lo, j, 3};
+      }
+      // Insertion sort: n_bps <= 2 * kMaxAnalyticGroups and typically < 8,
+      // where this beats std::sort.  The (lam, j, kind) key is unique per
+      // entry, so any correct sort yields the same sequence (bit-identity
+      // across warm/cold/batched runs is preserved).
+      const auto bp_before = [](const Breakpoint& x, const Breakpoint& y) {
+        if (x.lam != y.lam) return x.lam > y.lam;
+        if (x.j != y.j) return x.j < y.j;
+        return x.kind < y.kind;
+      };
+      for (int k = 1; k < n_bps; ++k) {
+        const Breakpoint key = bps[static_cast<std::size_t>(k)];
+        int t = k - 1;
+        while (t >= 0 && bp_before(key, bps[static_cast<std::size_t>(t)])) {
+          bps[static_cast<std::size_t>(t + 1)] = bps[static_cast<std::size_t>(t)];
+          --t;
+        }
+        bps[static_cast<std::size_t>(t + 1)] = key;
+      }
+
+      const auto place_absorber = [&](double lambda) {
+        if (ab == nullptr) return;
+        p[ab - gs.data()] = std::clamp((lambda - ab->raw.b) * ab->inv_2a,
+                                       ab->lo, ab->hi);
+      };
+      const auto try_root = [&](double lam_lo, double lam_hi) {
+        if (sum_a == 0.0) return false;
+        const double lam_r = (budget - w_base + sum_b) / sum_a;
+        if (!(lam_r >= lam_lo - 1e-9 && lam_r <= lam_hi + 1e-9)) return false;
+        const double lambda =
+            std::max(std::clamp(lam_r, lam_lo, lam_hi), 0.0);
+        place_concave(lambda);
+        place_absorber(lambda);
+        consider(lambda);
+        return true;
+      };
+
+      double lam_prev = std::numeric_limits<double>::infinity();
+      bool crossed = false;
+      for (int k = 0; k < n_bps; ++k) {
+        const double lam_k = std::max(bps[k].lam, 0.0);
+        if (ab != nullptr) {
+          // Non-monotone draw: harvest every segment's budget crossing.
+          crossed = try_root(lam_k, lam_prev) || crossed;
+        } else {
+          const double w_at = w_base + sum_a * lam_k - sum_b;
+          if (w_at >= budget) {
+            const double lambda =
+                sum_a < 0.0 ? std::clamp((budget - w_base + sum_b) / sum_a,
+                                         lam_k, lam_prev)
+                            : lam_k;
+            place_concave(std::max(lambda, 0.0));
+            consider(std::max(lambda, 0.0));
+            crossed = true;
+            break;
+          }
+        }
+        if (bps[k].lam <= 0.0) break;  // λ* >= 0: lower breakpoints moot
+        const AnalyticGroup& g = gs[bps[k].j];
+        const double na = g.na;
+        const double nb = g.nb;
+        switch (bps[k].kind) {
+          case 0:  // concave member leaves its floor
+            w_base -= g.w_lo;
+            sum_a += na;
+            sum_b += nb;
+            break;
+          case 1:  // concave member saturates
+            sum_a -= na;
+            sum_b -= nb;
+            w_base += g.w_hi;
+            break;
+          case 2:  // absorber drops below hi into the interior
+            w_base -= g.w_hi;
+            sum_a += na;
+            sum_b += nb;
+            break;
+          default:  // absorber reaches its floor
+            sum_a -= na;
+            sum_b -= nb;
+            w_base += g.w_lo;
+            break;
+        }
+        lam_prev = lam_k;
+      }
+      if (ab != nullptr) {
+        // The final segment [0, lam_prev] can hold one more root.  A
+        // root-free absorber configuration produces no candidate at all:
+        // its endpoint variants are covered by the absorber-less pass.
+        (void)try_root(0.0, lam_prev);
+      } else if (!crossed) {
+        // No binding crossing at λ >= 0.  Either the final segment still
+        // crosses, or the set cannot use the budget and the surplus
+        // charges the battery.
+        double lambda = 0.0;
+        const double w_at0 = w_base - sum_b;
+        if (w_at0 >= budget && sum_a < 0.0) {
+          lambda = std::clamp((budget - w_base + sum_b) / sum_a, 0.0,
+                              lam_prev);
+        }
+        lambda = std::max(lambda, 0.0);
+        const double used = place_concave(lambda);
+        consider(lambda);
+        // Leftover handed to a degenerate member held at its floor
+        // (splitting it never beats a single recipient at this curvature);
+        // covers surplus the λ machinery leaves behind.
+        const double leftover = std::max(0.0, budget - used);
+        if (leftover > 1e-9) {
+          for (int k = 0; k < n_free; ++k) {
+            const std::uint8_t j = free_edges[static_cast<std::size_t>(k)];
+            const AnalyticGroup& g = gs[j];
+            if (p[j] != g.lo || g.hi <= g.lo) continue;
+            const double saved = p[j];
+            p[j] = std::min(g.hi, g.lo + leftover / g.raw.n);
+            consider(lambda);
+            p[j] = saved;
+          }
+        }
+      }
+    }
+  }
+  return mask_best;
+}
+
+/// The shared core behind solve_analytic_n and solve_batch.
+Allocation analytic_solve(std::span<const RawGroup> raw, double P,
+                          const SolverHint* hint, AnalyticScratch& s,
+                          std::uint64_t& evals) {
+  std::vector<AnalyticGroup>& gs = s.groups;
+  gs.clear();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    AnalyticGroup g;
+    if (analytic_precompute(raw[i], i, g)) gs.push_back(g);
+  }
+  const std::size_t m = gs.size();
+
+  BestCandidate& best = s.best;
+  best.value = -std::numeric_limits<double>::infinity();
+  best.lambda = 0.0;
+
+  // Baseline candidate: everything off (it is the only feasible point when
+  // every floor exceeds the budget, and it anchors comparisons when groups
+  // are live at 0 W because their floor is 0).
+  std::array<double, kMaxAnalyticGroups> p{};
+  ++evals;
+  best.value = assemble_candidate(gs, raw.size(), P, {p.data(), m},
+                                  s.cand_ratios);
+  std::swap(best.ratios, s.cand_ratios);
+
+  if (m > 0) {
+    double sum_w_hi = 0.0;
+    double z_total = 0.0;
+    for (const AnalyticGroup& g : gs) {
+      sum_w_hi += g.w_hi;
+      z_total += g.z;
+    }
+    if (sum_w_hi <= P) {
+      // Abundance fast path: every group can afford its own best point, so
+      // the optimum decouples into per-group argmaxes over {off, lo, hi}
+      // (concave members rise to hi; a decreasing or convex fit may prefer
+      // its floor or staying off).
+      for (std::size_t j = 0; j < m; ++j) {
+        const AnalyticGroup& g = gs[j];
+        const double f0 = g.z / g.raw.n;
+        if (g.f_hi >= g.f_lo && g.f_hi >= f0) {
+          p[j] = g.hi;
+        } else if (g.f_lo >= f0) {
+          p[j] = g.lo;
+        } else {
+          p[j] = 0.0;
+        }
+      }
+      ++evals;
+      const double value = assemble_candidate(gs, raw.size(), P,
+                                              {p.data(), m}, s.cand_ratios);
+      if (value > best.value) {
+        best.value = value;
+        std::swap(best.ratios, s.cand_ratios);
+      }
+    } else {
+      const std::uint32_t full = (std::uint32_t{1} << m) - 1;
+      const double full_value = solve_mask(gs, raw.size(), P, full, evals,
+                                           s.cand_ratios, best);
+
+      // Weak-duality pruning bound.  For any λ >= 0 and any candidate of
+      // any mask:  value <= λ·P + Σ_{i∉mask} z_i + Σ_{i∈mask} score_i(λ),
+      // where score_i = max_p (n·Perf_i(p) - λ·n·p) over p ∈ [lo, hi].
+      // With λ taken from the incumbent's configuration the bound is tight
+      // at the optimum, so subsets that merely re-shuffle watts are
+      // rejected without being solved.  Rebuilt every time the incumbent
+      // improves, which keeps it tight as the enumeration runs.
+      std::array<double, kMaxAnalyticGroups> adj{};
+      const bool have_dual =
+          full_value > -std::numeric_limits<double>::infinity();
+      double lam = 0.0;
+      double dual_base = z_total;
+      const auto rebuild_dual = [&](double lambda) {
+        lam = lambda;
+        dual_base = lam * P + z_total;
+        for (std::size_t j = 0; j < m; ++j) {
+          const AnalyticGroup& g = gs[j];
+          double sc = std::max(g.raw.n * g.f_lo - lam * g.w_lo,
+                               g.raw.n * g.f_hi - lam * g.w_hi);
+          // A concave member's score peaks strictly inside (lo, hi) only
+          // when λ sits between the endpoint marginals; otherwise the
+          // clamped interior point is one of the endpoints above.
+          if (g.raw.a < 0.0 && lam < g.d_lo && lam > g.d_hi) {
+            const double pp = (lam - g.raw.b) * g.inv_2a;
+            sc = std::max(sc, g.raw.n * perf_scalar(g.raw, pp) -
+                                  lam * g.raw.n * pp);
+          }
+          adj[j] = sc - g.z;
+        }
+      };
+      if (have_dual) rebuild_dual(std::max(best.lambda, 0.0));
+
+      // Warm start: the hinted active set is solved up front and its value
+      // used *only* as a pruning bound.  It never seeds `best`, and the
+      // skip test below is strict, so the first enumerated achiever of the
+      // optimum wins in both warm and cold runs — bit-identical results.
+      double prune = best.value;
+      if (hint != nullptr && hint->engaged) {
+        std::uint32_t hm = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (gs[j].index < 64 &&
+              ((hint->active_mask >> gs[j].index) & 1) != 0) {
+            hm |= std::uint32_t{1} << j;
+          }
+        }
+        if (hm != 0 && hm != full) {
+          BestCandidate& probe = s.probe;
+          probe.value = -std::numeric_limits<double>::infinity();
+          const double hv = solve_mask(gs, raw.size(), P, hm, evals,
+                                       s.cand_ratios, probe);
+          prune = std::max(prune, hv);
+        }
+      }
+
+      // Exact bound test for one mask — identical to what a full 2^m
+      // enumeration would compute, used on the few masks that survive the
+      // droppable-set filter below (and on every mask when no dual bound
+      // is available).  Returns true when `best` improved.
+      const auto test_and_solve = [&](std::uint32_t mask) {
+        double ub = z_total;
+        double floors = 0.0;
+        double dual = dual_base;
+        for (std::uint32_t mm = mask; mm != 0; mm &= mm - 1) {
+          const std::size_t j =
+              static_cast<std::size_t>(std::countr_zero(mm));
+          ub += gs[j].u;
+          floors += gs[j].w_lo;
+          dual += adj[j];
+        }
+        if (floors > P) return false;
+        const double bound = have_dual ? std::min(ub, dual) : ub;
+        if (bound < std::max(best.value, prune)) return false;
+        const double before = best.value;
+        (void)solve_mask(gs, raw.size(), P, mask, evals, s.cand_ratios,
+                         best);
+        return best.value > before;
+      };
+
+      if (!have_dual) {
+        // The full set cannot pay its floors: no dual multiplier exists, so
+        // fall back to the crude bound over every proper subset.
+        for (std::uint32_t mask = full - 1; mask != 0; --mask) {
+          (void)test_and_solve(mask);
+        }
+      } else {
+        // Droppable-set enumeration.  A mask survives the dual bound only
+        // if bound(mask) = bound(full) - Σ_{j∈C} adj_j >= T for its
+        // complement C, which forces every j ∈ C to satisfy
+        //   max(adj_j, 0) <= bound(full) - T - Σ_k min(adj_k, 0).
+        // Only subsets of that droppable set D are enumerated — typically
+        // a handful of masks instead of 2^m.  When a solve improves the
+        // incumbent, the dual is rebuilt around it and the (now smaller)
+        // family is re-derived; solved masks are remembered so every mask
+        // is solved at most once and the rounds terminate.
+        std::vector<std::uint32_t>& done = s.solved;
+        done.clear();
+        for (bool improved = true; improved;) {
+          improved = false;
+          double sum_adj = 0.0;
+          double neg_sum = 0.0;
+          for (std::size_t j = 0; j < m; ++j) {
+            sum_adj += adj[j];
+            neg_sum += std::min(adj[j], 0.0);
+          }
+          const double bound_full = dual_base + sum_adj;
+          const double slack =
+              bound_full - std::max(best.value, prune) - neg_sum + 1e-6;
+          std::uint32_t droppable = 0;
+          for (std::size_t j = 0; j < m; ++j) {
+            if (std::max(adj[j], 0.0) <= slack) {
+              droppable |= std::uint32_t{1} << j;
+            }
+          }
+          // Non-empty subsets of `droppable` in ascending order (single
+          // drops come before their unions), a deterministic order shared
+          // by warm, cold and batched runs.
+          for (std::uint32_t comp = (0u - droppable) & droppable; comp != 0;
+               comp = (comp - droppable) & droppable) {
+            const std::uint32_t mask = full ^ comp;
+            if (mask == 0) continue;
+            if (std::find(done.begin(), done.end(), mask) != done.end()) {
+              continue;
+            }
+            done.push_back(mask);
+            if (test_and_solve(mask)) {
+              rebuild_dual(std::max(best.lambda, 0.0));
+              improved = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Allocation result{best.ratios, 0.0, {}};
+  // best.value was computed by assemble_candidate through the exact ratio
+  // round-trip evaluate_scalar performs (excluded groups contribute an
+  // exact 0.0), so it already *is* the validated objective — no second
+  // evaluation pass.
+  result.predicted_perf = best.value;
+  // Scalar twin of sanitize_allocation so batched and individual solves
+  // repair (never, for this constructive backend) identically.
+  int repairs = 0;
+  for (double& r : result.ratios) {
+    if (!std::isfinite(r) || r < 0.0) {
+      r = 0.0;
+      ++repairs;
+    }
+  }
+  const double sum = result.ratio_sum();
+  if (sum > 1.0 + 1e-9) {
+    for (double& r : result.ratios) r /= sum;
+    ++repairs;
+  }
+  if (!std::isfinite(result.predicted_perf)) {
+    result.predicted_perf = 0.0;
+    ++repairs;
+  }
+  if (repairs > 0) {
+    result.predicted_perf = evaluate_scalar(raw, result.ratios, P);
+    if (!std::isfinite(result.predicted_perf)) result.predicted_perf = 0.0;
+    if (telemetry::Telemetry* t = telemetry::current()) {
+      t->metrics().counter("gh_solver_repairs_total").increment(repairs);
+    }
+  }
+  return result;
+}
+
+/// Counters only, no "solve" trace event: warm, cold, batched and inline
+/// analytic solves must stay byte-identical at the trace level (the fuzzer
+/// compares them), and per-rack events from a coordinator-side batch would
+/// land in a different stream than inline ones.
+void report_analytic_n(double calls, double iterations) {
+  telemetry::Telemetry* t = telemetry::current();
+  if (t == nullptr) return;
+  t->metrics()
+      .counter("gh_solver_calls_total", {{"backend", "analytic_n"}})
+      .increment(calls);
+  t->metrics()
+      .counter("gh_solver_iterations_total", {{"backend", "analytic_n"}})
+      .increment(iterations);
+}
+
+}  // namespace
+
+SolverHint SolverHint::from(const Allocation& allocation) {
+  SolverHint hint;
+  hint.engaged = true;
+  const std::size_t limit =
+      std::min<std::size_t>(allocation.ratios.size(), 64);
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (allocation.ratios[i] > 0.0) {
+      hint.active_mask |= std::uint64_t{1} << i;
+    }
+  }
+  return hint;
+}
+
+void SolverBatch::add(std::span<const GroupModel> groups, Watts total_supply,
+                      const SolverHint& hint) {
+  if (groups.empty() || groups.size() > kMaxAnalyticGroups) {
+    throw SolverError("solver batch: group count out of range");
+  }
+  if (total_supply.value() <= 0.0) {
+    throw SolverError("solver batch: total supply must be positive");
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    validate_group(groups[i], i);
+  }
+  if (offsets_.empty()) offsets_.push_back(0);
+  for (const GroupModel& g : groups) {
+    count_.push_back(static_cast<double>(g.count));
+    a_.push_back(g.fit.a);
+    b_.push_back(g.fit.b);
+    c_.push_back(g.fit.c);
+    min_w_.push_back(g.min_power.value());
+    max_w_.push_back(g.max_power.value());
+  }
+  offsets_.push_back(static_cast<std::uint32_t>(count_.size()));
+  supplies_.push_back(total_supply.value());
+  hints_.push_back(hint);
+}
+
+void SolverBatch::clear() {
+  count_.clear();
+  a_.clear();
+  b_.clear();
+  c_.clear();
+  min_w_.clear();
+  max_w_.clear();
+  offsets_.clear();
+  supplies_.clear();
+  hints_.clear();
+}
+
+Allocation Solver::solve_analytic_n(std::span<const GroupModel> groups,
+                                    Watts total_supply,
+                                    const SolverHint* hint) {
+  GH_PROBE("gh_solver_solve_analytic_n_ns");
+  validate_inputs(groups, total_supply, kMaxAnalyticGroups);
+  std::array<RawGroup, kMaxAnalyticGroups> raw;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    raw[i] = RawGroup{static_cast<double>(groups[i].count), groups[i].fit.a,
+                      groups[i].fit.b, groups[i].fit.c,
+                      groups[i].min_power.value(),
+                      groups[i].max_power.value()};
+  }
+  // Reused across calls so the per-epoch hot path performs no heap
+  // allocation beyond the returned Allocation itself.  Every field is
+  // cleared or overwritten before use, so carried capacity never carries
+  // state between solves.
+  thread_local AnalyticScratch scratch;
+  std::uint64_t evals = 0;
+  Allocation result =
+      analytic_solve({raw.data(), groups.size()}, total_supply.value(),
+                     hint != nullptr && hint->engaged ? hint : nullptr,
+                     scratch, evals);
+  report_analytic_n(1.0, static_cast<double>(evals));
+  return result;
+}
+
+std::vector<Allocation> Solver::solve_batch(const SolverBatch& batch) {
+  GH_PROBE("gh_solver_solve_batch_ns");
+  std::vector<Allocation> results;
+  results.reserve(batch.size());
+  AnalyticScratch scratch;
+  std::uint64_t evals = 0;
+  std::array<RawGroup, kMaxAnalyticGroups> raw;
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const std::uint32_t begin = batch.offsets_[r];
+    const std::size_t m = batch.offsets_[r + 1] - begin;
+    for (std::size_t j = 0; j < m; ++j) {
+      raw[j] = RawGroup{batch.count_[begin + j], batch.a_[begin + j],
+                        batch.b_[begin + j],     batch.c_[begin + j],
+                        batch.min_w_[begin + j], batch.max_w_[begin + j]};
+    }
+    const SolverHint& hint = batch.hints_[r];
+    results.push_back(analytic_solve({raw.data(), m}, batch.supplies_[r],
+                                     hint.engaged ? &hint : nullptr, scratch,
+                                     evals));
+  }
+  if (!batch.empty()) {
+    if (telemetry::Telemetry* t = telemetry::current()) {
+      t->metrics().counter("gh_solver_batch_calls_total").increment();
+    }
+    report_analytic_n(static_cast<double>(batch.size()),
+                      static_cast<double>(evals));
+  }
+  return results;
+}
+
+std::optional<Allocation> Solver::solve_analytic_2(
+    std::span<const GroupModel> groups, Watts total_supply) {
   validate_inputs(groups, total_supply);
   if (groups.size() != 2) {
     throw SolverError("analytic solver: exactly 2 groups required");
@@ -535,6 +1426,15 @@ Allocation Solver::solve_analytic_2(std::span<const GroupModel> groups,
   const GroupModel& g1 = groups[1];
   if (g0.fit.a >= 0.0 || g1.fit.a >= 0.0) {
     throw SolverError("analytic solver: fits must be strictly concave");
+  }
+  // Near-degenerate curvature (the generators' near-linear fits draw
+  // |a| down to ~0): the interior stationary system divides by 2a and the
+  // candidate overflows long before any clamp can help.  There is no
+  // meaningful interior solution — signal the caller to use its own search.
+  constexpr double kMinCurvature = 1e-9;
+  if (std::fabs(g0.fit.a) < kMinCurvature ||
+      std::fabs(g1.fit.a) < kMinCurvature) {
+    return std::nullopt;
   }
   // Equal marginal utility: 2*a0*p0 + b0 = 2*a1*p1 + b1, with the budget
   // c0*p0 + c1*p1 = P (p_i = per-server power of group i).
@@ -546,12 +1446,15 @@ Allocation Solver::solve_analytic_2(std::span<const GroupModel> groups,
   //   c0*p0 + c1*(2*a0*p0 + b0 - b1)/(2*a1) = P.
   const double denom = c0 + c1 * g0.fit.a / g1.fit.a;
   if (std::fabs(denom) < 1e-12) {
-    throw SolverError("analytic solver: degenerate curvature ratio");
+    return std::nullopt;  // degenerate curvature ratio: no interior solution
   }
   const double p0 =
       (P - c1 * (g0.fit.b - g1.fit.b) / (2.0 * g1.fit.a)) / denom;
   const double p1 = (2.0 * g0.fit.a * p0 + g0.fit.b - g1.fit.b) /
                     (2.0 * g1.fit.a);
+  if (!std::isfinite(p0) || !std::isfinite(p1)) {
+    return std::nullopt;  // the interior system blew up numerically
+  }
   // Clamp each group's per-server power into its useful range, then express
   // as ratios.  The caller re-validates against the full clamped objective.
   const double p0c =

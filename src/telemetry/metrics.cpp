@@ -136,7 +136,7 @@ double Histogram::quantile(double q) const {
 }
 
 std::span<const std::string_view> builtin_metrics() {
-  static constexpr std::array<std::string_view, 42> kCatalog = {
+  static constexpr std::array<std::string_view, 47> kCatalog = {
       "gh_battery_soc",
       "gh_db_quarantined_total",
       "gh_db_refit_ns",
@@ -162,9 +162,14 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_renewable_prediction_error_w",
       "gh_rollup_windows_total",
       "gh_safe_mode_epochs_total",
+      "gh_solver_batch_calls_total",
+      "gh_solver_batch_hits_total",
+      "gh_solver_batch_misses_total",
       "gh_solver_calls_total",
       "gh_solver_failures_total",
       "gh_solver_repairs_total",
+      "gh_solver_solve_analytic_n_ns",
+      "gh_solver_solve_batch_ns",
       "gh_solver_solve_grid_ns",
       "gh_solver_solve_n_ns",
       "gh_solver_solve_ns",

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "check/oracle.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 
@@ -149,9 +151,11 @@ TEST(SolverAnalytic, MatchesGridOnInteriorProblem) {
       concave_group(-0.01, 6.0, -100.0, Watts{20.0}, Watts{260.0}, 2),
       concave_group(-0.02, 8.0, -120.0, Watts{20.0}, Watts{190.0}, 3),
   };
-  const Allocation analytic = Solver::solve_analytic_2(groups, Watts{700.0});
+  const std::optional<Allocation> analytic =
+      Solver::solve_analytic_2(groups, Watts{700.0});
+  ASSERT_TRUE(analytic.has_value());
   const Allocation brute = Solver::solve_grid(groups, Watts{700.0}, 0.001);
-  EXPECT_NEAR(analytic.predicted_perf, brute.predicted_perf,
+  EXPECT_NEAR(analytic->predicted_perf, brute.predicted_perf,
               brute.predicted_perf * 0.002);
 }
 
@@ -234,6 +238,219 @@ TEST(SolverN, ValidatesInputs) {
   EXPECT_THROW((void)Solver::solve_n(groups, Watts{0.0}), SolverError);
   groups[2].count = 0;
   EXPECT_THROW((void)Solver::solve_n(groups, Watts{1000.0}), SolverError);
+}
+
+TEST(SolverN, DelegatesToAnalyticForMidWidths) {
+  // 4..16 groups: solve_n is the exact closed-form backend, bit for bit.
+  const auto groups = five_groups();
+  for (double supply : {450.0, 1500.0, 2600.0}) {
+    const Allocation via_n = Solver::solve_n(groups, Watts{supply});
+    const Allocation direct = Solver::solve_analytic_n(groups, Watts{supply});
+    EXPECT_EQ(via_n.ratios, direct.ratios) << "supply " << supply;
+    EXPECT_EQ(via_n.predicted_perf, direct.predicted_perf)
+        << "supply " << supply;
+  }
+}
+
+TEST(SolverN, FuzzerLostPerfInstanceStaysOptimal) {
+  // Found by `greenhetero fuzz --solver on`: greedy water-filling funded
+  // the two small groups first and could then never afford the six-server
+  // group's all-or-nothing floor (532 W of the 543 W supply) — the true
+  // optimum — losing ~10% of the objective.  Pairwise exchange cannot
+  // repair it either: no two-group pool is large enough to stage the
+  // three-way move.  solve_n must stay at the brute-force optimum here.
+  const std::vector<GroupModel> groups = {
+      concave_group(-0.00982267, 13.5428, 17.8723, Watts{88.6642},
+                    Watts{162.152}, 6),
+      concave_group(-0.00709316, 10.7037, -183.223, Watts{53.7528},
+                    Watts{54.8206}, 1),
+      concave_group(-0.0450528, 19.2205, -6.3831, Watts{118.061},
+                    Watts{198.162}, 2),
+      concave_group(-0.0380131, 18.4765, 5.14563, Watts{110.511},
+                    Watts{171.745}, 1),
+  };
+  const Watts supply{542.948};
+  const Allocation a = Solver::solve_n(groups, supply);
+  const check::OracleSolution ref = check::oracle_solve(groups, supply, 0.02);
+  // The greedy path returned ~6253 against a brute-force 6978; the exact
+  // backend must not fall below the grid lower bound at all.
+  EXPECT_GE(a.predicted_perf, ref.perf - 1e-6);
+}
+
+TEST(SolverN, GreedyPathBeyondAnalyticWidthSpendsResidual) {
+  // 17 groups exceed the analytic mask width, forcing the greedy
+  // water-filling path.  Supply below total saturation: the optimum spends
+  // everything, and the stranded-residual repair must hand the final
+  // sub-quantum slice to an unclamped group instead of exiting with
+  // `remaining` unspent.
+  const std::vector<GroupModel> groups(
+      17, concave_group(-0.02, 8.0, -50.0, Watts{40.0}, Watts{120.0}, 2));
+  const Watts supply{3800.0};
+  const Allocation a = Solver::solve_n(groups, supply);
+  EXPECT_GE(a.ratio_sum(), 1.0 - 1e-6);
+  // Identical concave groups: the equal split is the exact optimum.
+  const std::vector<double> equal(17, 1.0 / 17.0);
+  const double optimum = Solver::evaluate(groups, equal, supply);
+  EXPECT_GE(a.predicted_perf, optimum * 0.995);
+}
+
+TEST(SolverAnalytic, NearLinearPairReturnsSentinel) {
+  // Both curvatures below the 1e-9 sentinel: the interior stationary
+  // system divides by 2a and would overflow long before the caller's clamp
+  // could help.  The analytic path must decline explicitly (nullopt, not a
+  // garbage candidate) and the production solver falls through to grid
+  // refinement, staying at the oracle's brute-force optimum.
+  const std::vector<GroupModel> groups = {
+      concave_group(-1e-10, 5.0, -50.0, Watts{40.0}, Watts{160.0}, 3),
+      concave_group(-3e-10, 6.0, -60.0, Watts{50.0}, Watts{170.0}, 2),
+  };
+  const Watts supply{700.0};
+  EXPECT_FALSE(Solver::solve_analytic_2(groups, supply).has_value());
+  const Allocation fast = Solver::solve(groups, supply);
+  const check::OracleSolution ref =
+      check::oracle_solve(groups, supply, 0.005);
+  EXPECT_GE(fast.predicted_perf, ref.perf - std::max(1.0, 0.005 * ref.perf));
+  EXPECT_NEAR(fast.predicted_perf,
+              check::oracle_objective(groups, fast.ratios, supply),
+              std::max(1e-6, 1e-9 * std::fabs(fast.predicted_perf)));
+}
+
+TEST(SolverSubset, FloorBoundaryActivationsSurviveRounding) {
+  // k * min_power re-divided by k can land one ULP below the idle floor
+  // (49.3 * 3 / 3 < 49.3 in double), and perf_at's off-below-idle cliff
+  // would zero a feasible activation; the snap window must absorb it.
+  const GroupModel g =
+      concave_group(-0.01, 5.0, -20.0, Watts{49.3}, Watts{150.0}, 3);
+  const double per_floor = g.perf_at(g.min_power);
+  ASSERT_GT(per_floor, 0.0);
+
+  // k = 1 boundary: a budget of exactly one floor is a feasible activation.
+  int active = 0;
+  EXPECT_NEAR(Solver::best_subset_perf(g, g.min_power, &active), per_floor,
+              1e-9);
+  EXPECT_EQ(active, 1);
+
+  // k = count boundary: the lossy budget (one ULP short of count floors)
+  // must still activate all three servers — spreading beats concentrating
+  // on this concave fit, so zeroing the k = 3 candidate loses real perf.
+  const Watts lossy_budget{49.3 * 3.0};
+  ASSERT_LT(lossy_budget.value() / 3.0, g.min_power.value());
+  EXPECT_NEAR(Solver::best_subset_perf(g, lossy_budget, &active),
+              3.0 * per_floor, 1e-6);
+  EXPECT_EQ(active, 3);
+}
+
+TEST(SolverAnalyticN, MatchesFineBruteForceOnFixtures) {
+  std::vector<GroupModel> three = xeon_i5_pair();
+  three.push_back(
+      concave_group(-0.05, 7.0, -100.0, Watts{58.0}, Watts{79.0}, 5));
+  for (double supply : {500.0, 900.0, 1500.0, 2600.0}) {
+    const Allocation a = Solver::solve_analytic_n(three, Watts{supply});
+    const Allocation brute = Solver::solve_grid(three, Watts{supply}, 0.01);
+    EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6);
+    EXPECT_GE(a.predicted_perf, brute.predicted_perf - 1e-6)
+        << "3 groups, supply " << supply;
+  }
+  const auto five = five_groups();
+  for (double supply : {450.0, 1200.0, 2000.0, 3500.0}) {
+    const Allocation a = Solver::solve_analytic_n(five, Watts{supply});
+    const Allocation brute = Solver::solve_grid(five, Watts{supply}, 0.05);
+    EXPECT_LE(a.ratio_sum(), 1.0 + 1e-6);
+    EXPECT_GE(a.predicted_perf, brute.predicted_perf - 1e-6)
+        << "5 groups, supply " << supply;
+    // The claimed objective is the solver's own evaluation of the ratios.
+    EXPECT_NEAR(a.predicted_perf,
+                Solver::evaluate(five, a.ratios, Watts{supply}),
+                std::max(1e-6, 1e-9 * std::fabs(a.predicted_perf)))
+        << "5 groups, supply " << supply;
+  }
+}
+
+TEST(SolverAnalyticN, WarmHintNeverChangesTheResult) {
+  // The warm-start contract: a hint — derived from the previous solution,
+  // stale, or outright garbage — may only change the search cost, never
+  // the answer.  Bitwise comparison across random instances, including the
+  // generator's degenerate fits.
+  Rng rng(20260809);
+  for (int i = 0; i < 200; ++i) {
+    Rng instance = rng.fork(static_cast<std::uint64_t>(i));
+    const std::vector<GroupModel> groups =
+        check::random_group_models(instance, 5);
+    const Watts supply = check::random_supply(instance);
+    const Allocation cold = Solver::solve_analytic_n(groups, supply);
+
+    const SolverHint own = SolverHint::from(cold);
+    const Allocation warm = Solver::solve_analytic_n(groups, supply, &own);
+    EXPECT_EQ(warm.ratios, cold.ratios) << "instance " << i;
+    EXPECT_EQ(warm.predicted_perf, cold.predicted_perf) << "instance " << i;
+
+    SolverHint garbage;
+    garbage.active_mask = 0xDEADBEEFULL;
+    garbage.engaged = true;
+    const Allocation junk = Solver::solve_analytic_n(groups, supply, &garbage);
+    EXPECT_EQ(junk.ratios, cold.ratios) << "instance " << i;
+    EXPECT_EQ(junk.predicted_perf, cold.predicted_perf) << "instance " << i;
+
+    const SolverHint disengaged;  // engaged = false: must behave like cold
+    const Allocation none =
+        Solver::solve_analytic_n(groups, supply, &disengaged);
+    EXPECT_EQ(none.ratios, cold.ratios) << "instance " << i;
+    EXPECT_EQ(none.predicted_perf, cold.predicted_perf) << "instance " << i;
+  }
+}
+
+TEST(SolverAnalyticN, BatchMatchesIndividualSolves) {
+  // solve_batch over SoA-packed instances must reproduce per-instance
+  // solve_analytic_n bit for bit, hints included.
+  Rng rng(424242);
+  SolverBatch batch;
+  std::vector<std::vector<GroupModel>> instances;
+  std::vector<Watts> supplies;
+  std::vector<SolverHint> hints;
+  for (int i = 0; i < 32; ++i) {
+    Rng instance = rng.fork(static_cast<std::uint64_t>(i));
+    instances.push_back(check::random_group_models(instance, 5));
+    supplies.push_back(check::random_supply(instance));
+    SolverHint hint;
+    if (i % 3 == 1) {
+      hint = SolverHint::from(
+          Solver::solve_analytic_n(instances.back(), supplies.back()));
+    } else if (i % 3 == 2) {
+      hint.active_mask = 0b1010101;  // deliberately wrong for most instances
+      hint.engaged = true;
+    }
+    hints.push_back(hint);
+    batch.add(instances.back(), supplies.back(), hint);
+  }
+  const std::vector<Allocation> batched = Solver::solve_batch(batch);
+  ASSERT_EQ(batched.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Allocation single = Solver::solve_analytic_n(
+        instances[i], supplies[i],
+        hints[i].engaged ? &hints[i] : nullptr);
+    EXPECT_EQ(batched[i].ratios, single.ratios) << "instance " << i;
+    EXPECT_EQ(batched[i].predicted_perf, single.predicted_perf)
+        << "instance " << i;
+  }
+}
+
+TEST(SolverAnalyticN, ValidatesInputs) {
+  const std::vector<GroupModel> none;
+  EXPECT_THROW((void)Solver::solve_analytic_n(none, Watts{100.0}),
+               SolverError);
+  const std::vector<GroupModel> wide(
+      17, concave_group(-0.02, 8.0, -50.0, Watts{40.0}, Watts{120.0}, 2));
+  EXPECT_THROW((void)Solver::solve_analytic_n(wide, Watts{1000.0}),
+               SolverError);
+  auto groups = five_groups();
+  EXPECT_THROW((void)Solver::solve_analytic_n(groups, Watts{0.0}),
+               SolverError);
+  groups[1].count = 0;
+  EXPECT_THROW((void)Solver::solve_analytic_n(groups, Watts{1000.0}),
+               SolverError);
+  SolverBatch batch;
+  EXPECT_THROW(batch.add(wide, Watts{1000.0}), SolverError);
+  EXPECT_THROW(batch.add(five_groups(), Watts{0.0}), SolverError);
 }
 
 TEST(Solver, SurvivesConvexFitsFromNoise) {

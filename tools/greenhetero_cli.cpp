@@ -1,6 +1,7 @@
 // greenhetero — command-line front end to the library.
 //
 //   greenhetero simulate  [--policy P] [--workload W] [--comb CombN]
+//                         [--solver grid|analytic]
 //                         [--days N] [--trace high|low] [--capacity W]
 //                         [--grid W] [--battery-kwh K] [--chemistry lead|li]
 //                         [--seed S] [--csv FILE] [--faults PLAN.csv]
@@ -20,6 +21,7 @@
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
 //                         [--mode static|proportional] [--threads N]
+//                         [--solver grid|analytic] [--batch-solve on]
 //                         [--hours H] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--stream on]
 //                         [--metrics-out FILE] [--metrics-every N]
@@ -189,7 +191,8 @@ std::uint64_t scenario_hash(const Args& args) {
       "trace-out",  "rollup-out",     "metrics-out",      "metrics-every",
       "spans-out",  "csv",            "flightrec-dir",    "stream",
       "out",        "checkpoint-dir", "checkpoint-every", "checkpoint-keep",
-      "resume",     "threads",        "repro-out",        "profile-out"};
+      "resume",     "threads",        "repro-out",        "profile-out",
+      "batch-solve"};  // batched solves are bit-identical by contract
   std::string canon;
   for (const auto& [key, value] : args.options) {
     bool excluded = false;
@@ -317,6 +320,15 @@ PolicyKind parse_policy(const std::string& name) {
   std::exit(2);
 }
 
+SolverBackend parse_solver(const Args& args) {
+  const std::string name = args.get("solver", "grid");
+  if (name == "analytic") return SolverBackend::kAnalyticN;
+  if (name == "grid") return SolverBackend::kGridRefine;
+  std::fprintf(stderr, "unknown solver '%s' (try grid, analytic)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 std::vector<ServerGroup> parse_groups(const Args& args) {
   const std::string comb = args.get("comb", "");
   if (comb.empty()) return default_runtime_rack();
@@ -382,6 +394,7 @@ int cmd_simulate(const Args& args) {
   SimConfig cfg;
   cfg.controller.policy = policy;
   cfg.controller.seed = seed;
+  cfg.controller.solver_backend = parse_solver(args);
   cfg.telemetry.loss_ledger = !args.get("ledger", "").empty();
   cfg.check = !args.get("check", "").empty();
   const std::string spans_out = args.get("spans-out", "");
@@ -708,6 +721,7 @@ int cmd_fleet(const Args& args) {
     SimConfig cfg;
     cfg.controller.policy = PolicyKind::kGreenHetero;
     cfg.controller.seed = 40 + static_cast<std::uint64_t>(i);
+    cfg.controller.solver_backend = parse_solver(args);
     cfg.telemetry.loss_ledger = ledger;
     cfg.telemetry.spans = !spans_out.empty();
     cfg.telemetry.profile = !profile_out.empty();
@@ -727,6 +741,7 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.total_grid_budget = total_grid;
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
+  fleet_cfg.batch_solve = !args.get("batch-solve", "").empty();
   fleet_cfg.check = check;
   fleet_cfg.telemetry.profile = !profile_out.empty();
   const ResumeOptions resume_opt = parse_resume_options(args);
@@ -880,6 +895,11 @@ int cmd_fuzz(const Args& args) {
   options.racks = static_cast<int>(args.number("racks", -1.0));
   options.epochs = static_cast<int>(args.number("epochs", -1.0));
   options.max_faults = static_cast<int>(args.number("max-faults", -1.0));
+  // --solver on: solver-focused mode — every rack runs a solver-driven
+  // policy on the analytic backend and each scenario is re-executed cold
+  // and batched at 1 and 4 threads, all byte-compared to the warm
+  // sequential reference.
+  options.solver = !args.get("solver", "").empty();
   options.log = &std::cout;
 
   const check::FuzzReport report = check::run_fuzzer(options);
