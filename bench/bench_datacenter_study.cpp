@@ -9,6 +9,14 @@
 // --threads N spreads the 2x10 independent simulations over a worker pool
 // (default 0 = one per hardware thread); the table is identical at any
 // thread count because each run owns its rack, plant and RNG.
+//
+// A second, fleet-scale section benchmarks the sharded hierarchy: the same
+// fleet (--racks, default 256; --hours, default 24) is run flat (--shards 1)
+// and sharded (--shards, default 8), reporting rack-epochs/sec for both plus
+// the SoA epoch-store footprint.  Both throughput figures are perf-gated
+// against the committed baseline; the sharded one must not fall behind the
+// flat one.  `--racks 10000 --shards 8` reproduces the 10k-rack scale
+// configuration from the scale-invariance suite.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "fleet/fleet.h"
 #include "server/rack.h"
 #include "sim/rack_simulator.h"
 #include "trace/heterogeneity.h"
@@ -81,13 +90,78 @@ DcResult run_dc(const std::vector<ServerGroup>& groups, PolicyKind policy,
   return result;
 }
 
+/// A deliberately small rack (2 groups x 2 servers, hourly epochs) so the
+/// fleet-scale section measures coordinator and shard overhead, not server
+/// simulation detail.
+RackSimulator make_fleet_rack(std::uint64_t seed) {
+  Rack rack{{{ServerModel::kXeonE5_2620, 2}, {ServerModel::kCoreI5_4460, 2}},
+            Workload::kSpecJbb};
+  SimConfig cfg;
+  cfg.controller.policy = PolicyKind::kGreenHetero;
+  cfg.controller.seed = seed;
+  cfg.controller.epoch = Minutes{60.0};
+  cfg.substep = Minutes{15.0};
+  GridSpec grid;
+  grid.budget = Watts{400.0};
+  // Four distinct solar traces reused across the fleet: enough asymmetry
+  // for non-trivial proportional decisions without 10k trace generations.
+  PowerTrace trace = generate_solar_trace(
+      high_solar_model(Watts{900.0 + 300.0 * static_cast<double>(seed % 4)}),
+      2, seed % 4);
+  return RackSimulator{std::move(rack),
+                       make_standard_plant(std::move(trace), grid),
+                       std::move(cfg)};
+}
+
+struct FleetBenchResult {
+  double rack_epochs_per_sec = 0.0;
+  std::size_t rack_epochs = 0;
+  std::size_t epoch_store_bytes = 0;
+};
+
+FleetBenchResult run_fleet_bench(std::size_t racks, std::size_t shards,
+                                 double hours, std::size_t threads) {
+  std::vector<RackSimulator> sims;
+  sims.reserve(racks);
+  for (std::size_t i = 0; i < racks; ++i) {
+    sims.push_back(make_fleet_rack(static_cast<std::uint64_t>(i)));
+  }
+  FleetConfig cfg;
+  cfg.total_grid_budget = Watts{250.0 * static_cast<double>(racks)};
+  cfg.mode = GridShareMode::kDemandProportional;
+  cfg.threads = threads;
+  cfg.shards = shards;
+  Fleet fleet{std::move(sims), cfg};
+  fleet.pretrain();
+  const auto start = std::chrono::steady_clock::now();
+  const FleetReport report = fleet.run(Minutes{hours * 60.0});
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  FleetBenchResult result;
+  for (const RunReport& r : report.racks) result.rack_epochs += r.epochs.size();
+  result.rack_epochs_per_sec =
+      seconds > 0.0 ? static_cast<double>(result.rack_epochs) / seconds : 0.0;
+  result.epoch_store_bytes = fleet.epoch_store_bytes();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t threads = 0;  // one per hardware thread
+  std::size_t fleet_racks = 256;
+  std::size_t fleet_shards = 8;
+  double fleet_hours = 24.0;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--racks") == 0) {
+      fleet_racks = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      fleet_shards = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--hours") == 0) {
+      fleet_hours = std::atof(argv[i + 1]);
     }
   }
 
@@ -171,6 +245,39 @@ int main(int argc, char** argv) {
   bench_report.set("rack_epochs_per_sec", rack_epochs_per_sec);
   bench_report.set("trace_buffer_peak_bytes",
                    static_cast<double>(peak_trace_bytes));
+
+  // Fleet-scale section: flat vs sharded execution of one fleet.  Outputs
+  // are byte-identical by contract (tests/fleet_shard_test.cpp); here only
+  // the throughput and the SoA history footprint are at stake.
+  std::printf("\n=== Fleet scale: %zu racks, %.0f h, flat vs %zu shards "
+              "===\n\n",
+              fleet_racks, fleet_hours, fleet_shards);
+  const FleetBenchResult flat =
+      run_fleet_bench(fleet_racks, 1, fleet_hours, threads);
+  const FleetBenchResult sharded =
+      run_fleet_bench(fleet_racks, fleet_shards, fleet_hours, threads);
+  std::printf("  flat    (1 shard):  %8.0f rack-epochs/s (%zu rack-epochs)\n",
+              flat.rack_epochs_per_sec, flat.rack_epochs);
+  std::printf("  sharded (%zu shards): %7.0f rack-epochs/s (%zu "
+              "rack-epochs)\n",
+              fleet_shards, sharded.rack_epochs_per_sec, sharded.rack_epochs);
+  std::printf("  epoch store: %.1f MiB SoA for %zu rack-epochs (%.0f "
+              "bytes/record)\n",
+              static_cast<double>(sharded.epoch_store_bytes) /
+                  (1024.0 * 1024.0),
+              sharded.rack_epochs,
+              sharded.rack_epochs > 0
+                  ? static_cast<double>(sharded.epoch_store_bytes) /
+                        static_cast<double>(sharded.rack_epochs)
+                  : 0.0);
+  bench_report.set("fleet_flat_rack_epochs_per_sec",
+                   flat.rack_epochs_per_sec);
+  bench_report.set("fleet_sharded_rack_epochs_per_sec",
+                   sharded.rack_epochs_per_sec);
+  bench_report.set("fleet_rack_epochs",
+                   static_cast<double>(sharded.rack_epochs));
+  bench_report.set("fleet_epoch_store_bytes",
+                   static_cast<double>(sharded.epoch_store_bytes));
   bench_report.write();
   std::printf("\nReading: every datacenter gains (1.2-1.5x), but the gain "
               "tracks the *diversity of the drawn power profiles* more than "

@@ -165,7 +165,8 @@ struct ExecutionArtifacts {
 };
 
 ExecutionArtifacts execute(const FuzzScenario& scenario, std::size_t threads,
-                           bool warm_start = true, bool batch_solve = false) {
+                           bool warm_start = true, bool batch_solve = false,
+                           std::size_t shards = 1) {
   const FleetParams params = derive_fleet_params(scenario);
   std::vector<RackSimulator> racks;
   for (int r = 0; r < scenario.racks; ++r) {
@@ -175,6 +176,7 @@ ExecutionArtifacts execute(const FuzzScenario& scenario, std::size_t threads,
   cfg.total_grid_budget = params.total_grid_budget;
   cfg.mode = params.mode;
   cfg.threads = threads;
+  cfg.shards = shards;
   cfg.batch_solve = batch_solve;
   cfg.check = true;
   Fleet fleet{std::move(racks), cfg};
@@ -311,6 +313,7 @@ std::string FuzzScenario::command_line() const {
   std::ostringstream out;
   out << "greenhetero fuzz --seed " << seed << " --runs 1 --run " << run_index
       << " --racks " << racks << " --epochs " << epochs;
+  if (shards > 1) out << " --shards " << shards;
   if (max_faults >= 0) out << " --max-faults " << max_faults;
   if (solver) out << " --solver on";
   return out.str();
@@ -321,8 +324,12 @@ std::optional<std::string> run_scenario(const FuzzScenario& scenario,
   ExecutionArtifacts sequential;
   ExecutionArtifacts parallel;
   try {
+    // The reference is always the historical flat path; the parallel
+    // execution layers the derived shard hierarchy on top, so one compare
+    // covers both the threads and the shards byte-identity contract.
     sequential = execute(scenario, 1);
-    parallel = execute(scenario, 4);
+    parallel = execute(scenario, 4, true, false,
+                       static_cast<std::size_t>(std::max(1, scenario.shards)));
   } catch (const InvariantViolation& violation) {
     return std::string("invariant violation: ") + violation.what();
   } catch (const std::exception& e) {
@@ -450,14 +457,19 @@ FuzzReport run_fuzzer(const FuzzOptions& options) {
                    .fork(3000);
     scenario.racks = dims.uniform_int(1, kMaxRacks);
     scenario.epochs = dims.uniform_int(3, kMaxEpochs);
+    // Drawn after racks/epochs so pre-existing seeds derive the same
+    // geometry they always did.
+    scenario.shards = dims.uniform_int(1, 3);
     if (options.racks >= 0) scenario.racks = options.racks;
     if (options.epochs >= 0) scenario.epochs = options.epochs;
+    if (options.shards >= 1) scenario.shards = options.shards;
     if (options.max_faults >= 0) scenario.max_faults = options.max_faults;
     scenario.solver = options.solver;
 
     if (options.log) {
       *options.log << "fuzz: run " << run_index << " (racks="
                    << scenario.racks << ", epochs=" << scenario.epochs
+                   << ", shards=" << scenario.shards
                    << (scenario.solver ? ", solver mode" : "") << ")\n";
     }
     ++report.runs_executed;

@@ -3,8 +3,9 @@
 // Each run derives a complete random scenario — rack composition, workload
 // mix, solar traces, policies, substep length, demand pattern and fault
 // plan — purely from (seed, run index), builds the same fleet twice, and
-// executes it sequentially (1 thread) and in parallel (4 threads) with the
-// runtime invariant checker enabled on every rack and on the coordinator.
+// executes it sequentially (1 thread, 1 shard) and in parallel (4 threads,
+// a derived 1-3 shard hierarchy) with the runtime invariant checker enabled
+// on every rack and on the coordinator.
 // A run fails when any invariant trips, the two executions diverge in any
 // report field or trace byte, a post-run audit (energy conservation, EPU
 // bounds, per-epoch PAR vectors) rejects the report, or the differential
@@ -35,6 +36,10 @@ struct FuzzScenario {
   int run_index = 0;
   int racks = 1;
   int epochs = 4;
+  /// Shard count for the parallel execution (the sequential reference is
+  /// always the flat --shards 1 fleet), so every run also cross-checks the
+  /// sharded hierarchy against the flat path byte for byte.
+  int shards = 1;
   /// Number of fault events kept from the derived plan; -1 = all of them.
   int max_faults = -1;
   /// Solver-focused mode: every rack runs a solver-driven policy on the
@@ -63,6 +68,7 @@ struct FuzzOptions {
   /// RNG); used to replay a shrunk repro.
   int racks = -1;
   int epochs = -1;
+  int shards = -1;
   int max_faults = -1;
   /// Solver-focused mode (see FuzzScenario::solver).
   bool solver = false;

@@ -45,6 +45,19 @@ void Writer::str(std::string_view v) {
   buf_.append(v.data(), v.size());
 }
 
+void Writer::f64_array(std::span<const double> v) {
+  u64(v.size());
+  buf_.reserve(buf_.size() + v.size() * sizeof(double));
+  for (double x : v) f64(x);
+}
+
+void Writer::u8_array(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  if (!v.empty()) {
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size());
+  }
+}
+
 const std::uint8_t* Reader::take(std::size_t n) {
   if (n > data_.size() - pos_) {
     throw CheckpointError("checkpoint payload truncated: need " +
@@ -102,6 +115,28 @@ std::size_t Reader::seq() {
                           std::to_string(remaining()) + " bytes left");
   }
   return static_cast<std::size_t>(n);
+}
+
+void Reader::f64_array(std::vector<double>& v) {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(double)) {
+    throw CheckpointError("checkpoint payload truncated: f64 array of " +
+                          std::to_string(n) + " elements with " +
+                          std::to_string(remaining()) + " bytes left");
+  }
+  v.resize(static_cast<std::size_t>(n));
+  for (double& x : v) x = f64();
+}
+
+void Reader::u8_array(std::vector<std::uint8_t>& v) {
+  const std::uint64_t n = u64();
+  if (n > remaining()) {
+    throw CheckpointError("checkpoint payload truncated: u8 array of " +
+                          std::to_string(n) + " bytes with " +
+                          std::to_string(remaining()) + " bytes left");
+  }
+  const std::uint8_t* p = take(static_cast<std::size_t>(n));
+  v.assign(p, p + static_cast<std::size_t>(n));
 }
 
 std::uint64_t fnv1a(std::string_view data) {

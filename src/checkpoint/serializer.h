@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -39,6 +40,10 @@ class Writer {
   void str(std::string_view v);
   /// Sequence length prefix (u64); pair with one element write per item.
   void seq(std::size_t n) { u64(static_cast<std::uint64_t>(n)); }
+  /// Bulk columns (the SoA epoch store): a length prefix, then the packed
+  /// bit-exact element images in one reserve + append.
+  void f64_array(std::span<const double> v);
+  void u8_array(std::span<const std::uint8_t> v);
 
   [[nodiscard]] const std::string& buffer() const { return buf_; }
 
@@ -60,6 +65,10 @@ class Reader {
   bool boolean();
   std::string str();
   std::size_t seq();
+  /// Bulk-column counterparts of Writer::f64_array / u8_array; the vector
+  /// is resized to the stored length.
+  void f64_array(std::vector<double>& v);
+  void u8_array(std::vector<std::uint8_t>& v);
 
   [[nodiscard]] bool done() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -31,22 +31,17 @@ std::string to_string(GridShareMode mode) {
 
 std::vector<Watts> divide_grid_budget(Watts budget,
                                       std::span<const double> deficits) {
+  // One implicit shard covering the whole fleet: the rebalancer's canonical
+  // fold and fallback rules ARE this function's historical arithmetic, so
+  // expressing it this way keeps the flat helper and the sharded epoch loop
+  // from ever drifting apart.
   if (deficits.empty()) return {};
-  const double n = static_cast<double>(deficits.size());
-  std::vector<Watts> shares(deficits.size(), budget / n);
-  double total = 0.0;
-  for (double d : deficits) {
-    if (!std::isfinite(d)) {
-      return shares;  // poisoned reading: equal split beats NaN shares
-    }
-    total += std::max(0.0, d);
-  }
-  if (!std::isfinite(total) || total <= 1e-9) {
-    return shares;  // nobody needs the grid (or deficits overflowed)
-  }
-  for (std::size_t i = 0; i < deficits.size(); ++i) {
-    shares[i] = budget * (std::max(0.0, deficits[i]) / total);
-  }
+  const ShardSummary whole = summarize_shard(0, 0, deficits);
+  const RebalanceDecision decision =
+      rebalance_grid_budget(budget, deficits, {&whole, 1});
+  std::vector<Watts> shares;
+  shares.reserve(deficits.size());
+  for (double d : deficits) shares.push_back(rack_share(decision, d));
   return shares;
 }
 
@@ -89,8 +84,14 @@ Fleet::Fleet(std::vector<RackSimulator> racks, FleetConfig config)
   }
   threads_ = config_.threads == 0 ? util::ThreadPool::hardware_threads()
                                   : config_.threads;
-  if (threads_ > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  const std::size_t shard_count =
+      config_.shards == 0
+          ? std::min(racks_.size(), std::max<std::size_t>(1, threads_))
+          : config_.shards;
+  shards_ = make_shards(racks_.size(), shard_count, threads_);
+  if (shards_.size() > 1 && threads_ > 1) {
+    shard_pool_ = std::make_unique<util::ThreadPool>(
+        std::min(shards_.size(), threads_));
   }
   config_.telemetry.rack_id = -1;  // coordinator events
   telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
@@ -141,6 +142,39 @@ std::vector<Watts> Fleet::plan_grid_shares() const {
   return divide_grid_budget(config_.total_grid_budget, deficits);
 }
 
+RebalanceDecision Fleet::plan_rebalance(std::vector<double>& deficits,
+                                        std::vector<ShardSummary>& summaries) {
+  summaries.resize(shards_.size());
+  if (config_.mode == GridShareMode::kStatic) {
+    // Static mode needs no deficit pass: the summaries are pure geometry
+    // and the decision is the (hoisted) equal split.
+    deficits.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      summaries[s] = ShardSummary{};
+      summaries[s].shard = shards_[s].index();
+      summaries[s].first_rack = shards_[s].first_rack();
+      summaries[s].racks = shards_[s].racks();
+    }
+    return rebalance_grid_budget(config_.total_grid_budget, {}, summaries);
+  }
+  // Each shard fills its slice of the per-rack deficit vector on its own
+  // pool and reports its partial fold; the rebalancer then folds the full
+  // vector once in canonical rack order (the cheap top-level exchange that
+  // keeps the result bitwise-equal to the flat fleet).
+  deficits.resize(racks_.size());
+  const Minutes epoch = racks_.front().controller().config().epoch;
+  const auto collect = [&](std::size_t s) {
+    summaries[s] = shards_[s].collect_deficits(racks_, epoch, deficits);
+  };
+  if (shard_pool_) {
+    shard_pool_->parallel_for(shards_.size(), collect);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) collect(s);
+  }
+  return rebalance_grid_budget(config_.total_grid_budget, deficits,
+                               summaries);
+}
+
 FleetReport Fleet::run(Minutes duration) {
   const Minutes epoch = racks_.front().controller().config().epoch;
   const auto epochs = static_cast<std::size_t>(
@@ -161,17 +195,21 @@ FleetReport Fleet::run(Minutes duration) {
     start_epoch = racks_.front().epoch_index();
     resumed_ = false;
   } else {
-    rack_epochs_.assign(racks_.size(), {});
+    history_.reset(racks_.size());
     peak_grid_allocation_ = Watts{0.0};
   }
-  if (rack_epochs_.size() != racks_.size()) {
-    rack_epochs_.assign(racks_.size(), {});
+  if (history_.racks() != racks_.size()) {
+    history_.reset(racks_.size());
   }
 
-  // Scratch row reused every epoch: rack i's step lands in records[i], so
-  // pool threads never touch a shared structure, and the merge below runs
-  // in ascending rack order on this thread once the epoch barrier clears.
+  // Scratch reused every epoch: rack i's step lands in records[i] and its
+  // deficit in deficits[i], so pool threads never touch a shared structure,
+  // and the merge below runs in ascending rack order on this thread once
+  // the epoch barrier clears.
   std::vector<EpochRecord> records(racks_.size());
+  std::vector<double> deficits;
+  std::vector<ShardSummary> summaries;
+  std::vector<Watts> shares(racks_.size());
 
   // Fleet throughput gauge: rack-epochs stepped this run() over its wall
   // time.  Wall-clock, so excluded from byte-identity comparisons like the
@@ -194,13 +232,22 @@ FleetReport Fleet::run(Minutes duration) {
 
   for (std::size_t e = start_epoch; e < epochs; ++e) {
     // Planning happens strictly between epochs: every rack has finished the
-    // previous step (parallel_for is a barrier), so the shares are computed
-    // from a consistent fleet snapshot no matter how many threads run.
-    const std::vector<Watts> shares = plan_grid_shares();
+    // previous step (the per-shard barriers have all cleared), so the
+    // decision is computed from a consistent fleet snapshot no matter how
+    // many threads or shards run.  The per-rack shares derive from the one
+    // shared decision — its equal_share is hoisted per epoch, so shares can
+    // never drift within an epoch even if the rack count changes mid-run.
+    const RebalanceDecision decision = plan_rebalance(deficits, summaries);
+    for (std::size_t i = 0; i < racks_.size(); ++i) {
+      shares[i] = rack_share(decision, deficits.empty() ? 0.0 : deficits[i]);
+    }
     if (config_.check) {
       check::InvariantChecker::check_grid_shares(
           shares, config_.total_grid_budget, racks_.front().now().value(),
           static_cast<long>(e));
+      check::InvariantChecker::check_shard_grants(
+          decision.grants, config_.total_grid_budget,
+          racks_.front().now().value(), static_cast<long>(e));
     }
     Watts allocated{0.0};
     for (std::size_t i = 0; i < racks_.size(); ++i) {
@@ -248,18 +295,19 @@ FleetReport Fleet::run(Minutes duration) {
         }
       }
     }
-    const auto step_rack = [&](std::size_t i) {
-      racks_[i].set_grid_budget(shares[i]);
-      records[i] = racks_[i].step_epoch();
+    // Two-level fan-out: the coordinator runs one task per shard; each
+    // shard steps its own racks behind its local barrier.  Which pool a
+    // rack lands on never changes its arithmetic, so the records are
+    // byte-identical at any --threads/--shards combination.
+    const auto step_shard = [&](std::size_t s) {
+      shards_[s].step(racks_, shares, records);
     };
-    if (pool_) {
-      pool_->parallel_for(racks_.size(), step_rack);
+    if (shard_pool_) {
+      shard_pool_->parallel_for(shards_.size(), step_shard);
     } else {
-      for (std::size_t i = 0; i < racks_.size(); ++i) step_rack(i);
+      for (std::size_t s = 0; s < shards_.size(); ++s) step_shard(s);
     }
-    for (std::size_t i = 0; i < racks_.size(); ++i) {
-      rack_epochs_[i].push_back(std::move(records[i]));
-    }
+    history_.append_epoch(records);
     rack_epochs_stepped += racks_.size();
     peak_grid_allocation_ = max(peak_grid_allocation_, allocated);
     if (config_.telemetry.enabled) {
@@ -273,6 +321,26 @@ FleetReport Fleet::run(Minutes duration) {
                         {"total_budget_w", config_.total_grid_budget.value()},
                         {"allocated_w", allocated.value()},
                         {"shares_w", std::move(share_w)}});
+      // Topology gauges: deterministic for a given --shards value (and at
+      // any --threads), but — like the wall-clock series — outside the
+      // cross-shard byte-identity contract, since they describe the
+      // execution topology itself.  Traces and rollups carry no shard ids
+      // and stay strictly byte-identical.
+      telemetry_->metrics()
+          .gauge("gh_fleet_shards")
+          .set(static_cast<double>(shards_.size()));
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const tel::Labels label{{"shard", std::to_string(s)}};
+        telemetry_->metrics()
+            .gauge("gh_shard_grant_w", label)
+            .set(decision.grants[s].value());
+        telemetry_->metrics()
+            .gauge("gh_shard_deficit_w", label)
+            .set(summaries[s].deficit_sum);
+        telemetry_->metrics()
+            .gauge("gh_shard_racks", label)
+            .set(static_cast<double>(shards_[s].racks()));
+      }
     }
     // Epoch barrier: every event of epoch e (stamped < the next epoch's
     // start) is now in the rings, so the merge can flush up to that
@@ -316,7 +384,7 @@ FleetReport Fleet::run(Minutes duration) {
   report.peak_grid_allocation = peak_grid_allocation_;
   for (std::size_t i = 0; i < racks_.size(); ++i) {
     RunReport& r = report.racks[i];
-    r.epochs = rack_epochs_[i];
+    history_.fill_report(i, r.epochs);
     r.interrupted = report.interrupted;
     r.ledger = racks_[i].ledger();
     r.total_work = racks_[i].rack().total_work();
@@ -492,12 +560,10 @@ void Fleet::save_state(checkpoint::Writer& w) const {
   w.f64(peak_grid_allocation_.value());
   w.u64(streamed_dropped_);
   for (const RackSimulator& rack : racks_) rack.save_state(w);
-  for (const std::vector<EpochRecord>& epochs : rack_epochs_) {
-    w.seq(epochs.size());
-    for (const EpochRecord& record : epochs) {
-      greenhetero::save_state(w, record);
-    }
-  }
+  // The history's SoA columns are topology-agnostic (rack-major within each
+  // epoch row, no shard geometry), so a snapshot taken under any --shards
+  // value restores into any other.
+  history_.save_state(w);
 }
 
 void Fleet::load_state(checkpoint::Reader& r) {
@@ -511,15 +577,12 @@ void Fleet::load_state(checkpoint::Reader& r) {
   peak_grid_allocation_ = Watts{r.f64()};
   streamed_dropped_ = r.u64();
   for (RackSimulator& rack : racks_) rack.load_state(r);
-  rack_epochs_.assign(racks_.size(), {});
-  for (std::vector<EpochRecord>& epochs : rack_epochs_) {
-    const std::size_t count = r.seq();
-    epochs.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      EpochRecord record;
-      greenhetero::load_state(r, record);
-      epochs.push_back(std::move(record));
-    }
+  history_.load_state(r);
+  if (history_.racks() != racks_.size()) {
+    throw checkpoint::CheckpointError(
+        "fleet snapshot's epoch history covers " +
+        std::to_string(history_.racks()) + " racks but this fleet has " +
+        std::to_string(racks_.size()));
   }
 }
 

@@ -29,6 +29,9 @@
 #include <string_view>
 #include <vector>
 
+#include "fleet/rebalancer.h"
+#include "fleet/shard.h"
+#include "sim/epoch_store.h"
 #include "sim/rack_simulator.h"
 #include "telemetry/stream_sink.h"
 #include "util/thread_pool.h"
@@ -64,6 +67,15 @@ struct FleetConfig {
   /// RNG/telemetry/fault state and the coordinator rebalances grid shares
   /// only at the epoch barrier.
   std::size_t threads = 1;
+  /// Two-level hierarchy: racks are partitioned into this many contiguous
+  /// shards, each stepping its racks on its own slice of the worker
+  /// threads; the coordinator only folds per-shard summaries at the epoch
+  /// barrier (see fleet/rebalancer.h).  1 = the flat fleet, 0 = one shard
+  /// per worker thread (capped at the rack count).  Like `threads`, this is
+  /// pure execution topology: every output is byte-identical at any value,
+  /// only the gh_shard_* / gh_fleet_shards gauges describe the topology
+  /// itself.
+  std::size_t shards = 1;
   /// Batched solver pre-pass: after assigning grid shares (and before the
   /// racks step), solve every rack's upcoming analytic-backend epoch in one
   /// Solver::solve_batch pass over SoA-packed models and offer each result
@@ -148,6 +160,17 @@ class Fleet {
   /// Resolved worker-thread count (config value 0 becomes the hardware
   /// concurrency at construction).
   [[nodiscard]] std::size_t threads() const { return threads_; }
+  /// Resolved shard count (config value clamped to [1, racks]; 0 becomes
+  /// one shard per worker thread).
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  [[nodiscard]] const Shard& shard(std::size_t i) const {
+    return shards_.at(i);
+  }
+  /// Bytes reserved by the SoA epoch history (the bench-gated peak-buffer
+  /// figure for long runs).
+  [[nodiscard]] std::size_t epoch_store_bytes() const {
+    return history_.bytes();
+  }
   [[nodiscard]] RackSimulator& rack(std::size_t i);
 
   /// Pretrain every rack's database (no plant interaction).
@@ -232,21 +255,32 @@ class Fleet {
   /// first — the buffered writer's concatenation order) into the sink,
   /// flushing events strictly below `watermark`.
   void drain_to_stream(double watermark);
+  /// One epoch's budget division: collect per-shard summaries (parallel
+  /// over shards in demand-proportional mode, pure geometry in static
+  /// mode), fold the canonical normalizer, and return the decision.
+  /// `deficits` and `summaries` are caller-owned scratch (resized here).
+  RebalanceDecision plan_rebalance(std::vector<double>& deficits,
+                                   std::vector<ShardSummary>& summaries);
   std::vector<RackSimulator> racks_;
   FleetConfig config_;
   std::size_t threads_;
   std::unique_ptr<Telemetry> telemetry_;
-  /// Created only when threads_ > 1; run() falls back to a plain loop
-  /// otherwise, so a single-threaded fleet costs nothing extra.
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// The two-level execution topology: each shard owns a contiguous rack
+  /// range and its own worker-pool slice.  Always at least one shard; with
+  /// --shards 1 the single shard's pool is exactly the old flat fleet pool.
+  std::vector<Shard> shards_;
+  /// Fans run()'s per-epoch work out over the shards.  Created only when
+  /// both shards_ and threads_ exceed one; otherwise the shard loop runs
+  /// inline (and a one-thread fleet costs nothing extra).
+  std::unique_ptr<util::ThreadPool> shard_pool_;
   /// Engaged only when FleetConfig::trace_stream is set.
   std::unique_ptr<telemetry::StreamingTraceSink> stream_;
   /// Ring evictions (all rings) already reported via note_dropped().
   std::uint64_t streamed_dropped_ = 0;
-  /// Per-rack completed-epoch histories.  Members (not run()-locals) so
-  /// checkpoints capture them and a resumed run reassembles the full
-  /// report, first epoch to last.
-  std::vector<std::vector<EpochRecord>> rack_epochs_;
+  /// Completed-epoch history, all racks, as SoA columns (epoch-major).  A
+  /// member (not a run()-local) so checkpoints capture it and a resumed run
+  /// reassembles the full report, first epoch to last.
+  EpochRecordStore history_;
   Watts peak_grid_allocation_{0.0};
   /// Set by load_checkpoint(); the next run() continues from the restored
   /// epoch instead of starting a fresh report.

@@ -1,0 +1,72 @@
+#include "fleet/rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenhetero {
+
+ShardSummary summarize_shard(std::size_t shard, std::size_t first_rack,
+                             std::span<const double> deficits) {
+  ShardSummary summary;
+  summary.shard = shard;
+  summary.first_rack = first_rack;
+  summary.racks = deficits.size();
+  for (double d : deficits) {
+    if (!std::isfinite(d)) {
+      summary.all_finite = false;
+      break;
+    }
+    summary.deficit_sum += std::max(0.0, d);
+  }
+  return summary;
+}
+
+RebalanceDecision rebalance_grid_budget(Watts budget,
+                                        std::span<const double> deficits,
+                                        std::span<const ShardSummary> shards) {
+  RebalanceDecision decision;
+  decision.budget = budget;
+  std::size_t racks = 0;
+  for (const ShardSummary& s : shards) racks += s.racks;
+  if (racks == 0) return decision;
+  const double n = static_cast<double>(racks);
+  decision.equal_share = budget / n;
+
+  // The authoritative normalizer: the canonical rack-order fold over the
+  // full deficit vector, with divide_grid_budget's exact bail-out rules.
+  // Never assembled from the shard partials — see the header.
+  bool proportional = !deficits.empty();
+  double total = 0.0;
+  for (double d : deficits) {
+    if (!std::isfinite(d)) {
+      proportional = false;
+      break;
+    }
+    total += std::max(0.0, d);
+  }
+  if (!std::isfinite(total) || total <= 1e-9) proportional = false;
+  decision.equal_split = !proportional;
+  decision.total_deficit = proportional ? total : 0.0;
+
+  // Per-shard grants: proportional to the shard's own partial fold, clamped
+  // against the remaining budget so the sum can never exceed the supply.
+  decision.grants.reserve(shards.size());
+  Watts remaining = budget;
+  for (const ShardSummary& s : shards) {
+    Watts raw = decision.equal_split
+                    ? decision.equal_share * static_cast<double>(s.racks)
+                    : budget * (std::max(0.0, s.deficit_sum) / total);
+    raw = max(raw, Watts{0.0});
+    const Watts grant = min(raw, max(remaining, Watts{0.0}));
+    decision.grants.push_back(grant);
+    remaining -= grant;
+  }
+  return decision;
+}
+
+Watts rack_share(const RebalanceDecision& decision, double deficit) {
+  if (decision.equal_split) return decision.equal_share;
+  return decision.budget * (std::max(0.0, deficit) / decision.total_deficit);
+}
+
+}  // namespace greenhetero

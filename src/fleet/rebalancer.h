@@ -1,0 +1,94 @@
+// Top-level grid-budget rebalancer for the sharded fleet hierarchy.
+//
+// With the fleet split into shards (contiguous rack ranges, each on its own
+// worker-pool slice), the per-epoch grid division becomes a two-level
+// exchange: every shard reports a ShardSummary (rack count plus the fold of
+// its clamped green deficits), the coordinator folds the *per-rack* deficit
+// vector once in canonical rack order, and each shard then derives its
+// racks' shares locally from the shared RebalanceDecision.
+//
+// The contract that keeps sharded runs byte-identical to the flat fleet:
+//
+//   * The authoritative normalizer (RebalanceDecision::total_deficit) is the
+//     canonical rack-order fold of max(0, deficit) — exactly the arithmetic
+//     divide_grid_budget has always used.  It is never assembled from the
+//     shard partial sums: floating-point addition is not associative, so a
+//     shard-shaped reduction would round differently and break the
+//     byte-identity contract across --shards values.  The fold is O(racks)
+//     scalar adds on the coordinator; at 10k racks this is the "one cheap
+//     top-level exchange".
+//   * Per-rack shares are budget * (max(0, d_i) / total_deficit) — the same
+//     expression at every shard count, so traces, reports and checkpoints
+//     match the flat fleet bit for bit.
+//   * The equal-split fallback (budget / n) is hoisted into the decision
+//     once per epoch (equal_share); shards only consume the cached value, so
+//     a rack-count-dependent recomputation inside a per-rack loop can never
+//     skew shares within one epoch.
+//
+// Per-shard grants exist for observability and budget accounting (telemetry
+// gauges, conservation invariants): grant_s = budget * (S_s / total) where
+// S_s is the shard's own partial fold.  IEEE-754 rounding is monotone, so a
+// shard reporting a strictly larger deficit sum never receives a strictly
+// smaller raw grant; grants are then clamped against the remaining budget so
+// the running total can never exceed the supply (an independent re-sum of
+// the grants re-rounds and may land an ulp past it).  Grants agree with
+// the sum of their members' shares only up to rounding — the shares, not the
+// grants, are what the racks actually receive.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace greenhetero {
+
+/// What one shard reports to the coordinator at the epoch barrier.
+struct ShardSummary {
+  std::size_t shard = 0;       ///< shard index (ascending, contiguous)
+  std::size_t first_rack = 0;  ///< first fleet rack index in the shard
+  std::size_t racks = 0;       ///< racks in the shard
+  /// Fold of max(0, deficit) over the shard's racks in rack order.
+  double deficit_sum = 0.0;
+  /// False when any member deficit was non-finite (poisoned reading).
+  bool all_finite = true;
+};
+
+/// One epoch's budget division, shared by every shard.
+struct RebalanceDecision {
+  Watts budget{0.0};
+  /// Equal share per rack (budget / racks), hoisted once per epoch.
+  Watts equal_share{0.0};
+  /// True when the proportional division cannot be used: static mode
+  /// (empty deficits), any non-finite deficit, or ~zero total deficit.
+  bool equal_split = true;
+  /// Canonical rack-order fold of the clamped deficits (valid only when
+  /// equal_split is false).
+  double total_deficit = 0.0;
+  /// Per-shard budget grants, same order as the summaries.  Non-negative,
+  /// weakly monotone in the reported deficit sums, and allocated from a
+  /// running remainder that never exceeds the budget.
+  std::vector<Watts> grants;
+};
+
+/// Fold one shard's slice of the per-rack deficit vector into its summary.
+[[nodiscard]] ShardSummary summarize_shard(std::size_t shard,
+                                           std::size_t first_rack,
+                                           std::span<const double> deficits);
+
+/// Compute one epoch's division.  `deficits` is the full per-rack vector in
+/// rack order (empty for a static equal split); `shards` describes the
+/// partition (rack counts must sum to the fleet size).  The deficit fold and
+/// the fallback conditions replicate divide_grid_budget exactly, so
+/// rack_share() reproduces its output bit for bit at any shard count.
+[[nodiscard]] RebalanceDecision rebalance_grid_budget(
+    Watts budget, std::span<const double> deficits,
+    std::span<const ShardSummary> shards);
+
+/// The share one rack receives under a decision.  Bitwise-identical to the
+/// corresponding divide_grid_budget element.
+[[nodiscard]] Watts rack_share(const RebalanceDecision& decision,
+                               double deficit);
+
+}  // namespace greenhetero

@@ -1,0 +1,73 @@
+#include "fleet/shard.h"
+
+#include <algorithm>
+
+namespace greenhetero {
+
+Shard::Shard(std::size_t index, std::size_t first_rack, std::size_t racks,
+             std::size_t threads)
+    : index_(index),
+      first_(first_rack),
+      count_(racks),
+      threads_(std::max<std::size_t>(1, threads)) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads_);
+  }
+}
+
+ShardSummary Shard::collect_deficits(
+    std::span<const RackSimulator> fleet_racks, Minutes epoch,
+    std::span<double> deficits) {
+  const auto fill = [&](std::size_t k) {
+    const std::size_t i = first_ + k;
+    const RackSimulator& sim = fleet_racks[i];
+    const Watts demand = sim.rack().peak_demand();
+    const Watts green = sim.plant().renewable_available(sim.now()) +
+                        sim.plant().battery_discharge_available(epoch);
+    deficits[i] = (demand - green).value();
+  };
+  if (pool_) {
+    pool_->parallel_for(count_, fill);
+  } else {
+    for (std::size_t k = 0; k < count_; ++k) fill(k);
+  }
+  return summarize_shard(index_, first_,
+                         deficits.subspan(first_, count_));
+}
+
+void Shard::step(std::span<RackSimulator> fleet_racks,
+                 std::span<const Watts> shares,
+                 std::span<EpochRecord> records) {
+  const auto step_rack = [&](std::size_t k) {
+    const std::size_t i = first_ + k;
+    fleet_racks[i].set_grid_budget(shares[i]);
+    records[i] = fleet_racks[i].step_epoch();
+  };
+  if (pool_) {
+    pool_->parallel_for(count_, step_rack);
+  } else {
+    for (std::size_t k = 0; k < count_; ++k) step_rack(k);
+  }
+}
+
+std::vector<Shard> make_shards(std::size_t racks, std::size_t shards,
+                               std::size_t threads) {
+  const std::size_t count = std::clamp<std::size_t>(shards, 1, racks);
+  std::vector<Shard> result;
+  result.reserve(count);
+  const std::size_t rack_base = racks / count;
+  const std::size_t rack_rem = racks % count;
+  const std::size_t thread_base = threads / count;
+  const std::size_t thread_rem = threads % count;
+  std::size_t first = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t span = rack_base + (s < rack_rem ? 1 : 0);
+    const std::size_t slice =
+        std::max<std::size_t>(1, thread_base + (s < thread_rem ? 1 : 0));
+    result.emplace_back(s, first, span, slice);
+    first += span;
+  }
+  return result;
+}
+
+}  // namespace greenhetero

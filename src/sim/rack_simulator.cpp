@@ -162,6 +162,7 @@ RackSimulator::RackSimulator(Rack rack, RackPowerPlant plant, SimConfig config)
     cap_config.window = config_.substep * 3.0;
     rapl_.assign(rack_.group_count(), PowerCapController{cap_config});
   }
+  epochs_.reset(1);
 }
 
 void RackSimulator::enforce_with_rapl(std::span<const Watts> group_power) {
@@ -533,7 +534,7 @@ RunReport RackSimulator::run(Minutes duration) {
     start_epoch = clock_.epoch_index();
     resumed_ = false;
   } else {
-    epochs_.clear();
+    epochs_.reset(1);
   }
   // Throughput gauge: epochs stepped in *this* run() over its wall time.
   // Wall-clock, so — like the gh_*_ns series — it sits outside the
@@ -552,7 +553,7 @@ RunReport RackSimulator::run(Minutes duration) {
         .set(static_cast<double>(stepped) / secs);
   };
   for (std::size_t e = start_epoch; e < total_epochs; ++e) {
-    epochs_.push_back(step_epoch());
+    epochs_.append(step_epoch());
     ++stepped;
     drain_trace_to_stream();
     if (!config_.metrics_out.empty() && (e + 1) % flush_every == 0 &&
@@ -589,7 +590,7 @@ RunReport RackSimulator::run(Minutes duration) {
                       /*human_sibling=*/true);
   }
 
-  report.epochs = epochs_;
+  epochs_.fill_report(0, report.epochs);
   report.ledger = ledger_;
   report.total_work = rack_.total_work();
   report.overall_epu = run_epu_.epu();
@@ -619,10 +620,7 @@ void RackSimulator::save_state(checkpoint::Writer& w) const {
   w.u64(streamed_dropped_);
   if (checker_) checker_->save_state(w);
   telemetry_->save_state(w);
-  w.seq(epochs_.size());
-  for (const EpochRecord& record : epochs_) {
-    greenhetero::save_state(w, record);
-  }
+  epochs_.save_state(w);
 }
 
 void RackSimulator::load_state(checkpoint::Reader& r) {
@@ -652,13 +650,10 @@ void RackSimulator::load_state(checkpoint::Reader& r) {
   streamed_dropped_ = r.u64();
   if (checker_) checker_->load_state(r);
   telemetry_->load_state(r);
-  const std::size_t count = r.seq();
-  epochs_.clear();
-  epochs_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    EpochRecord record;
-    greenhetero::load_state(r, record);
-    epochs_.push_back(std::move(record));
+  epochs_.load_state(r);
+  if (epochs_.racks() != 1) {
+    throw checkpoint::CheckpointError(
+        "simulator state: epoch history is not single-rack");
   }
 }
 

@@ -31,6 +31,7 @@
 #include "power/energy_ledger.h"
 #include "power/power_bus.h"
 #include "server/rack.h"
+#include "sim/epoch_store.h"
 #include "sim/run_report.h"
 #include "sim/sim_clock.h"
 #include "telemetry/stream_sink.h"
@@ -283,10 +284,11 @@ class RackSimulator {
   /// Engaged only when SimConfig::check is set; the hot path tests the
   /// pointer once per substep when off.
   std::unique_ptr<check::InvariantChecker> checker_;
-  /// Completed-epoch history for the standalone run() report.  Lives on the
-  /// simulator (not run()'s stack) so checkpoints capture it and a resumed
-  /// run reproduces the full report, first epoch to last.
-  std::vector<EpochRecord> epochs_;
+  /// Completed-epoch history for the standalone run() report (SoA columns,
+  /// racks() == 1).  Lives on the simulator (not run()'s stack) so
+  /// checkpoints capture it and a resumed run reproduces the full report,
+  /// first epoch to last.
+  EpochRecordStore epochs_;
   /// Set by load_checkpoint(); tells the next run() to continue from the
   /// restored epoch instead of starting a fresh report.
   bool resumed_ = false;

@@ -136,7 +136,7 @@ double Histogram::quantile(double q) const {
 }
 
 std::span<const std::string_view> builtin_metrics() {
-  static constexpr std::array<std::string_view, 47> kCatalog = {
+  static constexpr std::array<std::string_view, 51> kCatalog = {
       "gh_battery_soc",
       "gh_db_quarantined_total",
       "gh_db_refit_ns",
@@ -147,6 +147,7 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_faults_injected_total",
       "gh_finish_epoch_ns",
       "gh_fleet_epochs_total",
+      "gh_fleet_shards",
       "gh_flightrec_dumps_total",
       "gh_health_state",
       "gh_health_transitions_total",
@@ -162,6 +163,9 @@ std::span<const std::string_view> builtin_metrics() {
       "gh_renewable_prediction_error_w",
       "gh_rollup_windows_total",
       "gh_safe_mode_epochs_total",
+      "gh_shard_deficit_w",
+      "gh_shard_grant_w",
+      "gh_shard_racks",
       "gh_solver_batch_calls_total",
       "gh_solver_batch_hits_total",
       "gh_solver_batch_misses_total",

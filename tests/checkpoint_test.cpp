@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "power/battery.h"
+#include "sim/epoch_store.h"
 #include "util/rng.h"
 
 namespace greenhetero {
@@ -103,6 +105,116 @@ TEST(Serializer, ReaderThrowsOnShortBuffer) {
   const std::string& buf = w.buffer();
   checkpoint::Reader r(std::string_view(buf.data(), buf.size() - 1));
   EXPECT_THROW((void)r.u64(), checkpoint::CheckpointError);
+}
+
+TEST(Serializer, RoundTripsBulkArrays) {
+  const std::vector<double> doubles{0.0, -1.5, 6.02e23,
+                                    std::numeric_limits<double>::infinity()};
+  const std::vector<std::uint8_t> bytes{0, 1, 255, 42};
+  checkpoint::Writer w;
+  w.f64_array(doubles);
+  w.u8_array(bytes);
+  w.f64_array({});  // empty arrays must round-trip too
+  w.u8_array({});
+
+  checkpoint::Reader r(w.buffer());
+  std::vector<double> doubles_back;
+  std::vector<std::uint8_t> bytes_back;
+  r.f64_array(doubles_back);
+  r.u8_array(bytes_back);
+  EXPECT_EQ(doubles_back, doubles);
+  EXPECT_EQ(bytes_back, bytes);
+  r.f64_array(doubles_back);
+  r.u8_array(bytes_back);
+  EXPECT_TRUE(doubles_back.empty());
+  EXPECT_TRUE(bytes_back.empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serializer, ArrayReaderThrowsOnOversizedLength) {
+  // A corrupt length prefix larger than the remaining payload must throw,
+  // not attempt a multi-exabyte reserve.
+  checkpoint::Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  checkpoint::Reader r(w.buffer());
+  std::vector<double> out;
+  EXPECT_THROW(r.f64_array(out), checkpoint::CheckpointError);
+}
+
+TEST(Checkpoint, EpochRecordStoreRoundTripsColumns) {
+  EpochRecordStore store;
+  store.reset(3);
+  for (std::size_t e = 0; e < 5; ++e) {
+    std::vector<EpochRecord> row(3);
+    for (std::size_t r = 0; r < 3; ++r) {
+      EpochRecord& rec = row[r];
+      rec.start = Minutes{60.0 * static_cast<double>(e)};
+      rec.training = e == 0;
+      rec.source_case = PowerCase::kJointSupply;
+      rec.predicted_renewable = Watts{100.0 + static_cast<double>(10 * e + r)};
+      rec.actual_renewable = Watts{90.0 + static_cast<double>(r)};
+      rec.budget = Watts{500.0};
+      rec.throughput = 1.0 + static_cast<double>(e);
+      rec.epu = 0.5;
+      rec.battery_soc = 0.8;
+      rec.battery_discharge = Watts{5.0};
+      rec.battery_charge = Watts{2.0};
+      rec.grid_power = Watts{50.0};
+      rec.shortfall = Watts{0.0};
+      // Ragged ratios stress the shared pool extents.
+      rec.ratios.assign(r + e % 2, 0.25 * static_cast<double>(r + 1));
+      row[r] = rec;
+    }
+    store.append_epoch(row);
+  }
+  ASSERT_EQ(store.epochs(), 5u);
+  EXPECT_GT(store.bytes(), 0u);
+
+  checkpoint::Writer w;
+  store.save_state(w);
+  EpochRecordStore restored;
+  restored.reset(3);
+  checkpoint::Reader r(w.buffer());
+  restored.load_state(r);
+  EXPECT_TRUE(r.done());
+
+  ASSERT_EQ(restored.racks(), 3u);
+  ASSERT_EQ(restored.epochs(), 5u);
+  // bytes() reports reserved capacity, which differs between incremental
+  // growth and load_state's exact reserve — only its order matters.
+  EXPECT_GT(restored.bytes(), 0u);
+  EXPECT_LE(restored.bytes(), store.bytes());
+  for (std::size_t rack = 0; rack < 3; ++rack) {
+    std::vector<EpochRecord> want;
+    std::vector<EpochRecord> got;
+    store.fill_report(rack, want);
+    restored.fill_report(rack, got);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t e = 0; e < want.size(); ++e) {
+      EXPECT_EQ(got[e].start.value(), want[e].start.value());
+      EXPECT_EQ(got[e].training, want[e].training);
+      EXPECT_EQ(got[e].source_case, want[e].source_case);
+      EXPECT_EQ(got[e].predicted_renewable.value(), want[e].predicted_renewable.value());
+      EXPECT_EQ(got[e].ratios, want[e].ratios);
+      EXPECT_EQ(got[e].throughput, want[e].throughput);
+    }
+  }
+}
+
+TEST(Checkpoint, EpochRecordStoreRejectsTornColumns) {
+  EpochRecordStore store;
+  store.reset(2);
+  std::vector<EpochRecord> row(2);
+  row[0].ratios = {0.5, 0.5};
+  store.append_epoch(row);
+  checkpoint::Writer w;
+  store.save_state(w);
+  // Truncating the payload mid-column must throw, never partially restore.
+  const std::string& buf = w.buffer();
+  checkpoint::Reader r(std::string_view(buf.data(), buf.size() - 8));
+  EpochRecordStore restored;
+  restored.reset(2);
+  EXPECT_THROW(restored.load_state(r), checkpoint::CheckpointError);
 }
 
 // ---------------------------------------------------------------------------

@@ -102,16 +102,18 @@ RackSimulator make_rack(std::uint64_t seed, const FaultPlan& faults) {
 
 Fleet make_fleet(const FaultPlan& faults, std::size_t threads,
                  const fs::path& stream_path, bool resume,
-                 const std::string& checkpoint_dir) {
+                 const std::string& checkpoint_dir, std::size_t shards = 1,
+                 std::size_t rack_count = 4) {
   std::vector<RackSimulator> racks;
-  for (std::uint64_t i = 0; i < 4; ++i) {
+  for (std::uint64_t i = 0; i < rack_count; ++i) {
     racks.push_back(make_rack(60 + i, faults));
   }
   FleetConfig cfg;
-  cfg.total_grid_budget = Watts{1000.0};
+  cfg.total_grid_budget = Watts{250.0 * static_cast<double>(rack_count)};
   cfg.mode = GridShareMode::kDemandProportional;
   cfg.check = true;
   cfg.threads = threads;
+  cfg.shards = shards;
   telemetry::StreamSinkConfig sink{stream_path, 64};
   sink.resume = resume;
   cfg.trace_stream = sink;
@@ -198,6 +200,47 @@ TEST(CrashResume, KillAtEveryEpochMatrix) {
       if (::testing::Test::HasFailure()) {
         return;  // one divergent epoch is enough diagnosis; stop the sweep
       }
+    }
+  }
+}
+
+TEST(CrashResume, ShardedKillAtEveryEpochMatrix) {
+  // The same crash-equivalence contract on the sharded hierarchy: an 8-rack
+  // 2-shard week, one snapshot per epoch, a crash reconstructed at every
+  // barrier.  The resumed fleet runs with a different shard count than the
+  // reference (snapshots carry no topology), so every epoch also re-proves
+  // checkpoint portability across --shards.
+  ScratchDir scratch;
+  const FaultPlan chaos = make_random_plan(31, Minutes{kWeekMinutes}, 2);
+  ASSERT_GT(chaos.size(), 0u);
+
+  const fs::path ref_path = scratch / "ref.jsonl";
+  const fs::path ckpt_dir = scratch / "ckpt";
+  FleetArtifacts reference;
+  {
+    Fleet fleet = make_fleet(chaos, 1, ref_path, false, ckpt_dir.string(),
+                             /*shards=*/1, /*rack_count=*/8);
+    const FleetReport report = fleet.run(Minutes{kWeekMinutes});
+    EXPECT_FALSE(report.interrupted);
+    reference = collect(fleet, report, ref_path);
+  }
+  const std::vector<fs::path> snapshots = checkpoint::list_snapshots(ckpt_dir);
+  ASSERT_EQ(snapshots.size(), 7u * 24u);
+
+  for (const fs::path& snapshot_path : snapshots) {
+    const checkpoint::Snapshot snapshot =
+        checkpoint::load_snapshot(snapshot_path);
+    SCOPED_TRACE("epoch=" + std::to_string(snapshot.epoch_index));
+    const fs::path resume_path = scratch / "resume.jsonl";
+    write_file(resume_path, reference.trace);
+    Fleet fleet = make_fleet(chaos, 4, resume_path, true, "", /*shards=*/2,
+                             /*rack_count=*/8);
+    fleet.load_checkpoint(snapshot);
+    const FleetReport report = fleet.run(Minutes{kWeekMinutes});
+    EXPECT_FALSE(report.interrupted);
+    expect_identical(collect(fleet, report, resume_path), reference);
+    if (::testing::Test::HasFailure()) {
+      return;  // one divergent epoch is enough diagnosis; stop the sweep
     }
   }
 }

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
 #include <tuple>
+#include <vector>
 
 #include "fleet/fleet.h"
+#include "fleet/rebalancer.h"
+#include "fleet/shard.h"
 #include "generators.h"
 #include "power/battery.h"
 #include "server/combinations.h"
@@ -196,6 +201,105 @@ TEST_P(ColocationProperty, MixedWorkloadPipeline) {
 INSTANTIATE_TEST_SUITE_P(Pairs, ColocationProperty,
                          ::testing::Combine(::testing::Range(0, 3),
                                             ::testing::Range(0, 3)));
+
+// ---------------------------------------------------------------------------
+// Top-level shard rebalancer: for every (racks, shards) partition the grants
+// stay non-negative, never outrun the supply, follow the reported deficits
+// monotonically, and collapse to the hoisted equal split on degenerate
+// input — the same matrix divide_grid_budget is pinned to, one level up.
+
+class RebalancerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+namespace {
+std::vector<ShardSummary> summarize_partition(
+    const std::vector<double>& deficits, std::size_t shards) {
+  const std::vector<Shard> topology =
+      make_shards(deficits.size(), shards, /*threads=*/1);
+  std::vector<ShardSummary> summaries;
+  for (const Shard& shard : topology) {
+    summaries.push_back(summarize_shard(
+        shard.index(), shard.first_rack(),
+        std::span<const double>{deficits}.subspan(shard.first_rack(),
+                                                  shard.racks())));
+  }
+  return summaries;
+}
+}  // namespace
+
+TEST_P(RebalancerProperty, GrantsBoundedMonotoneAndConservative) {
+  const auto [racks, shards] = GetParam();
+  const Watts budget{1000.0};
+  std::vector<double> deficits;
+  for (int r = 0; r < racks; ++r) {
+    // Deterministic spread with zeros and surpluses mixed in.
+    deficits.push_back(r % 3 == 0 ? 0.0 : 150.0 * r - 200.0);
+  }
+  const std::vector<ShardSummary> summaries =
+      summarize_partition(deficits, static_cast<std::size_t>(shards));
+  const RebalanceDecision decision =
+      rebalance_grid_budget(budget, deficits, summaries);
+  ASSERT_EQ(decision.grants.size(), summaries.size());
+  double sum = 0.0;
+  for (std::size_t s = 0; s < decision.grants.size(); ++s) {
+    EXPECT_GE(decision.grants[s].value(), 0.0);
+    sum += decision.grants[s].value();
+    for (std::size_t t = 0; t < decision.grants.size(); ++t) {
+      if (summaries[s].deficit_sum > summaries[t].deficit_sum) {
+        EXPECT_GE(decision.grants[s].value(), decision.grants[t].value());
+      }
+    }
+  }
+  EXPECT_LE(sum, budget.value() * (1.0 + 1e-12));
+  EXPECT_NEAR(sum, budget.value(), budget.value() * 1e-9);
+  // Rack shares reproduce the flat divider bit for bit.
+  const std::vector<Watts> flat = divide_grid_budget(budget, deficits);
+  for (int r = 0; r < racks; ++r) {
+    EXPECT_EQ(rack_share(decision, deficits[r]).value(), flat[r].value());
+  }
+}
+
+TEST_P(RebalancerProperty, DegenerateDeficitsFallBackToEqualSplit) {
+  const auto [racks, shards] = GetParam();
+  const Watts budget{1000.0};
+  const std::vector<std::vector<double>> degenerate = {
+      std::vector<double>(racks, 0.0),
+      [&] {
+        std::vector<double> d(racks, 50.0);
+        d[racks / 2] = std::numeric_limits<double>::quiet_NaN();
+        return d;
+      }(),
+      [&] {
+        std::vector<double> d(racks, 50.0);
+        d.back() = std::numeric_limits<double>::infinity();
+        return d;
+      }()};
+  for (const std::vector<double>& deficits : degenerate) {
+    const std::vector<ShardSummary> summaries =
+        summarize_partition(deficits, static_cast<std::size_t>(shards));
+    const RebalanceDecision decision =
+        rebalance_grid_budget(budget, deficits, summaries);
+    EXPECT_TRUE(decision.equal_split);
+    EXPECT_EQ(decision.equal_share.value(), budget.value() / racks);
+    // Every rack sees the identical hoisted share regardless of its own
+    // (possibly poisoned) deficit...
+    for (double d : deficits) {
+      EXPECT_EQ(rack_share(decision, d).value(), decision.equal_share.value());
+    }
+    // ...and so does the flat divider.
+    const std::vector<Watts> flat = divide_grid_budget(budget, deficits);
+    for (const Watts share : flat) {
+      EXPECT_EQ(share.value(), decision.equal_share.value());
+    }
+    double sum = 0.0;
+    for (const Watts grant : decision.grants) sum += grant.value();
+    EXPECT_NEAR(sum, budget.value(), budget.value() * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, RebalancerProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 16),
+                                            ::testing::Values(1, 2, 3, 7)));
 
 }  // namespace
 }  // namespace greenhetero

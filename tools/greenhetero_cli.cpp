@@ -21,6 +21,7 @@
 //                         [--capacity W] [--out FILE]
 //   greenhetero fleet     [--racks N] [--asymmetry A] [--grid W]
 //                         [--mode static|proportional] [--threads N]
+//                         [--shards N]
 //                         [--solver grid|analytic] [--batch-solve on]
 //                         [--hours H] [--faults PLAN.csv]
 //                         [--trace-out FILE.jsonl] [--stream on]
@@ -32,7 +33,7 @@
 //                         [--checkpoint-dir DIR] [--checkpoint-every N]
 //                         [--checkpoint-keep K] [--resume DIR]
 //   greenhetero fuzz      [--seed S] [--runs N] [--run R] [--racks N]
-//                         [--epochs E] [--max-faults F]
+//                         [--epochs E] [--shards N] [--max-faults F]
 //   greenhetero fuzz      --crash [--seed S] [--runs N] [--max-kills K]
 //                         [--crash-dir DIR]
 //   greenhetero benchdiff CURRENT.json BASELINE.json [--threshold T]
@@ -68,7 +69,11 @@
 //
 // fleet --threads N steps the racks on N worker threads per epoch (0, the
 // default, uses one per hardware thread; 1 forces the sequential path).
-// Reports and traces are byte-identical for every thread count.
+// --shards S splits the fleet into S contiguous rack groups, each stepping
+// on its own slice of the worker pool with one cheap top-level budget
+// exchange per epoch (0 derives one shard per worker thread); at 10k-rack
+// scale this replaces the single global barrier with S small ones.
+// Reports and traces are byte-identical for every thread and shard count.
 //
 // --check enables the runtime invariant checker (src/check/invariants.h):
 // every substep and epoch is validated against the invariant registry and
@@ -192,7 +197,8 @@ std::uint64_t scenario_hash(const Args& args) {
       "spans-out",  "csv",            "flightrec-dir",    "stream",
       "out",        "checkpoint-dir", "checkpoint-every", "checkpoint-keep",
       "resume",     "threads",        "repro-out",        "profile-out",
-      "batch-solve"};  // batched solves are bit-identical by contract
+      "batch-solve",  // batched solves are bit-identical by contract
+      "shards"};      // execution topology only; outputs are byte-identical
   std::string canon;
   for (const auto& [key, value] : args.options) {
     bool excluded = false;
@@ -741,6 +747,7 @@ int cmd_fleet(const Args& args) {
   fleet_cfg.total_grid_budget = total_grid;
   fleet_cfg.mode = mode;
   fleet_cfg.threads = static_cast<std::size_t>(args.number("threads", 0.0));
+  fleet_cfg.shards = static_cast<std::size_t>(args.number("shards", 1.0));
   fleet_cfg.batch_solve = !args.get("batch-solve", "").empty();
   fleet_cfg.check = check;
   fleet_cfg.telemetry.profile = !profile_out.empty();
@@ -779,19 +786,40 @@ int cmd_fleet(const Args& args) {
     throw;
   }
   std::printf("fleet of %d racks, %s grid sharing, %.0f W total grid, "
-              "%zu thread(s), %.0f h\n",
+              "%zu thread(s), %zu shard(s), %.0f h\n",
               racks, to_string(mode).c_str(), total_grid.value(),
-              fleet.threads(), hours);
+              fleet.threads(), fleet.shards(), hours);
   std::printf("  total work:       %.0f\n", report.total_work);
   std::printf("  grid energy:      %.1f kWh ($%.2f)\n",
               report.grid_energy.value() / 1000.0, report.grid_cost);
   std::printf("  peak grid draw:   %.0f W of %.0f W budget\n",
               report.peak_grid_allocation.value(), total_grid.value());
-  for (std::size_t i = 0; i < report.racks.size(); ++i) {
+  std::printf("  epoch store:      %.1f MiB (%zu racks x %zu epochs, SoA)\n",
+              static_cast<double>(fleet.epoch_store_bytes()) /
+                  (1024.0 * 1024.0),
+              report.racks.size(),
+              report.racks.empty() ? 0 : report.racks.front().epochs.size());
+  // At datacenter scale a per-rack line each is noise; print the first few
+  // and fold the rest into an aggregate line.
+  constexpr std::size_t kMaxRackLines = 16;
+  const std::size_t shown = std::min(report.racks.size(), kMaxRackLines);
+  for (std::size_t i = 0; i < shown; ++i) {
     std::printf("  rack %zu: work %.0f, EPU %.0f%%, battery %.2f cycles\n",
                 i, report.racks[i].total_work,
                 report.racks[i].overall_epu * 100.0,
                 report.racks[i].battery_cycles);
+  }
+  if (report.racks.size() > shown) {
+    double work = 0.0;
+    double epu = 0.0;
+    for (std::size_t i = shown; i < report.racks.size(); ++i) {
+      work += report.racks[i].total_work;
+      epu += report.racks[i].overall_epu;
+    }
+    std::printf("  ... %zu more rack(s): work %.0f, mean EPU %.0f%%\n",
+                report.racks.size() - shown, work,
+                epu / static_cast<double>(report.racks.size() - shown) *
+                    100.0);
   }
   if (check) {
     unsigned long long checks = 0;
@@ -895,6 +923,7 @@ int cmd_fuzz(const Args& args) {
   options.racks = static_cast<int>(args.number("racks", -1.0));
   options.epochs = static_cast<int>(args.number("epochs", -1.0));
   options.max_faults = static_cast<int>(args.number("max-faults", -1.0));
+  options.shards = static_cast<int>(args.number("shards", -1.0));
   // --solver on: solver-focused mode — every rack runs a solver-driven
   // policy on the analytic backend and each scenario is re-executed cold
   // and batched at 1 and 4 threads, all byte-compared to the warm
